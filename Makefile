@@ -1,0 +1,25 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench micro examples clean doc
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force
+
+bench:
+	dune exec bench/main.exe
+
+micro:
+	dune exec bench/main.exe -- micro
+
+examples:
+	for e in quickstart load_balancing barrier_sync id_server \
+	         contention_lab ticket_pool diffraction_demo sorting_demo; do \
+	  echo "== $$e"; dune exec examples/$$e.exe; done
+
+clean:
+	dune clean

@@ -1,0 +1,566 @@
+(* Benchmark harness regenerating the paper's quantitative claims.
+   Run with no argument for the full E1-E8 table set, with an experiment
+   id ("e1" .. "e8") for one table, or with "micro" for the Bechamel
+   micro-benchmarks (one Test.make per experiment family).
+   See EXPERIMENTS.md for the experiment index. *)
+
+module T = Cn_network.Topology
+module E = Cn_network.Eval
+module S = Cn_sequence.Sequence
+module C = Cn_core.Counting
+module Bounds = Cn_analysis.Bounds
+
+let header title = Printf.printf "\n=== %s ===\n" title
+let line fmt = Printf.printf (fmt ^^ "\n")
+
+(* ------------------------------------------------------------------ *)
+(* E1: Theorem 4.1 — depth of C(w, t) is (lg2 w + lg w)/2, independent
+   of t; same depth as bitonic; periodic is lg2 w.                      *)
+
+let e1 () =
+  header "E1  depth(C(w,t)) = (lg^2 w + lg w)/2, independent of t (Thm 4.1; Figs 2,3,11-13)";
+  line "%6s %6s | %9s %9s | %8s %8s" "w" "t" "measured" "formula" "bitonic" "periodic";
+  List.iter
+    (fun w ->
+      List.iter
+        (fun p ->
+          let t = p * w in
+          let net = C.network ~w ~t in
+          line "%6d %6d | %9d %9d | %8d %8d" w t (T.depth net) (C.depth_formula ~w)
+            (Cn_baselines.Bitonic.depth_formula ~w)
+            (Cn_baselines.Periodic.depth_formula ~w))
+        (if w <= 4 then [ 1; 2; 4 ] else [ 1; 2; 4; Cn_core.Params.ilog2 w ]))
+    [ 2; 4; 8; 16; 32; 64; 128; 256 ];
+  line "note: measured depth never varies with t at fixed w."
+
+(* ------------------------------------------------------------------ *)
+(* E2: Lemma 3.1 — depth of the difference merging network is lg delta. *)
+
+let e2 () =
+  header "E2  depth(M(t,delta)) = lg delta (Lemma 3.1; Figs 5,6)";
+  line "%6s %6s | %9s %9s | %6s" "t" "delta" "measured" "lg delta" "size";
+  List.iter
+    (fun (t, delta) ->
+      let net = Cn_core.Merging.network ~t ~delta in
+      line "%6d %6d | %9d %9d | %6d" t delta (T.depth net)
+        (Cn_core.Merging.depth_formula ~delta)
+        (T.size net))
+    [
+      (8, 2); (8, 4); (16, 2); (16, 4); (16, 8); (32, 8); (32, 16); (64, 16);
+      (64, 32); (48, 8); (96, 16); (128, 64);
+    ];
+  line "note: a bitonic merger of width t has depth lg t instead (Section 3.3).";
+  List.iter
+    (fun t ->
+      line "  bitonic merger width %3d: depth %d" t (T.depth (Cn_baselines.Bitonic.merger t)))
+    [ 8; 16; 32; 64 ]
+
+(* ------------------------------------------------------------------ *)
+(* E3: Lemmas 5.2 / 6.6 — butterfly smoothness and N_ab smoothness.     *)
+
+let measured_spread ?(trials = 400) ?(seed = 9) net =
+  let rng = Random.State.make [| seed |] in
+  let w = T.input_width net in
+  let worst = ref 0 in
+  for _ = 1 to trials do
+    let x = Array.init w (fun _ -> Random.State.int rng 128) in
+    worst := max !worst (S.spread (E.quiescent net x))
+  done;
+  !worst
+
+let e3 () =
+  header
+    "E3  smoothing: D(w) is lg w-smooth (Lemma 5.2); N_ab is (floor(w lg w/t)+2)-smooth (Lemma 6.6)";
+  line "%-14s %6s | %9s %7s" "network" "w" "measured" "bound";
+  List.iter
+    (fun w ->
+      line "%-14s %6d | %9d %7d" "butterfly D" w
+        (measured_spread (Cn_core.Butterfly.forward w))
+        (Cn_core.Butterfly.smoothness_bound ~w))
+    [ 4; 8; 16; 32; 64; 128; 256 ];
+  line "%-14s %6s | %9s %7s" "N_ab = C'(w,t)" "w,t" "measured" "bound";
+  List.iter
+    (fun (w, t) ->
+      line "%-8s %4d,%-6d | %9d %7d" "C'" w t
+        (measured_spread (Cn_core.Blocks.c_prime ~w ~t))
+        (Cn_core.Blocks.smoothing_parameter ~w ~t))
+    [ (8, 8); (8, 24); (8, 64); (16, 16); (16, 64); (32, 32); (32, 160); (64, 64) ]
+
+(* ------------------------------------------------------------------ *)
+(* E4: Theorem 6.7 / Section 1.3.1 — simulated amortized contention.    *)
+
+let e4_networks w =
+  [
+    ("bitonic", Cn_baselines.Bitonic.network w);
+    ("periodic", Cn_baselines.Periodic.network w);
+    (Printf.sprintf "C(%d,%d)" w w, C.network ~w ~t:w);
+    (Printf.sprintf "C(%d,%d)" w (w * Cn_core.Params.ilog2 w), C.wide w);
+    (Printf.sprintf "C(%d,%d)" w (w * w), C.network ~w ~t:(w * w));
+    ("difftree", Cn_baselines.Diffracting.network w);
+  ]
+
+let e4 () =
+  header "E4  simulated amortized contention: stalls/token vs concurrency (Thm 6.7; Sect 1.3.1)";
+  List.iter
+    (fun w ->
+      line "-- w = %d (crossover n = w lg w = %d); m = 30n tokens, worst over schedule portfolio"
+        w
+        (Bounds.crossover_concurrency ~w);
+      let ns = [ 2; 4; 8; 16; 32; 64; 128; 256 ] in
+      line "%-12s %s" "network" (String.concat " " (List.map (Printf.sprintf "%8d") ns));
+      List.iter
+        (fun (name, net) ->
+          let row =
+            List.map
+              (fun n ->
+                let r = Cn_sim.Contention.worst net ~n ~m:(30 * n) in
+                Printf.sprintf "%8.2f" r.Cn_sim.Contention.per_token)
+              ns
+          in
+          line "%-12s %s" name (String.concat " " row))
+        (e4_networks w);
+      line "%-12s %s" "[bnd bitonic]"
+        (String.concat " "
+           (List.map (fun n -> Printf.sprintf "%8.1f" (Bounds.contention_bitonic ~w ~n)) ns));
+      line "%-12s %s" "[bnd C wide]"
+        (String.concat " "
+           (List.map
+              (fun n ->
+                Printf.sprintf "%8.1f"
+                  (Bounds.contention_c_asymptotic ~w ~t:(w * Cn_core.Params.ilog2 w) ~n))
+              ns)))
+    [ 8; 16; 32 ];
+  line "shape checks: C(w, w lg w) < C(w,w) ~ bitonic at n >> w lg w; difftree ~ n."
+
+(* ------------------------------------------------------------------ *)
+(* E5: real-system throughput with OCaml domains (Sect 1.3.1, [19,20]). *)
+
+let e5 () =
+  header "E5  multicore throughput: counter ops/s vs domains (experiments of [19,20])";
+  line "(host note: single-core container -> domains timeshare; relative shapes only)";
+  let w = 8 in
+  let ops = 20_000 in
+  let counters =
+    [
+      ("central-faa", fun () -> Cn_runtime.Shared_counter.central_faa ());
+      ("lock", fun () -> Cn_runtime.Shared_counter.with_lock ());
+      ( "bitonic-8",
+        fun () -> Cn_runtime.Shared_counter.of_topology (Cn_baselines.Bitonic.network w) );
+      ( "periodic-8",
+        fun () -> Cn_runtime.Shared_counter.of_topology (Cn_baselines.Periodic.network w) );
+      ("C(8,8)", fun () -> Cn_runtime.Shared_counter.of_topology (C.network ~w ~t:w));
+      ("C(8,24)", fun () -> Cn_runtime.Shared_counter.of_topology (C.wide w));
+      ("C(8,64)", fun () -> Cn_runtime.Shared_counter.of_topology (C.network ~w ~t:64));
+    ]
+  in
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  line "%-12s %s" "counter"
+    (String.concat " "
+       (List.map (fun d -> Printf.sprintf "%11s" (Printf.sprintf "%dd ops/s" d)) domain_counts));
+  List.iter
+    (fun (name, make) ->
+      let row =
+        List.map
+          (fun domains ->
+            let r = Cn_runtime.Harness.throughput ~make ~domains ~ops_per_domain:(ops / domains) in
+            Printf.sprintf "%11.0f" r.Cn_runtime.Harness.ops_per_sec)
+          domain_counts
+      in
+      line "%-12s %s" name (String.concat " " row))
+    counters;
+  line "CAS-retry failures per op at 8 domains (contention witness):";
+  List.iter
+    (fun (name, net) ->
+      let rt = Cn_runtime.Network_runtime.compile ~mode:Cn_runtime.Network_runtime.Cas net in
+      let body pid () =
+        for _ = 1 to 2000 do
+          ignore (Cn_runtime.Network_runtime.traverse rt ~wire:(pid mod T.input_width net))
+        done
+      in
+      let handles = Array.init 8 (fun pid -> Domain.spawn (body pid)) in
+      Array.iter Domain.join handles;
+      line "  %-12s %.4f" name
+        (float_of_int (Cn_runtime.Network_runtime.cas_failures rt) /. 16000.))
+    [
+      ("bitonic-8", Cn_baselines.Bitonic.network w);
+      ("C(8,8)", C.network ~w ~t:8);
+      ("C(8,24)", C.wide w);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E6: Section 1.3.2 — resource cost of increasing t.                   *)
+
+let e6 () =
+  header "E6  resource tradeoff: balancers vs output width t (Sect 1.3.2)";
+  line "%6s %6s | %9s %9s | %22s" "w" "t" "balancers" "depth" "sim stalls/tok (n=128)";
+  List.iter
+    (fun w ->
+      List.iter
+        (fun t ->
+          let net = C.network ~w ~t in
+          let r =
+            Cn_sim.Contention.worst ~strategies:[ Cn_sim.Scheduler.Random 3 ] net ~n:128 ~m:2560
+          in
+          line "%6d %6d | %9d %9d | %22.2f" w t (T.size net) (T.depth net)
+            r.Cn_sim.Contention.per_token)
+        [ w; 2 * w; w * Cn_core.Params.ilog2 w; w * w ])
+    [ 8; 16; 32 ];
+  line "note: t = w lg w is the compromise the paper recommends.";
+  (* The structural interpretation of Section 1.3.2: tokens spend most of
+     their time in block N_c (the mergers); increasing t drains exactly
+     that block's contention while N_ab stays put. *)
+  line "";
+  line "block-level stall split at w = 16, n = 128 (N_ab = first lg w layers, N_c = mergers):";
+  line "%6s %6s | %12s %12s" "w" "t" "N_ab stalls" "N_c stalls";
+  List.iter
+    (fun t ->
+      let net = C.network ~w:16 ~t in
+      let r = Cn_sim.Contention.measure net ~n:128 ~m:2560 (Cn_sim.Scheduler.Random 3) in
+      let k = Cn_core.Params.ilog2 16 in
+      let ab = Array.fold_left ( + ) 0 (Array.sub r.Cn_sim.Contention.per_layer 0 k) in
+      let c =
+        Array.fold_left ( + ) 0
+          (Array.sub r.Cn_sim.Contention.per_layer k
+             (Array.length r.Cn_sim.Contention.per_layer - k))
+      in
+      line "%6d %6d | %12d %12d" 16 t ab c)
+    [ 16; 32; 64; 256 ];
+  line "N_ab stalls are t-invariant; N_c stalls collapse as t grows — Fig. 3's intuition."
+
+(* ------------------------------------------------------------------ *)
+(* E7: Section 7 — the sorting-network byproduct.                       *)
+
+let e7 () =
+  header "E7  sorting byproduct: comparators from C(w,w) sort; depth O(lg^2 w) (Sect 7)";
+  line "%6s | %8s %8s | %12s %12s | %10s" "w" "depth" "batcher" "comparators" "batcher" "sorts";
+  List.iter
+    (fun w ->
+      let ours = Cn_core.Sorting.of_topology (C.network ~w ~t:w) in
+      let batcher = Cn_baselines.Batcher.network w in
+      let sorts =
+        if w <= 16 then Cn_core.Sorting.sorts_zero_one ours
+        else Cn_core.Sorting.sorts_random ~trials:3000 ours
+      in
+      line "%6d | %8d %8d | %12d %12d | %10b" w (Cn_core.Sorting.depth ours)
+        (Cn_core.Sorting.depth batcher)
+        (Cn_core.Sorting.comparator_count ours)
+        (Cn_core.Sorting.comparator_count batcher)
+        sorts)
+    [ 4; 8; 16; 32; 64 ]
+
+(* ------------------------------------------------------------------ *)
+(* E8: Fig. 1 — the worked example reproduced exactly.                  *)
+
+let e8 () =
+  header "E8  Fig. 1 reproduction: (4,6)-balancer and C(4,8) token values";
+  let b = Cn_network.Balancer.make ~fan_in:4 ~fan_out:6 () in
+  line "(4,6)-balancer, 11 tokens in -> per-wire exits %s"
+    (S.to_string (Cn_network.Balancer.output_counts b ~tokens:11));
+  let net = C.network ~w:4 ~t:8 in
+  line "C(4,8): w=%d t=%d depth=%d size=%d" (T.input_width net) (T.output_width net)
+    (T.depth net) (T.size net);
+  let entries = List.init 17 (fun i -> i mod 4) in
+  let runs = E.token_run net entries in
+  line "17 sequential tokens (entry wire -> exit wire = counter value):";
+  List.iteri
+    (fun i (wire, v) -> line "  token %2d: in %d -> out %d, value %2d" i (i mod 4) wire v)
+    runs;
+  let per_wire = Array.make 8 0 in
+  List.iter (fun (wire, _) -> per_wire.(wire) <- per_wire.(wire) + 1) runs;
+  line "exit distribution %s (step: %b)" (S.to_string per_wire) (S.is_step per_wire)
+
+(* ------------------------------------------------------------------ *)
+(* E9: ablation — replace M(t, w/2) by the bitonic merger (Sect 3.3).   *)
+
+let e9 () =
+  header "E9  ablation: C(w,t) with bitonic mergers instead of M(t,delta) (Sect 3.3)";
+  line "%6s %6s | %10s %12s | %s" "w" "t" "C(w,t)" "ablated" "t-dependence";
+  List.iter
+    (fun w ->
+      List.iter
+        (fun t ->
+          let ours = T.depth (C.network ~w ~t) in
+          let ablated = T.depth (Cn_core.Ablation.network ~w ~t) in
+          line "%6d %6d | %10d %12d | %s" w t ours ablated
+            (if t = w then "" else Printf.sprintf "+%d layers for 8x width" (ablated - T.depth (Cn_core.Ablation.network ~w ~t:w))))
+        [ w; 8 * w ])
+    [ 4; 8; 16; 32; 64 ];
+  line "our merger keeps depth a function of w alone; the bitonic merger pays lg t per level.";
+  line "second ablation: wiring the recursion cross-parity (M0 on x_even,y_odd) breaks merging:";
+  List.iter
+    (fun (t, delta) ->
+      match
+        Cn_core.Verify.merging ~delta ~max_half_sum:40 (Cn_core.Ablation.cross_parity_merger ~t ~delta)
+      with
+      | Cn_core.Verify.Counterexample x ->
+          line "  M'(%d,%d): fails, e.g. on step halves summing %d and %d" t delta
+            (S.sum (S.first_half x)) (S.sum (S.second_half x))
+      | Cn_core.Verify.Verified n -> line "  M'(%d,%d): (unexpectedly merged %d cases)" t delta n)
+    [ (8, 4); (16, 8); (32, 16) ]
+
+(* ------------------------------------------------------------------ *)
+(* E10: randomized initial states (Sect 7 open problem; [17,24]).       *)
+
+let e10 () =
+  header "E10  randomized initial balancer states: smoothness of D(w) (Sect 7; [17,24])";
+  line "%6s | %14s %14s | %7s" "w" "deterministic" "randomized" "bound";
+  List.iter
+    (fun w ->
+      let det = measured_spread (Cn_core.Butterfly.forward w) in
+      (* Average worst spread over several random initializations. *)
+      let seeds = [ 1; 2; 3; 4; 5 ] in
+      let rnd =
+        List.fold_left
+          (fun acc seed ->
+            acc
+            + measured_spread ~seed (T.randomize_states ~seed (Cn_core.Butterfly.forward w)))
+          0 seeds
+      in
+      line "%6d | %14d %14.1f | %7d" w det
+        (float_of_int rnd /. float_of_int (List.length seeds))
+        (Cn_core.Butterfly.smoothness_bound ~w))
+    [ 8; 16; 32; 64; 128 ];
+  line "randomization does not break the lg w bound and keeps typical spreads similar;";
+  line "counting networks, by contrast, lose the step property under random states";
+  let net = T.randomize_states ~seed:11 (C.network ~w:8 ~t:8) in
+  let rng = Random.State.make [| 4 |] in
+  let broke = ref 0 in
+  for _ = 1 to 300 do
+    let x = Array.init 8 (fun _ -> Random.State.int rng 50) in
+    if not (S.is_step (E.quiescent net x)) then incr broke
+  done;
+  line "(randomized C(8,8): %d/300 random loads fail step, all stay 2-smooth)" !broke
+
+(* ------------------------------------------------------------------ *)
+(* E11: discrete-event latency model (Sect 1.1: latency = depth;        *)
+(* throughput capped by the narrowest layer).                           *)
+
+let e11 () =
+  header "E11  timed simulation: latency = depth at low load; throughput = first-layer capacity (Sect 1.1)";
+  let configs =
+    [
+      ("C(8,8)", Cn_core.Counting.network ~w:8 ~t:8);
+      ("C(8,24)", C.wide 8);
+      ("bitonic-8", Cn_baselines.Bitonic.network 8);
+      ("periodic-8", Cn_baselines.Periodic.network 8);
+      ("difftree-8", Cn_baselines.Diffracting.network 8);
+    ]
+  in
+  line "%-12s %6s | %9s %9s %9s | %10s %8s" "network" "depth" "lat(n=1)" "lat(n=16)" "lat(n=64)"
+    "saturation" "cap w/2";
+  List.iter
+    (fun (name, net) ->
+      let lat n =
+        (Cn_sim.Timed.closed_loop ~jitter:0.3 net ~n ~rounds:50).Cn_sim.Timed.avg_latency
+      in
+      let sat = (Cn_sim.Timed.closed_loop ~jitter:0.3 net ~n:128 ~rounds:50).Cn_sim.Timed.throughput in
+      line "%-12s %6d | %9.2f %9.2f %9.2f | %10.2f %8d" name (T.depth net) (lat 1) (lat 16)
+        (lat 64) sat
+        (T.input_width net / 2))
+    configs;
+  line "the diffracting tree pays for its single input wire: saturation throughput 1."
+
+(* ------------------------------------------------------------------ *)
+(* E12: (non-)linearizability (Sect 1.4.2; Herlihy-Shavit-Waarts).      *)
+
+let e12 () =
+  header "E12  linearizability: counting networks invert values across real time (Sect 1.4.2)";
+  line "%-14s %6s | %-14s %s" "network" "depth" "linearizable?" "witness (value after, value before)";
+  List.iter
+    (fun (name, net) ->
+      match Cn_sim.Linearizability.find_violation net ~n:8 ~m:80 with
+      | None -> line "%-14s %6d | %-14s" name (T.depth net) "yes (none found)"
+      | Some (a, b) ->
+          line "%-14s %6d | %-14s op@t%d got %d, later op@t%d got %d" name (T.depth net) "NO"
+            a.Cn_sim.Stall_model.response a.Cn_sim.Stall_model.value
+            b.Cn_sim.Stall_model.invoke b.Cn_sim.Stall_model.value)
+    [
+      ("C(2,2)", C.network ~w:2 ~t:2);
+      ("C(4,4)", C.network ~w:4 ~t:4);
+      ("C(8,8)", C.network ~w:8 ~t:8);
+      ("C(8,24)", C.wide 8);
+      ("bitonic-8", Cn_baselines.Bitonic.network 8);
+      ("periodic-8", Cn_baselines.Periodic.network 8);
+      ("difftree-8", Cn_baselines.Diffracting.network 8);
+    ];
+  line "every history remains quiescently consistent (dense values); the HSW lower bound";
+  line "says linearizable + low contention forces Omega(n) depth, so none of these try."
+
+(* ------------------------------------------------------------------ *)
+(* E13: Fetch&Decrement via antitokens (Sect 1.4.2; Aiello et al.).     *)
+
+let e13 () =
+  header "E13  antitokens: mixed increment/decrement workloads (Sect 1.4.2; Aiello et al. [2])";
+  line "token-level mixed runs agree with the closed-form net evaluation, and net";
+  line "distributions of non-negative nets keep the step property:";
+  let rng = Random.State.make [| 77 |] in
+  List.iter
+    (fun (w, t) ->
+      let net = C.network ~w ~t in
+      let agree = ref 0 and steps = ref 0 and runs = 40 in
+      for seed = 0 to runs - 1 do
+        let tokens = Array.init w (fun _ -> 8 + Random.State.int rng 8) in
+        let antitokens = Array.init w (fun _ -> Random.State.int rng 8) in
+        let nets = Array.init w (fun i -> tokens.(i) - antitokens.(i)) in
+        let traced = E.trace_signed ~seed net ~tokens ~antitokens in
+        if traced = E.quiescent_net net nets then incr agree;
+        if S.is_step traced then incr steps
+      done;
+      line "  C(%d,%d): trace=closed-form %d/%d, step %d/%d" w t !agree runs !steps runs)
+    [ (4, 8); (8, 8); (8, 24); (16, 16) ];
+  (* Runtime round trip at the counter level. *)
+  let rt = Cn_runtime.Network_runtime.compile (C.network ~w:4 ~t:8) in
+  let a = Cn_runtime.Network_runtime.traverse rt ~wire:0 in
+  let b = Cn_runtime.Network_runtime.traverse rt ~wire:1 in
+  let r = Cn_runtime.Network_runtime.traverse_decrement rt ~wire:1 in
+  let b' = Cn_runtime.Network_runtime.traverse rt ~wire:1 in
+  line "runtime Fetch&Decrement round trip: inc=%d, inc=%d, dec reclaims %d, inc re-issues %d" a b r b'
+
+(* ------------------------------------------------------------------ *)
+(* E14: exact worst-case contention on small instances (Sect 1.2).      *)
+
+let e14 () =
+  header "E14  exact cont(B,n,m) by exhaustive schedule search vs heuristic adversaries (Sect 1.2)";
+  line "%-12s %3s %3s | %9s %9s | %9s %9s" "network" "n" "m" "exact max" "exact min" "heuristic" "max/token";
+  List.iter
+    (fun (name, net, n, m) ->
+      let exact = Cn_sim.Exhaustive.max_contention net ~n ~m in
+      let least = Cn_sim.Exhaustive.min_contention net ~n ~m in
+      let heur = Cn_sim.Contention.worst net ~n ~m in
+      line "%-12s %3d %3d | %9d %9d | %9.0f %9d" name n m exact least
+        (heur.Cn_sim.Contention.per_token *. float_of_int m)
+        heur.Cn_sim.Contention.max_token_stalls)
+    [
+      ("C(2,2)", C.network ~w:2 ~t:2, 3, 6);
+      ("C(2,2)", C.network ~w:2 ~t:2, 4, 8);
+      ("C(4,4)", C.network ~w:4 ~t:4, 3, 6);
+      ("C(4,8)", C.network ~w:4 ~t:8, 3, 6);
+      ("L(4)", Cn_core.Ladder.network 4, 4, 8);
+      ("difftree-4", Cn_baselines.Diffracting.network 4, 3, 6);
+    ];
+  line "the widened C(4,8) already beats C(4,4) in the EXACT worst case (7 vs 8);";
+  line "heuristics lower-bound the exact adversary (and match it on single balancers)."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per experiment family.      *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let traversal name net =
+    let rt = Cn_runtime.Network_runtime.compile net in
+    let i = ref 0 in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           incr i;
+           Cn_runtime.Network_runtime.traverse rt
+             ~wire:(!i mod Cn_network.Topology.input_width net)))
+  in
+  let tests =
+    [
+      (* E1: building the flagship network. *)
+      Test.make ~name:"e1-build-C(32,32)" (Staged.stage (fun () -> C.network ~w:32 ~t:32));
+      (* E2: building a merging network. *)
+      Test.make ~name:"e2-build-M(64,16)"
+        (Staged.stage (fun () -> Cn_core.Merging.network ~t:64 ~delta:16));
+      (* E3: one quiescent evaluation of a butterfly. *)
+      (let d = Cn_core.Butterfly.forward 64 in
+       let x = Array.init 64 (fun i -> i mod 7) in
+       Test.make ~name:"e3-eval-D(64)" (Staged.stage (fun () -> E.quiescent d x)));
+      (* E4: one simulated execution. *)
+      (let net = C.network ~w:8 ~t:8 in
+       Test.make ~name:"e4-sim-C(8,8)-n16"
+         (Staged.stage (fun () ->
+              Cn_sim.Contention.measure net ~n:16 ~m:160 (Cn_sim.Scheduler.Random 1))));
+      (* E5: single traversals per network (runtime hot path). *)
+      traversal "e5-traverse-bitonic8" (Cn_baselines.Bitonic.network 8);
+      traversal "e5-traverse-C(8,8)" (C.network ~w:8 ~t:8);
+      traversal "e5-traverse-C(8,24)" (C.wide 8);
+      traversal "e5-traverse-difftree8" (Cn_baselines.Diffracting.network 8);
+      (* E6: size accounting. *)
+      Test.make ~name:"e6-size-C(64,384)" (Staged.stage (fun () -> C.size_formula ~w:64 ~t:384));
+      (* E7: one sort. *)
+      (let s = Cn_core.Sorting.of_topology (C.network ~w:32 ~t:32) in
+       let input = Array.init 32 (fun i -> (i * 37) mod 101) in
+       Test.make ~name:"e7-sort-C(32,32)"
+         (Staged.stage (fun () -> Cn_core.Sorting.apply s input)));
+      (* E8: one sequential token run. *)
+      (let net = C.network ~w:4 ~t:8 in
+       Test.make ~name:"e8-token-run-C(4,8)"
+         (Staged.stage (fun () -> E.token_run net [ 0; 1; 2; 3 ])));
+      (* E9: building the ablated network. *)
+      Test.make ~name:"e9-build-ablated-C(16,64)"
+        (Staged.stage (fun () -> Cn_core.Ablation.network ~w:16 ~t:64));
+      (* E10: randomizing states plus one evaluation. *)
+      (let base = Cn_core.Butterfly.forward 32 in
+       let x = Array.init 32 (fun i -> i mod 5) in
+       Test.make ~name:"e10-randomize-D(32)"
+         (Staged.stage (fun () -> E.quiescent (T.randomize_states ~seed:1 base) x)));
+      (* E11: one timed closed loop. *)
+      (let net = C.network ~w:8 ~t:8 in
+       Test.make ~name:"e11-timed-closed-loop"
+         (Staged.stage (fun () -> Cn_sim.Timed.closed_loop net ~n:16 ~rounds:10)));
+      (* E12: one linearizability check over a recorded history. *)
+      (let net = C.network ~w:4 ~t:4 in
+       let s = Cn_sim.Stall_model.create net ~concurrency:8 ~tokens:80 in
+       Cn_sim.Scheduler.run s (Cn_sim.Scheduler.Park 1);
+       let hist = Cn_sim.Stall_model.history s in
+       Test.make ~name:"e12-linearizability-check"
+         (Staged.stage (fun () -> Cn_sim.Linearizability.violation hist)));
+      (* E13: one signed evaluation. *)
+      (let net = C.network ~w:8 ~t:16 in
+       let x = Array.init 8 (fun i -> (i mod 3) - 1) in
+       Test.make ~name:"e13-signed-eval" (Staged.stage (fun () -> E.quiescent_net net x)));
+    ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"micro" ~fmt:"%s %s" tests) in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  header "micro  Bechamel: ns/op (monotonic clock, OLS)";
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> line "%-28s %12.1f ns/op" name est
+      | _ -> line "%-28s (no estimate)" name)
+    (List.sort compare rows)
+
+let all () =
+  e1 ();
+  e2 ();
+  e3 ();
+  e4 ();
+  e5 ();
+  e6 ();
+  e7 ();
+  e8 ();
+  e9 ();
+  e10 ();
+  e11 ();
+  e12 ();
+  e13 ();
+  e14 ()
+
+let () =
+  match Sys.argv with
+  | [| _ |] -> all ()
+  | [| _; "e1" |] -> e1 ()
+  | [| _; "e2" |] -> e2 ()
+  | [| _; "e3" |] -> e3 ()
+  | [| _; "e4" |] -> e4 ()
+  | [| _; "e5" |] -> e5 ()
+  | [| _; "e6" |] -> e6 ()
+  | [| _; "e7" |] -> e7 ()
+  | [| _; "e8" |] -> e8 ()
+  | [| _; "e9" |] -> e9 ()
+  | [| _; "e10" |] -> e10 ()
+  | [| _; "e11" |] -> e11 ()
+  | [| _; "e12" |] -> e12 ()
+  | [| _; "e13" |] -> e13 ()
+  | [| _; "e14" |] -> e14 ()
+  | [| _; "micro" |] -> micro ()
+  | _ ->
+      prerr_endline "usage: main.exe [e1|...|e14|micro]";
+      exit 2

@@ -1,0 +1,468 @@
+(* countnet: command-line interface to the counting-network library.
+
+   Subcommands: draw, depth, verify, simulate, throughput, sort, count.
+   Every subcommand takes a network family (--family) plus the relevant
+   parameters (--width, --out-width, --delta). *)
+
+open Cmdliner
+
+module T = Cn_network.Topology
+module E = Cn_network.Eval
+module S = Cn_sequence.Sequence
+
+(* ---------------------------------------------------------------- *)
+(* Network selection. *)
+
+type family =
+  | Counting
+  | Bitonic
+  | Periodic
+  | Diffracting
+  | Butterfly_fwd
+  | Butterfly_bwd
+  | Ladder
+  | Merging
+  | C_prime
+
+let family_conv =
+  let parse = function
+    | "c" | "counting" -> Ok Counting
+    | "bitonic" -> Ok Bitonic
+    | "periodic" -> Ok Periodic
+    | "difftree" | "diffracting" -> Ok Diffracting
+    | "butterfly" | "dbutterfly" -> Ok Butterfly_fwd
+    | "bbutterfly" -> Ok Butterfly_bwd
+    | "ladder" -> Ok Ladder
+    | "merging" -> Ok Merging
+    | "cprime" | "c-prime" -> Ok C_prime
+    | s -> Error (`Msg (Printf.sprintf "unknown family %S" s))
+  in
+  let print ppf f =
+    Format.pp_print_string ppf
+      (match f with
+      | Counting -> "counting"
+      | Bitonic -> "bitonic"
+      | Periodic -> "periodic"
+      | Diffracting -> "difftree"
+      | Butterfly_fwd -> "butterfly"
+      | Butterfly_bwd -> "bbutterfly"
+      | Ladder -> "ladder"
+      | Merging -> "merging"
+      | C_prime -> "cprime")
+  in
+  Arg.conv (parse, print)
+
+let family_arg =
+  Arg.(
+    value
+    & opt family_conv Counting
+    & info [ "f"; "family" ] ~docv:"FAMILY"
+        ~doc:
+          "Network family: $(b,counting) (the paper's C(w,t)), $(b,bitonic), $(b,periodic), \
+           $(b,difftree), $(b,butterfly) (forward), $(b,bbutterfly) (backward), $(b,ladder), \
+           $(b,merging) (M(t,delta)), $(b,cprime) (C'(w,t) = blocks N_a;N_b).")
+
+let width_arg =
+  Arg.(value & opt int 8 & info [ "w"; "width" ] ~docv:"W" ~doc:"Input width (a power of two).")
+
+let out_width_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "t"; "out-width" ] ~docv:"T"
+        ~doc:"Output width for counting/cprime families (default: w, i.e. the regular network).")
+
+let delta_arg =
+  Arg.(
+    value
+    & opt int 2
+    & info [ "delta" ] ~docv:"DELTA" ~doc:"Merging parameter delta for the merging family.")
+
+let build family ~w ~t ~delta =
+  let t = match t with Some t -> t | None -> w in
+  match family with
+  | Counting -> Cn_core.Counting.network ~w ~t
+  | Bitonic -> Cn_baselines.Bitonic.network w
+  | Periodic -> Cn_baselines.Periodic.network w
+  | Diffracting -> Cn_baselines.Diffracting.network w
+  | Butterfly_fwd -> Cn_core.Butterfly.forward w
+  | Butterfly_bwd -> Cn_core.Butterfly.backward w
+  | Ladder -> Cn_core.Ladder.network w
+  | Merging -> Cn_core.Merging.network ~t:w ~delta
+  | C_prime -> Cn_core.Blocks.c_prime ~w ~t
+
+let network_term =
+  let combine family w t delta =
+    try Ok (build family ~w ~t ~delta) with Invalid_argument msg -> Error (`Msg msg)
+  in
+  Term.(term_result (const combine $ family_arg $ width_arg $ out_width_arg $ delta_arg))
+
+(* ---------------------------------------------------------------- *)
+(* draw *)
+
+let ascii_flag =
+  Arg.(value & flag & info [ "ascii" ] ~doc:"Draw the straightened-wire ASCII diagram instead.")
+
+let dot_flag =
+  Arg.(value & flag & info [ "dot" ] ~doc:"Emit a Graphviz digraph instead.")
+
+let svg_flag =
+  Arg.(value & flag & info [ "svg" ] ~doc:"Emit a standalone SVG drawing instead.")
+
+let draw_cmd =
+  let run net ascii dot svg =
+    if dot then print_string (Cn_network.Render.dot net)
+    else if svg then print_string (Cn_network.Render.svg net)
+    else if ascii then print_string (Cn_network.Render.ascii net)
+    else print_string (Cn_network.Render.describe net)
+  in
+  Cmd.v
+    (Cmd.info "draw"
+       ~doc:"Print a network's structure (layer listing, ASCII, SVG, or Graphviz).")
+    Term.(const run $ network_term $ ascii_flag $ dot_flag $ svg_flag)
+
+(* ---------------------------------------------------------------- *)
+(* iso *)
+
+let iso_cmd =
+  let second_family =
+    Arg.(
+      required
+      & opt (some family_conv) None
+      & info [ "against" ] ~docv:"FAMILY" ~doc:"Second network family to compare against.")
+  in
+  let run net family2 w t delta =
+    match try Ok (build family2 ~w ~t ~delta) with Invalid_argument m -> Error m with
+    | Error m ->
+        prerr_endline m;
+        exit 1
+    | Ok net2 -> (
+        match Cn_network.Iso.find net net2 with
+        | None ->
+            print_endline "not isomorphic (or search exhausted)";
+            exit 1
+        | Some mapping -> (
+            match Cn_network.Iso.check net net2 ~mapping with
+            | Error e ->
+                Printf.printf "internal: mapping failed validation: %s\n" e;
+                exit 1
+            | Ok (pi_in, pi_out) ->
+                print_endline "isomorphic";
+                Format.printf "pi_in:  %a@.pi_out: %a@." Cn_network.Permutation.pp pi_in
+                  Cn_network.Permutation.pp pi_out))
+  in
+  Cmd.v
+    (Cmd.info "iso"
+       ~doc:"Search for a Section-2.3 isomorphism between two networks of the same parameters \
+             (e.g. --family bbutterfly --against butterfly).")
+    Term.(const run $ network_term $ second_family $ width_arg $ out_width_arg $ delta_arg)
+
+(* ---------------------------------------------------------------- *)
+(* depth *)
+
+let depth_cmd =
+  let run net =
+    Printf.printf "input width   %d\n" (T.input_width net);
+    Printf.printf "output width  %d\n" (T.output_width net);
+    Printf.printf "depth         %d\n" (T.depth net);
+    Printf.printf "balancers     %d\n" (T.size net);
+    Printf.printf "regular       %b\n" (T.is_regular net)
+  in
+  Cmd.v
+    (Cmd.info "depth" ~doc:"Print structural statistics of a network.")
+    Term.(const run $ network_term)
+
+(* ---------------------------------------------------------------- *)
+(* verify *)
+
+let trials_arg =
+  Arg.(value & opt int 500 & info [ "trials" ] ~docv:"N" ~doc:"Number of random input loads.")
+
+let exhaustive_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "exhaustive" ] ~docv:"B"
+        ~doc:
+          "Instead of random loads, certify the step property on EVERY input with at most \
+           $(docv) tokens per wire (bounded model check; the input space must stay under \
+           10^7 vectors).")
+
+let verify_cmd =
+  let run net trials exhaustive =
+    match exhaustive with
+    | Some max_tokens -> (
+        match Cn_core.Verify.counting ~max_tokens net with
+        | Cn_core.Verify.Verified n ->
+            Printf.printf "certified: step property on all %d loads with <= %d tokens/wire\n" n
+              max_tokens
+        | Cn_core.Verify.Counterexample x ->
+            Printf.printf "FAILED: counterexample input %s\n" (S.to_string x);
+            exit 1
+        | exception Invalid_argument m ->
+            prerr_endline m;
+            exit 1)
+    | None ->
+        let rng = Random.State.make [| 42 |] in
+        let w = T.input_width net in
+        let failures = ref 0 in
+        for _ = 1 to trials do
+          let x = Array.init w (fun _ -> Random.State.int rng 100) in
+          let y = E.quiescent net x in
+          if S.sum x <> S.sum y then incr failures
+          else if not (S.is_step y) then incr failures
+        done;
+        if !failures = 0 then Printf.printf "ok: %d random loads produced step outputs\n" trials
+        else begin
+          Printf.printf "FAILED on %d/%d loads (not a counting network?)\n" !failures trials;
+          exit 1
+        end
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Check the step property on random quiescent executions, or certify it \
+             exhaustively on bounded loads.")
+    Term.(const run $ network_term $ trials_arg $ exhaustive_arg)
+
+(* ---------------------------------------------------------------- *)
+(* simulate *)
+
+let concurrency_arg =
+  Arg.(value & opt int 16 & info [ "n"; "concurrency" ] ~docv:"N" ~doc:"Concurrent processes.")
+
+let tokens_arg =
+  Arg.(value & opt int 0 & info [ "m"; "tokens" ] ~docv:"M" ~doc:"Total tokens (default 30n).")
+
+let strategy_conv =
+  let parse = function
+    | "random" -> Ok (Cn_sim.Scheduler.Random 1)
+    | "round-robin" -> Ok Cn_sim.Scheduler.Round_robin
+    | "max-queue" -> Ok Cn_sim.Scheduler.Max_queue
+    | "herd" -> Ok (Cn_sim.Scheduler.Herd 1)
+    | "worst" -> Ok (Cn_sim.Scheduler.Random (-1)) (* sentinel, handled below *)
+    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  let print ppf s = Format.pp_print_string ppf (Cn_sim.Scheduler.strategy_name s) in
+  Arg.conv (parse, print)
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt (some strategy_conv) None
+    & info [ "strategy" ] ~docv:"S"
+        ~doc:"Schedule: $(b,random), $(b,round-robin), $(b,max-queue), $(b,herd); default: worst \
+              over the whole portfolio.")
+
+let simulate_cmd =
+  let run net n m strategy =
+    let m = if m <= 0 then 30 * n else m in
+    let r =
+      match strategy with
+      | Some s -> Cn_sim.Contention.measure net ~n ~m s
+      | None -> Cn_sim.Contention.worst net ~n ~m
+    in
+    Printf.printf "strategy      %s\n" r.Cn_sim.Contention.strategy;
+    Printf.printf "tokens        %d\n" r.Cn_sim.Contention.tokens;
+    Printf.printf "stalls        %d\n" r.Cn_sim.Contention.stalls;
+    Printf.printf "stalls/token  %.3f\n" r.Cn_sim.Contention.per_token;
+    Printf.printf "step output   %b\n" r.Cn_sim.Contention.step_ok;
+    Printf.printf "per-layer     %s\n"
+      (String.concat " "
+         (Array.to_list (Array.map string_of_int r.Cn_sim.Contention.per_layer)))
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Estimate amortized contention (stalls per token) under an adversarial schedule \
+             portfolio.")
+    Term.(const run $ network_term $ concurrency_arg $ tokens_arg $ strategy_arg)
+
+(* ---------------------------------------------------------------- *)
+(* throughput *)
+
+let domains_arg =
+  Arg.(value & opt int 4 & info [ "domains" ] ~docv:"D" ~doc:"OCaml domains to spawn.")
+
+let ops_arg =
+  Arg.(value & opt int 10_000 & info [ "ops" ] ~docv:"OPS" ~doc:"Increments per domain.")
+
+let throughput_cmd =
+  let run net domains ops =
+    let r =
+      Cn_runtime.Harness.throughput
+        ~make:(fun () -> Cn_runtime.Shared_counter.of_topology net)
+        ~domains ~ops_per_domain:ops
+    in
+    Printf.printf "%s: %d domains x %d ops = %d ops in %.3fs -> %.0f ops/s\n"
+      r.Cn_runtime.Harness.counter domains ops r.Cn_runtime.Harness.total_ops
+      r.Cn_runtime.Harness.seconds r.Cn_runtime.Harness.ops_per_sec
+  in
+  Cmd.v
+    (Cmd.info "throughput"
+       ~doc:"Measure Fetch&Increment throughput of the network-backed shared counter.")
+    Term.(const run $ network_term $ domains_arg $ ops_arg)
+
+(* ---------------------------------------------------------------- *)
+(* sort *)
+
+let values_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"VALUES" ~doc:"Comma-separated integers (default: a sample permutation).")
+
+let sort_cmd =
+  let run net values =
+    match
+      let s = Cn_core.Sorting.of_topology net in
+      let input =
+        match values with
+        | Some csv -> Array.of_list (List.map int_of_string (String.split_on_char ',' csv))
+        | None -> Array.init (Cn_core.Sorting.width s) (fun i -> ((i * 7) + 3) mod 17)
+      in
+      (s, input)
+    with
+    | exception Invalid_argument msg ->
+        prerr_endline msg;
+        exit 1
+    | exception Failure _ ->
+        prerr_endline "could not parse VALUES as comma-separated integers";
+        exit 1
+    | s, input ->
+        Printf.printf "input:  %s\n" (S.to_string input);
+        Printf.printf "sorted: %s\n" (S.to_string (Cn_core.Sorting.apply_ascending s input))
+  in
+  Cmd.v
+    (Cmd.info "sort"
+       ~doc:"Sort integers with the comparator network extracted from the chosen (regular, \
+             (2,2)-balancer) network (Section 7).")
+    Term.(const run $ network_term $ values_arg)
+
+(* ---------------------------------------------------------------- *)
+(* count *)
+
+let count_tokens_arg =
+  Arg.(value & opt int 16 & info [ "tokens" ] ~docv:"K" ~doc:"Tokens to shepherd sequentially.")
+
+let count_cmd =
+  let run net k =
+    let w = T.input_width net in
+    let runs = E.token_run net (List.init k (fun i -> i mod w)) in
+    List.iteri
+      (fun i (wire, v) ->
+        Printf.printf "token %2d: in wire %d, out wire %d, counter value %d\n" i (i mod w) wire v)
+      runs
+  in
+  Cmd.v
+    (Cmd.info "count"
+       ~doc:"Shepherd tokens sequentially and print the Fetch&Increment values they obtain.")
+    Term.(const run $ network_term $ count_tokens_arg)
+
+(* ---------------------------------------------------------------- *)
+(* save / load *)
+
+let save_cmd =
+  let run net = print_string (Cn_network.Codec.to_string net) in
+  Cmd.v
+    (Cmd.info "save" ~doc:"Serialize a network to the textual wire format on stdout.")
+    Term.(const run $ network_term)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"File containing a serialized network.")
+
+let load_cmd =
+  let run file trials =
+    let text = In_channel.with_open_text file In_channel.input_all in
+    match Cn_network.Codec.of_string text with
+    | Error e ->
+        prerr_endline e;
+        exit 1
+    | Ok net ->
+        Printf.printf "loaded: %s\n" (Format.asprintf "%a" T.pp net);
+        let rng = Random.State.make [| 42 |] in
+        let w = T.input_width net in
+        let step_ok = ref 0 in
+        for _ = 1 to trials do
+          let x = Array.init w (fun _ -> Random.State.int rng 100) in
+          if S.is_step (E.quiescent net x) then incr step_ok
+        done;
+        Printf.printf "step property held on %d/%d random loads%s\n" !step_ok trials
+          (if !step_ok = trials then " (counting network)" else "")
+  in
+  Cmd.v
+    (Cmd.info "load" ~doc:"Load a serialized network, validate it, and probe its behaviour.")
+    Term.(const run $ file_arg $ trials_arg)
+
+(* ---------------------------------------------------------------- *)
+(* feasible *)
+
+let feasible_cmd =
+  let width_pos =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"WIDTH" ~doc:"Target output width.")
+  in
+  let balancers_arg =
+    Arg.(
+      value
+      & opt (list int) [ 2 ]
+      & info [ "balancers" ] ~docv:"Q1,Q2,..."
+          ~doc:"Available balancer output widths (default: 2).")
+  in
+  let run width balancer_outputs =
+    match Cn_analysis.Feasibility.blocking_prime ~width ~balancer_outputs with
+    | exception Invalid_argument m ->
+        prerr_endline m;
+        exit 1
+    | None ->
+        Printf.printf
+          "width %d passes the Aharonson-Attiya criterion for balancer outputs {%s}\n" width
+          (String.concat ", " (List.map string_of_int balancer_outputs))
+    | Some p ->
+        Printf.printf
+          "impossible: prime %d divides width %d but none of the balancer outputs {%s}\n" p width
+          (String.concat ", " (List.map string_of_int balancer_outputs));
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "feasible"
+       ~doc:"Check the Aharonson-Attiya impossibility criterion for a counting-network width.")
+    Term.(const run $ width_pos $ balancers_arg)
+
+(* ---------------------------------------------------------------- *)
+(* latency *)
+
+let latency_cmd =
+  let rounds_arg =
+    Arg.(value & opt int 50 & info [ "rounds" ] ~docv:"R" ~doc:"Tokens per process.")
+  in
+  let think_arg =
+    Arg.(value & opt float 0.0 & info [ "think" ] ~docv:"T" ~doc:"Think time between tokens.")
+  in
+  let run net n rounds think =
+    let r = Cn_sim.Timed.closed_loop ~think ~jitter:0.3 net ~n ~rounds in
+    Printf.printf "tokens        %d\n" r.Cn_sim.Timed.tokens;
+    Printf.printf "makespan      %.2f\n" r.Cn_sim.Timed.makespan;
+    Printf.printf "avg latency   %.2f (depth %d)\n" r.Cn_sim.Timed.avg_latency (T.depth net);
+    Printf.printf "max latency   %.2f\n" r.Cn_sim.Timed.max_latency;
+    Printf.printf "avg queueing  %.2f\n" r.Cn_sim.Timed.avg_wait;
+    Printf.printf "throughput    %.2f tokens/unit (first-layer cap %d)\n"
+      r.Cn_sim.Timed.throughput (T.input_width net / 2)
+  in
+  Cmd.v
+    (Cmd.info "latency"
+       ~doc:"Discrete-event latency simulation: closed loop of N processes over the network.")
+    Term.(const run $ network_term $ concurrency_arg $ rounds_arg $ think_arg)
+
+(* ---------------------------------------------------------------- *)
+
+let main_cmd =
+  let doc = "counting networks: build, inspect, verify, simulate, and run them" in
+  Cmd.group
+    (Cmd.info "countnet" ~version:"1.0.0" ~doc)
+    [
+      draw_cmd; depth_cmd; verify_cmd; simulate_cmd; throughput_cmd; sort_cmd; count_cmd;
+      iso_cmd; save_cmd; load_cmd; feasible_cmd; latency_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,55 @@
+(* Contention lab: an interactive-style tour of the paper's headline
+   result using the stall-model simulator — how output width t buys
+   lower amortized contention at identical depth (Theorem 6.7).
+
+   Run with: dune exec examples/contention_lab.exe *)
+
+module C = Cn_core.Counting
+module Cont = Cn_sim.Contention
+module Bounds = Cn_analysis.Bounds
+
+let () =
+  let w = 16 in
+  let k = Cn_core.Params.ilog2 w in
+  Printf.printf "All networks below have input width %d and depth %d.\n" w
+    (C.depth_formula ~w);
+  Printf.printf "The paper predicts the contention crossover near n = w lg w = %d.\n\n"
+    (Bounds.crossover_concurrency ~w);
+
+  let configs =
+    [ ("C(w, w)      [regular]", w); ("C(w, w lg w) [recommended]", w * k); ("C(w, w^2)    [extravagant]", w * w) ]
+  in
+  Printf.printf "%-28s" "stalls/token at n =";
+  List.iter (fun n -> Printf.printf " %8d" n) [ 8; 32; 128; 512 ];
+  print_newline ();
+  List.iter
+    (fun (name, t) ->
+      let net = C.network ~w ~t in
+      Printf.printf "%-28s" name;
+      List.iter
+        (fun n ->
+          let r = Cont.worst ~strategies:[ Cn_sim.Scheduler.Random 1 ] net ~n ~m:(25 * n) in
+          Printf.printf " %8.2f" r.Cont.per_token)
+        [ 8; 32; 128; 512 ];
+      Printf.printf "  (%d balancers)\n" (Cn_network.Topology.size net))
+    configs;
+
+  print_newline ();
+  Printf.printf "Baselines of the same width:\n";
+  List.iter
+    (fun (name, net) ->
+      Printf.printf "%-28s" name;
+      List.iter
+        (fun n ->
+          let r = Cont.worst ~strategies:[ Cn_sim.Scheduler.Random 1 ] net ~n ~m:(25 * n) in
+          Printf.printf " %8.2f" r.Cont.per_token)
+        [ 8; 32; 128; 512 ];
+      print_newline ())
+    [
+      ("bitonic", Cn_baselines.Bitonic.network w);
+      ("periodic", Cn_baselines.Periodic.network w);
+      ("diffracting tree", Cn_baselines.Diffracting.network w);
+    ];
+  print_newline ();
+  Printf.printf "Reading: at n >> %d the wide network beats the bitonic by about lg w = %d x.\n"
+    (Bounds.crossover_concurrency ~w) k

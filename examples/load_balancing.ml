@@ -1,0 +1,53 @@
+(* Load balancing — the distributed problem the paper's introduction
+   motivates counting with.
+
+   n producers assign jobs to t worker queues.  Routing each job through
+   a counting network C(w, t) guarantees the queues stay balanced (step
+   property: lengths differ by at most one) without any producer
+   coordinating with any other beyond the balancer words.  We compare
+   against random assignment, whose imbalance grows with load.
+
+   Run with: dune exec examples/load_balancing.exe *)
+
+module S = Cn_sequence.Sequence
+
+let spread_of_random_assignment ~queues ~jobs ~seed =
+  let rng = Random.State.make [| seed |] in
+  let lens = Array.make queues 0 in
+  for _ = 1 to jobs do
+    let q = Random.State.int rng queues in
+    lens.(q) <- lens.(q) + 1
+  done;
+  (lens, S.spread lens)
+
+let () =
+  let w = 8 and t = 16 in
+  let producers = 6 and jobs_per_producer = 500 in
+  let jobs = producers * jobs_per_producer in
+  let net = Cn_core.Counting.network ~w ~t in
+  let rt = Cn_runtime.Network_runtime.compile net in
+
+  (* Each producer domain routes its jobs through the network; the exit
+     wire is the queue the job goes to. *)
+  let queue_lengths = Array.init t (fun _ -> Atomic.make 0) in
+  let producer pid () =
+    for _ = 1 to jobs_per_producer do
+      let value = Cn_runtime.Network_runtime.traverse rt ~wire:(pid mod w) in
+      let queue = value mod t in
+      Atomic.incr queue_lengths.(queue)
+    done
+  in
+  let handles = Array.init producers (fun pid -> Domain.spawn (producer pid)) in
+  Array.iter Domain.join handles;
+  let lens = Array.map Atomic.get queue_lengths in
+
+  Printf.printf "%d producers x %d jobs -> %d queues via C(%d,%d)\n" producers
+    jobs_per_producer t w t;
+  Printf.printf "  queue lengths %s\n" (S.to_string lens);
+  Printf.printf "  max - min = %d (step: %b)\n" (S.spread lens) (S.is_step lens);
+
+  let rand_lens, rand_spread = spread_of_random_assignment ~queues:t ~jobs ~seed:7 in
+  Printf.printf "random assignment of the same %d jobs:\n" jobs;
+  Printf.printf "  queue lengths %s\n" (S.to_string rand_lens);
+  Printf.printf "  max - min = %d\n" rand_spread;
+  Printf.printf "counting network imbalance stays <= 1 at any load; random grows like sqrt.\n"

@@ -1,0 +1,33 @@
+let lg v =
+  if v <= 0 then invalid_arg "Bounds.lg: non-positive";
+  log (float_of_int v) /. log 2.
+
+let contention_c ~w ~t ~n =
+  let fw = float_of_int w and ft = float_of_int t and fn = float_of_int n in
+  let l = lg w in
+  (4. *. fn *. l /. fw)
+  +. (fn *. l *. l /. ft)
+  +. (fw *. l *. l *. l /. ft)
+  +. (4. *. l *. l)
+  +. l
+
+let contention_c_asymptotic ~w ~t ~n =
+  let fw = float_of_int w and ft = float_of_int t and fn = float_of_int n in
+  let l = lg w in
+  (fn *. l /. fw) +. (fn *. l *. l /. ft) +. (fw *. l *. l *. l /. ft) +. (l *. l)
+
+let contention_bitonic ~w ~n =
+  let l = lg w in
+  float_of_int n *. l *. l /. float_of_int w
+
+let contention_periodic ~w ~n =
+  let l = lg w in
+  float_of_int n *. l *. l *. l /. float_of_int w
+
+let contention_butterfly ~w ~n =
+  let l = lg w in
+  (4. *. float_of_int n *. l /. float_of_int w) +. (l *. l) +. l
+
+let contention_diffracting ~n = float_of_int n
+
+let crossover_concurrency ~w = w * Cn_core.Params.ilog2 w

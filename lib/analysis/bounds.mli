@@ -1,0 +1,33 @@
+(** Closed-form bounds from the paper's theorems, used by the benchmark
+    harness to plot measured values against predictions. *)
+
+val lg : int -> float
+(** [lg v] is [log2 v] as a float.  @raise Invalid_argument if
+    [v <= 0]. *)
+
+val contention_c : w:int -> t:int -> n:int -> float
+(** Theorem 6.7 upper bound on the amortized contention of [C(w, t)]:
+    [4n·lgw/w + n·lg²w/t + w·lg³w/t + 4·lg²w + lgw]. *)
+
+val contention_c_asymptotic : w:int -> t:int -> n:int -> float
+(** The [O(·)] expression of the abstract, without constant factors:
+    [n·lgw/w + n·lg²w/t + w·lg³w/t + lg²w]. *)
+
+val contention_bitonic : w:int -> n:int -> float
+(** Dwork–Herlihy–Waarts bound shape for the bitonic network:
+    [n·lg²w/w]. *)
+
+val contention_periodic : w:int -> n:int -> float
+(** Bound shape for the periodic network: [n·lg³w/w]. *)
+
+val contention_butterfly : w:int -> n:int -> float
+(** Lemma 6.5 upper bound for the forward butterfly:
+    [4n·lgw/w + lg²w + lgw]. *)
+
+val contention_diffracting : n:int -> float
+(** The diffracting tree's adversarial amortized contention: [Θ(n)]
+    (Section 1.4.1); reported as [n]. *)
+
+val crossover_concurrency : w:int -> int
+(** [w·lgw] — the concurrency beyond which [C(w, w·lgw)]'s advantage
+    over the bitonic network kicks in (Section 1.3.1). *)

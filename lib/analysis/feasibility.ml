@@ -1,0 +1,31 @@
+let prime_factors v =
+  if v < 1 then invalid_arg "Feasibility.prime_factors: non-positive";
+  let rec go acc p v =
+    if v = 1 then List.rev acc
+    else if p * p > v then List.rev (v :: acc)
+    else if v mod p = 0 then begin
+      let rec strip v = if v mod p = 0 then strip (v / p) else v in
+      go (p :: acc) (p + 1) (strip v)
+    end
+    else go acc (p + 1) v
+  in
+  go [] 2 v
+
+let validate ~width ~balancer_outputs =
+  if width < 1 then invalid_arg "Feasibility: non-positive width";
+  if balancer_outputs = [] then invalid_arg "Feasibility: empty balancer set";
+  List.iter (fun b -> if b < 1 then invalid_arg "Feasibility: non-positive balancer width") balancer_outputs
+
+let blocking_prime ~width ~balancer_outputs =
+  validate ~width ~balancer_outputs;
+  List.find_opt
+    (fun p -> not (List.exists (fun b -> b mod p = 0) balancer_outputs))
+    (prime_factors width)
+
+let is_constructible ~width ~balancer_outputs =
+  blocking_prime ~width ~balancer_outputs = None
+
+let constructible_widths ~balancer_outputs ~limit =
+  List.filter
+    (fun width -> is_constructible ~width ~balancer_outputs)
+    (List.init limit (fun i -> i + 1))

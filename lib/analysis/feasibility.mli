@@ -1,0 +1,28 @@
+(** Feasibility of counting-network widths (paper, Section 1.4.2).
+
+    Aharonson and Attiya proved that no counting network (indeed, no
+    smoothing network) of output width [w] can be built from balancers
+    whose output widths are [b1, ..., bk] if some prime factor of [w]
+    divides none of the [bi].  This module implements that test, plus
+    the prime machinery it needs. *)
+
+val prime_factors : int -> int list
+(** [prime_factors v] is the list of distinct prime factors of [v] in
+    increasing order.  @raise Invalid_argument if [v < 1]. *)
+
+val is_constructible : width:int -> balancer_outputs:int list -> bool
+(** [is_constructible ~width ~balancer_outputs] applies the
+    Aharonson–Attiya criterion: [true] iff every prime factor of
+    [width] divides at least one of the balancer output widths.  [true]
+    is necessary, not sufficient.
+    @raise Invalid_argument if [width < 1], the list is empty, or some
+    output width is [< 1]. *)
+
+val blocking_prime : width:int -> balancer_outputs:int list -> int option
+(** [blocking_prime ~width ~balancer_outputs] is the smallest prime
+    factor of [width] dividing none of the balancer output widths, if
+    any — the witness of impossibility. *)
+
+val constructible_widths : balancer_outputs:int list -> limit:int -> int list
+(** [constructible_widths ~balancer_outputs ~limit] lists the widths in
+    [\[1, limit\]] passing the criterion. *)

@@ -1,0 +1,13 @@
+open Cn_core
+
+(* The bitonic counting network is exactly Batcher's bitonic sorter under
+   the balancer-to-comparator substitution (Aspnes–Herlihy–Shavit built it
+   from Batcher's network in the first place), so extracting comparators
+   from BITONIC(w) yields Batcher's network directly. *)
+let network w = Sorting.of_topology (Bitonic.network w)
+
+let depth_formula ~w = Bitonic.depth_formula ~w
+
+let comparator_count_formula ~w =
+  let k = Params.ilog2 w in
+  w * k * (k + 1) / 4

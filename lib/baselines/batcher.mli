@@ -1,0 +1,18 @@
+(** Batcher's bitonic sorting network (Batcher 1968) as a comparator
+    network — the classical [O(lg²w)]-depth sorter the paper's sorting
+    byproduct (Section 7) is compared against in experiment E7. *)
+
+open Cn_core
+
+val network : int -> Sorting.t
+(** [network w] is Batcher's bitonic sorter on [w] channels, expressed in
+    the same comparator representation as the networks extracted from
+    balancing networks ([Sorting.apply] etc. — descending order, to
+    match).  @raise Invalid_argument unless [w >= 2] is a power of
+    two. *)
+
+val depth_formula : w:int -> int
+(** [depth_formula ~w = lgw·(lgw+1)/2]. *)
+
+val comparator_count_formula : w:int -> int
+(** [(w/4)·lgw·(lgw+1)]. *)

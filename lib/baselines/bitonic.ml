@@ -1,0 +1,60 @@
+open Cn_network
+module Params = Cn_core.Params
+
+let even a = Array.init ((Array.length a + 1) / 2) (fun i -> a.(2 * i))
+let odd a = Array.init (Array.length a / 2) (fun i -> a.((2 * i) + 1))
+
+let rec merger_wires b (x, y) =
+  let half = Array.length x in
+  if Array.length y <> half then invalid_arg "Bitonic.merger_wires: halves differ in length";
+  if not (Params.is_power_of_two half) then
+    invalid_arg "Bitonic.merger_wires: width must be a power of two";
+  if half = 1 then begin
+    let top, bottom = Builder.balancer2 b x.(0) y.(0) in
+    [| top; bottom |]
+  end
+  else begin
+    let g = merger_wires b (even x, odd y) in
+    let h = merger_wires b (odd x, even y) in
+    let t = 2 * half in
+    let z = Array.make t x.(0) in
+    for i = 0 to half - 1 do
+      let top, bottom = Builder.balancer2 b g.(i) h.(i) in
+      z.(2 * i) <- top;
+      z.((2 * i) + 1) <- bottom
+    done;
+    z
+  end
+
+let merger t =
+  if not (Params.is_power_of_two t) || t < 2 then
+    invalid_arg "Bitonic.merger: width must be a power of two >= 2";
+  Builder.build ~input_width:t (fun b ins ->
+      let half = t / 2 in
+      merger_wires b (Array.sub ins 0 half, Array.sub ins half half))
+
+let rec wires b ins =
+  let w = Array.length ins in
+  if not (Params.is_power_of_two w) || w < 2 then
+    invalid_arg "Bitonic.wires: width must be a power of two >= 2";
+  if w = 2 then begin
+    let top, bottom = Builder.balancer2 b ins.(0) ins.(1) in
+    [| top; bottom |]
+  end
+  else begin
+    let half = w / 2 in
+    let x = wires b (Array.sub ins 0 half) in
+    let y = wires b (Array.sub ins half half) in
+    merger_wires b (x, y)
+  end
+
+let network w =
+  if not (Params.is_power_of_two w) || w < 2 then
+    invalid_arg "Bitonic.network: width must be a power of two >= 2";
+  Builder.build ~input_width:w (fun b ins -> wires b ins)
+
+let depth_formula ~w =
+  let k = Params.ilog2 w in
+  k * (k + 1) / 2
+
+let size_formula ~w = w / 2 * depth_formula ~w

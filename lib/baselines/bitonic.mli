@@ -1,0 +1,38 @@
+(** The bitonic counting network of Aspnes, Herlihy and Shavit
+    (“Counting networks”, JACM 41(5), Section 3) — the prime regular
+    baseline the paper compares against.
+
+    [BITONIC(w)] is regular of width [w = 2^k], built from
+    [(2,2)]-balancers, with depth [lgw·(lgw+1)/2] and amortized
+    contention [Θ(n·lg²w / w)] (Dwork–Herlihy–Waarts). *)
+
+open Cn_network
+
+val merger_wires :
+  Builder.t -> Builder.wire array * Builder.wire array -> Builder.wire array
+(** [merger_wires b (x, y)] appends the bitonic merger [MERGER(t)]
+    ([t = length x + length y]) to builder [b]: it merges two step input
+    sequences of width [t/2] each into one step output sequence.
+    Recursion: [M0] merges [x_even ++ y_odd], [M1] merges
+    [x_odd ++ y_even], and a final layer of balancers joins output [i] of
+    [M0] with output [i] of [M1] into outputs [2i, 2i+1].
+    @raise Invalid_argument unless both halves have equal power-of-two
+    length. *)
+
+val merger : int -> Topology.t
+(** [merger t] is the standalone [MERGER(t)]; first [t/2] wires carry
+    [x], the rest [y].  @raise Invalid_argument unless [t >= 2] is a
+    power of two. *)
+
+val wires : Builder.t -> Builder.wire array -> Builder.wire array
+(** [wires b ins] appends [BITONIC(w)] to builder [b]. *)
+
+val network : int -> Topology.t
+(** [network w] is [BITONIC(w)].
+    @raise Invalid_argument unless [w >= 2] is a power of two. *)
+
+val depth_formula : w:int -> int
+(** [depth_formula ~w = lgw·(lgw+1)/2] — same as [C(w, t)]'s depth. *)
+
+val size_formula : w:int -> int
+(** Number of balancers: [w/2] per layer times the depth. *)

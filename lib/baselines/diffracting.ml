@@ -1,0 +1,24 @@
+open Cn_network
+module Params = Cn_core.Params
+
+(* Token [i] descends by the bits of its arrival index, least significant
+   first; leaf for path [p] therefore serves output wires congruent to
+   [p] modulo the subtree width, so child 0 serves the even-indexed
+   outputs and child 1 the odd-indexed ones. *)
+let rec tree b ~w in_wire =
+  if w = 1 then [| in_wire |]
+  else begin
+    let outs = Builder.add_balancer b ~fan_out:2 [| in_wire |] in
+    let evens = tree b ~w:(w / 2) outs.(0) in
+    let odds = tree b ~w:(w / 2) outs.(1) in
+    Array.init w (fun i -> if i mod 2 = 0 then evens.(i / 2) else odds.(i / 2))
+  end
+
+let network w =
+  if not (Params.is_power_of_two w) || w < 2 then
+    invalid_arg "Diffracting.network: width must be a power of two >= 2";
+  Builder.build ~input_width:1 (fun b ins -> tree b ~w ins.(0))
+
+let depth_formula ~w = Params.ilog2 w
+
+let size_formula ~w = w - 1

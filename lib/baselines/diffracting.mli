@@ -1,0 +1,27 @@
+(** The diffracting tree of Shavit and Zemach (ACM TOCS 14(4)) — the
+    other irregular baseline the paper discusses (Section 1.4.1).
+
+    A binary tree of [(1,2)]-balancers: one input wire, [w] output wires,
+    depth [lg w].  The published construction adds randomized “prism”
+    arrays in front of each balancer so colliding token pairs can
+    eliminate each other; the prism is a probabilistic contention
+    optimization that does not change the quiescent counting behaviour,
+    and the paper's point about this network — amortized contention
+    [Θ(n)] under an adversary that piles all tokens on the root — holds
+    with or without it.  We therefore implement the deterministic tree
+    core here (the adversarial [Θ(n)] behaviour is exhibited in
+    [Cn_sim]); see DESIGN.md, substitutions. *)
+
+open Cn_network
+
+val network : int -> Topology.t
+(** [network w] is the diffracting-tree topology with 1 input and [w]
+    outputs.  Leaf [i] of the tree is output wire [i], ordered so that
+    the quiescent outputs satisfy the step property.
+    @raise Invalid_argument unless [w >= 2] is a power of two. *)
+
+val depth_formula : w:int -> int
+(** [depth_formula ~w = lg w]. *)
+
+val size_formula : w:int -> int
+(** Number of balancers: [w - 1]. *)

@@ -1,0 +1,55 @@
+open Cn_network
+module Params = Cn_core.Params
+
+(* A-cochain: indices whose two low-order bits agree (i mod 4 ∈ {0,3});
+   B-cochain: indices whose two low-order bits differ (i mod 4 ∈ {1,2}).
+   The AHS BLOCK recurses on the cochains — not on the even/odd
+   subsequences, which would give a plain butterfly and does NOT yield a
+   counting network when cascaded. *)
+let cochains ins =
+  let a = ref [] and b = ref [] in
+  for i = Array.length ins - 1 downto 0 do
+    if i mod 4 = 0 || i mod 4 = 3 then a := ins.(i) :: !a else b := ins.(i) :: !b
+  done;
+  (Array.of_list !a, Array.of_list !b)
+
+let rec block_wires b ins =
+  let w = Array.length ins in
+  if not (Params.is_power_of_two w) || w < 2 then
+    invalid_arg "Periodic.block_wires: width must be a power of two >= 2";
+  if w = 2 then begin
+    let top, bottom = Builder.balancer2 b ins.(0) ins.(1) in
+    [| top; bottom |]
+  end
+  else begin
+    let ia, ib = cochains ins in
+    let g = block_wires b ia in
+    let h = block_wires b ib in
+    let half = w / 2 in
+    let z = Array.make w ins.(0) in
+    for i = 0 to half - 1 do
+      let top, bottom = Builder.balancer2 b g.(i) h.(i) in
+      z.(2 * i) <- top;
+      z.((2 * i) + 1) <- bottom
+    done;
+    z
+  end
+
+let block w = Builder.build ~input_width:w (fun b ins -> block_wires b ins)
+
+let wires b ins =
+  let w = Array.length ins in
+  let k = Params.ilog2 w in
+  let rec go i wires = if i >= k then wires else go (i + 1) (block_wires b wires) in
+  go 0 ins
+
+let network w =
+  if not (Params.is_power_of_two w) || w < 2 then
+    invalid_arg "Periodic.network: width must be a power of two >= 2";
+  Builder.build ~input_width:w (fun b ins -> wires b ins)
+
+let depth_formula ~w =
+  let k = Params.ilog2 w in
+  k * k
+
+let size_formula ~w = w / 2 * depth_formula ~w

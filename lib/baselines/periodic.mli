@@ -1,0 +1,32 @@
+(** The periodic counting network of Aspnes, Herlihy and Shavit
+    (“Counting networks”, JACM 41(5), Section 4).
+
+    [PERIODIC(w)] cascades [lg w] identical [BLOCK(w)] networks; depth
+    [lg²w], amortized contention [O(n·lg³w / w)]
+    (Dwork–Herlihy–Waarts). *)
+
+open Cn_network
+
+val block_wires : Builder.t -> Builder.wire array -> Builder.wire array
+(** [block_wires b ins] appends one [BLOCK(w)] to builder [b]:
+    recursively a block on the {e A-cochain} (indices whose two
+    low-order bits agree, [i mod 4 ∈ {0,3}]) and one on the
+    {e B-cochain} ([i mod 4 ∈ {1,2}]), whose outputs [i] are joined
+    pairwise into outputs [2i, 2i+1].
+    @raise Invalid_argument unless the width is a power of two [>= 2]. *)
+
+val block : int -> Topology.t
+(** [block w] is the standalone [BLOCK(w)]. *)
+
+val wires : Builder.t -> Builder.wire array -> Builder.wire array
+(** [wires b ins] appends [PERIODIC(w)] — [lg w] cascaded blocks. *)
+
+val network : int -> Topology.t
+(** [network w] is [PERIODIC(w)].
+    @raise Invalid_argument unless [w >= 2] is a power of two. *)
+
+val depth_formula : w:int -> int
+(** [depth_formula ~w = lg²w]. *)
+
+val size_formula : w:int -> int
+(** Number of balancers: [(w/2)·lg²w]. *)

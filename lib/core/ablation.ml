@@ -1,0 +1,84 @@
+open Cn_network
+
+let valid ~w ~t =
+  Params.is_power_of_two w && Params.is_power_of_two t && w >= 2 && t >= w
+
+(* The bitonic merger, duplicated minimally here to avoid a dependency
+   cycle with cn_baselines: MERGER(t) merges two step halves (x, y) via
+   M0 on (x_even, y_odd), M1 on (x_odd, y_even) and a final pairing
+   layer. *)
+let even a = Array.init ((Array.length a + 1) / 2) (fun i -> a.(2 * i))
+let odd a = Array.init (Array.length a / 2) (fun i -> a.((2 * i) + 1))
+
+let rec bitonic_merger b (x, y) =
+  let half = Array.length x in
+  if half = 1 then begin
+    let top, bottom = Builder.balancer2 b x.(0) y.(0) in
+    [| top; bottom |]
+  end
+  else begin
+    let g = bitonic_merger b (even x, odd y) in
+    let h = bitonic_merger b (odd x, even y) in
+    let t = 2 * half in
+    let z = Array.make t x.(0) in
+    for i = 0 to half - 1 do
+      let top, bottom = Builder.balancer2 b g.(i) h.(i) in
+      z.(2 * i) <- top;
+      z.((2 * i) + 1) <- bottom
+    done;
+    z
+  end
+
+let rec wires b ~t ins =
+  let w = Array.length ins in
+  if w = 2 then Builder.add_balancer b ~fan_out:t ins
+  else begin
+    let l = Ladder.wires b ins in
+    let half = w / 2 in
+    let g = wires b ~t:(t / 2) (Array.sub l 0 half) in
+    let h = wires b ~t:(t / 2) (Array.sub l half half) in
+    bitonic_merger b (g, h)
+  end
+
+let network ~w ~t =
+  if not (valid ~w ~t) then
+    invalid_arg (Printf.sprintf "Ablation.network: invalid parameters w=%d t=%d" w t);
+  Builder.build ~input_width:w (fun b ins -> wires b ~t ins)
+
+(* The M(t,2) base layer, shared with the faithful construction. *)
+let base_layer b (x, y) =
+  let half = Array.length x in
+  let t = 2 * half in
+  let z = Array.make t x.(0) in
+  let top0, bottom0 = Builder.balancer2 b x.(0) y.(half - 1) in
+  z.(0) <- top0;
+  z.(t - 1) <- bottom0;
+  for i = 1 to half - 1 do
+    let top, bottom = Builder.balancer2 b y.(i - 1) x.(i) in
+    z.((2 * i) - 1) <- top;
+    z.(2 * i) <- bottom
+  done;
+  z
+
+let rec cross_parity_wires b ~delta (x, y) =
+  if delta = 2 then base_layer b (x, y)
+  else begin
+    (* Bitonic-style input wiring: evens of x with odds of y, and
+       vice-versa — this is the deliberate mistake. *)
+    let g = cross_parity_wires b ~delta:(delta / 2) (even x, odd y) in
+    let h = cross_parity_wires b ~delta:(delta / 2) (odd x, even y) in
+    base_layer b (g, h)
+  end
+
+let cross_parity_merger ~t ~delta =
+  if not (Params.valid_merging ~t ~delta) then
+    invalid_arg
+      (Printf.sprintf "Ablation.cross_parity_merger: invalid parameters t=%d delta=%d" t delta);
+  Builder.build ~input_width:t (fun b ins ->
+      let half = t / 2 in
+      cross_parity_wires b ~delta (Array.sub ins 0 half, Array.sub ins half half))
+
+let rec depth_formula ~w ~t =
+  if not (valid ~w ~t) then
+    invalid_arg (Printf.sprintf "Ablation.depth_formula: invalid parameters w=%d t=%d" w t);
+  if w = 2 then 1 else 1 + depth_formula ~w:(w / 2) ~t:(t / 2) + Params.ilog2 t

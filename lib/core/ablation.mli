@@ -1,0 +1,37 @@
+(** Ablation of the paper's key design choice (Section 3.3): what happens
+    to [C(w, t)] if the difference merging network [M(t, w/2)] (depth
+    [lg(w/2)]) is replaced by the classical bitonic merger of width [t]
+    (depth [lg t])?
+
+    The result is still a counting network, but its depth becomes
+    [Θ(lg w · lg t)] — it now *grows with the output width*, defeating
+    the paper's central point that latency should depend on [w] alone.
+    The benchmark harness (experiment E9) tabulates the depth gap. *)
+
+open Cn_network
+
+val valid : w:int -> t:int -> bool
+(** [valid ~w ~t]: both [w] and [t] must be powers of two with
+    [2 <= w <= t] (the bitonic merger needs power-of-two widths, so the
+    ablation is restricted to [p] a power of two). *)
+
+val network : w:int -> t:int -> Topology.t
+(** [network ~w ~t] is the ablated network: the [C(w, t)] recursion with
+    every [M(t', δ)] replaced by a bitonic merger of width [t'].
+    @raise Invalid_argument on invalid parameters. *)
+
+val depth_formula : w:int -> t:int -> int
+(** Closed form of the ablated depth:
+    [D(2, t) = 1], [D(w, t) = 1 + D(w/2, t/2) + lg t]. *)
+
+val cross_parity_merger : t:int -> delta:int -> Topology.t
+(** The *wrong* difference merger (cf. Section 3.3, third bullet): the
+    recursion wired like the bitonic merger — [M0] on
+    [(x_even, y_odd)], [M1] on [(x_odd, y_even)] — but still recursing
+    on [δ] with the [M(t, 2)] combining layer.  With cross-parity
+    wiring the sub-merger difference bound does not halve (it can reach
+    [δ/2 + 1]), so the construction is NOT a difference merging network
+    for its claimed parameters; the test suite exhibits counterexample
+    loads.  Kept as an executable explanation of why the paper pairs
+    even with even.
+    @raise Invalid_argument on parameters invalid for [M(t, δ)]. *)

@@ -1,0 +1,53 @@
+open Cn_network
+
+(* C'(w, t): the recursion of C(w, t) with the merging networks removed —
+   ladders all the way down to (2, 2p)-balancer leaves (Fig. 16 left). *)
+let rec c_prime_wires b ~p ins =
+  let w = Array.length ins in
+  if w = 2 then Builder.add_balancer b ~fan_out:(2 * p) ins
+  else begin
+    let l = Ladder.wires b ins in
+    let half = w / 2 in
+    let top = c_prime_wires b ~p (Array.sub l 0 half) in
+    let bottom = c_prime_wires b ~p (Array.sub l half half) in
+    Array.append top bottom
+  end
+
+let c_prime ~w ~t =
+  if not (Params.valid_counting ~w ~t) then
+    invalid_arg (Printf.sprintf "Blocks.c_prime: invalid parameters w=%d t=%d" w t);
+  Builder.build ~input_width:w (fun b ins -> c_prime_wires b ~p:(t / w) ins)
+
+let c_second w =
+  if not (Params.is_power_of_two w) || w < 2 then
+    invalid_arg "Blocks.c_second: width must be a power of two >= 2";
+  Builder.build ~input_width:w (fun b ins -> c_prime_wires b ~p:1 ins)
+
+(* N_c: the stack of mergers, mirroring the recursive split of C(w, t):
+   recursively merge the first and second halves, then M(t, w/2). *)
+let rec n_c_wires b ~w ins =
+  if w = 2 then ins
+  else begin
+    let t = Array.length ins in
+    let half = t / 2 in
+    let g = n_c_wires b ~w:(w / 2) (Array.sub ins 0 half) in
+    let h = n_c_wires b ~w:(w / 2) (Array.sub ins half half) in
+    Merging.wires b ~delta:(w / 2) (g, h)
+  end
+
+let n_c ~w ~t =
+  if not (Params.valid_counting ~w ~t) then
+    invalid_arg (Printf.sprintf "Blocks.n_c: invalid parameters w=%d t=%d" w t);
+  if w = 2 then Topology.identity t
+  else Builder.build ~input_width:t (fun b ins -> n_c_wires b ~w ins)
+
+let smoothing_parameter ~w ~t =
+  if not (Params.valid_counting ~w ~t) then
+    invalid_arg (Printf.sprintf "Blocks.smoothing_parameter: invalid parameters w=%d t=%d" w t);
+  (w * Params.ilog2 w / t) + 2
+
+let n_a_depth ~w = Params.ilog2 w - 1
+
+let n_c_depth ~w =
+  let k = Params.ilog2 w in
+  ((k * k) - k) / 2

@@ -1,0 +1,42 @@
+(** The block decomposition of [C(w, t)] (paper, Sections 1.3.2 and 6.4,
+    Figs. 3 and 16).
+
+    Unfolding the recursion, [C(w, t)] splits into three cascaded blocks:
+    [N_a] (regular, width [w], depth [lg w − 1], all the ladders), [N_b]
+    (the irregular transition layer of [(2, 2p)]-balancers at the bases
+    of the recursion, depth 1), and [N_c] (all the merging networks,
+    regular of width [t], depth [(lg²w − lgw)/2]).
+
+    [C'(w, t)] is [N_ab = N_a ; N_b] — the first [lg w] layers of
+    [C(w, t)] — and is [s]-smoothing for [s = ⌊w·lgw/t⌋ + 2]
+    (Lemma 6.6).  [C''(w)] replaces the [(2, 2p)]-balancers of the last
+    layer by [(2,2)]-balancers and is exactly the backward butterfly
+    [E(w)].  [N_c] alone is the stack of mergers; cascading
+    [C'(w,t) ; N_c(w,t)] reproduces [C(w, t)] behaviourally (a tested
+    property). *)
+
+open Cn_network
+
+val c_prime : w:int -> t:int -> Topology.t
+(** [c_prime ~w ~t] is [C'(w, t) = N_ab]: input width [w], output width
+    [t], depth [lg w].  @raise Invalid_argument on invalid [(w, t)]. *)
+
+val c_second : int -> Topology.t
+(** [c_second w] is [C''(w)]: [c_prime] with the last layer regularized
+    to [(2,2)]-balancers; structurally a backward butterfly [E(w)].
+    @raise Invalid_argument if [w] is not a power of two [>= 2]. *)
+
+val n_c : w:int -> t:int -> Topology.t
+(** [n_c ~w ~t] is the merger block [N_c]: regular of width [t], depth
+    [(lg²w − lgw)/2]; for [w = 2] it is the [t]-wire identity network.
+    @raise Invalid_argument on invalid [(w, t)]. *)
+
+val smoothing_parameter : w:int -> t:int -> int
+(** [smoothing_parameter ~w ~t = ⌊w·lgw/t⌋ + 2], the smoothness [s] of
+    [N_ab] from Lemma 6.6. *)
+
+val n_a_depth : w:int -> int
+(** Depth of block [N_a]: [lg w − 1]. *)
+
+val n_c_depth : w:int -> int
+(** Depth of block [N_c]: [(lg²w − lgw)/2]. *)

@@ -1,0 +1,49 @@
+open Cn_network
+
+let check_width name w =
+  if not (Params.is_power_of_two w) || w < 2 then
+    invalid_arg (name ^ ": width must be a power of two >= 2")
+
+let rec forward_wires b ins =
+  let w = Array.length ins in
+  if w = 1 then ins
+  else begin
+    if not (Params.is_power_of_two w) then
+      invalid_arg "Butterfly.forward_wires: width must be a power of two";
+    let half = w / 2 in
+    let top = forward_wires b (Array.sub ins 0 half) in
+    let bottom = forward_wires b (Array.sub ins half half) in
+    Ladder.wires b (Array.append top bottom)
+  end
+
+let rec backward_wires b ins =
+  let w = Array.length ins in
+  if w = 1 then ins
+  else begin
+    if not (Params.is_power_of_two w) then
+      invalid_arg "Butterfly.backward_wires: width must be a power of two";
+    let half = w / 2 in
+    let l = Ladder.wires b ins in
+    let top = backward_wires b (Array.sub l 0 half) in
+    let bottom = backward_wires b (Array.sub l half half) in
+    Array.append top bottom
+  end
+
+let forward w =
+  check_width "Butterfly.forward" w;
+  Builder.build ~input_width:w (fun b ins -> forward_wires b ins)
+
+let backward w =
+  check_width "Butterfly.backward" w;
+  Builder.build ~input_width:w (fun b ins -> backward_wires b ins)
+
+let depth_formula ~w = Params.ilog2 w
+
+let smoothness_bound ~w = Params.ilog2 w
+
+let isomorphism w =
+  let e = backward w and d = forward w in
+  match Iso.find e d with
+  | None -> None
+  | Some mapping -> (
+      match Iso.check e d ~mapping with Ok pair -> Some pair | Error _ -> None)

@@ -1,0 +1,45 @@
+(** Forward and backward butterfly networks (paper, Section 5).
+
+    The forward butterfly [D(w)] recursively runs two copies of [D(w/2)]
+    on the two halves of its input and finishes with the ladder [L(w)];
+    the backward butterfly [E(w)] starts with [L(w)] and recurses on the
+    two halves of its output.  Both have depth [lg w]; [D(w)] is
+    [lg w]-smoothing (Lemma 5.2) and [E(w)] is isomorphic to [D(w)]
+    (Lemma 5.3), hence also [lg w]-smoothing.  The first [lg w] layers of
+    [C(w, t)] are a backward butterfly whose last layer uses
+    [(2, 2p)]-balancers (Section 6.4). *)
+
+open Cn_network
+
+val forward_wires : Builder.t -> Builder.wire array -> Builder.wire array
+(** [forward_wires b ins] appends [D(w)] ([w = Array.length ins], a power
+    of two) to builder [b].  @raise Invalid_argument if [w] is not a
+    power of two. *)
+
+val backward_wires : Builder.t -> Builder.wire array -> Builder.wire array
+(** [backward_wires b ins] appends [E(w)] to builder [b].
+    @raise Invalid_argument if [w] is not a power of two. *)
+
+val forward : int -> Topology.t
+(** [forward w] is the standalone topology of [D(w)], [w >= 2] a power of
+    two.  @raise Invalid_argument otherwise. *)
+
+val backward : int -> Topology.t
+(** [backward w] is the standalone topology of [E(w)], [w >= 2] a power
+    of two.  @raise Invalid_argument otherwise. *)
+
+val depth_formula : w:int -> int
+(** [depth_formula ~w = lg w] (Lemma 5.1). *)
+
+val smoothness_bound : w:int -> int
+(** [smoothness_bound ~w = lg w]: in any quiescent state the outputs of
+    [D(w)] (and [E(w)]) are [lg w]-smooth (Lemma 5.2). *)
+
+val isomorphism : int -> (Permutation.t * Permutation.t) option
+(** [isomorphism w] is a wire correspondence [(pi_in, pi_out)] realizing
+    [E(w) ≅ D(w)] (Lemma 5.3), obtained by [Iso.find]'s constrained
+    search; by Lemma 2.7 it satisfies
+    [quiescent (forward w) (permute pi_in x)
+     = permute pi_out (quiescent (backward w) x)].
+    [None] only if the search fails (it never does for the widths the
+    tests exercise). *)

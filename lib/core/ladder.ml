@@ -1,0 +1,15 @@
+open Cn_network
+
+let wires b ins =
+  let w = Array.length ins in
+  if w < 2 || w mod 2 <> 0 then invalid_arg "Ladder.wires: width must be even and >= 2";
+  let half = w / 2 in
+  let outs = Array.copy ins in
+  for i = 0 to half - 1 do
+    let top, bottom = Builder.balancer2 b ins.(i) ins.(i + half) in
+    outs.(i) <- top;
+    outs.(i + half) <- bottom
+  done;
+  outs
+
+let network w = Builder.build ~input_width:w (fun b ins -> wires b ins)

@@ -1,0 +1,17 @@
+(** The ladder network [L(w)] (paper, Section 4.1 and Fig. 10).
+
+    One layer of [w/2] [(2,2)]-balancers in which balancer [b_i] joins
+    wires [i] and [i + w/2]; its outputs return to the same positions.
+    [L(w)] bounds the difference of the token counts entering the two
+    recursive halves of [C(w, t)] by [w/2]. *)
+
+open Cn_network
+
+val wires : Builder.t -> Builder.wire array -> Builder.wire array
+(** [wires b ins] appends [L(w)] to builder [b] on the [w = Array.length
+    ins] wires [ins] and returns the output wires in position order.
+    @raise Invalid_argument if [w] is odd or [w < 2]. *)
+
+val network : int -> Topology.t
+(** [network w] is the standalone topology of [L(w)].
+    @raise Invalid_argument if [w] is odd or [w < 2]. *)

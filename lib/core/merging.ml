@@ -1,0 +1,46 @@
+open Cn_network
+
+let valid = Params.valid_merging
+
+(* The single layer M(t, 2) (paper, Fig. 5 top): balancer b_0 takes
+   (x_0, y_{t/2-1}) to (z_0, z_{t-1}); balancer b_i, 1 <= i < t/2, takes
+   (y_{i-1}, x_i) to (z_{2i-1}, z_{2i}). *)
+let base_layer b (x, y) =
+  let half = Array.length x in
+  let t = 2 * half in
+  let z = Array.make t x.(0) in
+  let top0, bottom0 = Builder.balancer2 b x.(0) y.(half - 1) in
+  z.(0) <- top0;
+  z.(t - 1) <- bottom0;
+  for i = 1 to half - 1 do
+    let top, bottom = Builder.balancer2 b y.(i - 1) x.(i) in
+    z.((2 * i) - 1) <- top;
+    z.(2 * i) <- bottom
+  done;
+  z
+
+let even a = Array.init ((Array.length a + 1) / 2) (fun i -> a.(2 * i))
+let odd a = Array.init (Array.length a / 2) (fun i -> a.((2 * i) + 1))
+
+let rec wires b ~delta (x, y) =
+  let half = Array.length x in
+  if Array.length y <> half then invalid_arg "Merging.wires: halves have different lengths";
+  let t = 2 * half in
+  if not (valid ~t ~delta) then
+    invalid_arg (Printf.sprintf "Merging.wires: invalid parameters t=%d delta=%d" t delta);
+  if delta = 2 then base_layer b (x, y)
+  else begin
+    let g = wires b ~delta:(delta / 2) (even x, even y) in
+    let h = wires b ~delta:(delta / 2) (odd x, odd y) in
+    base_layer b (g, h)
+  end
+
+let network ~t ~delta =
+  if not (valid ~t ~delta) then
+    invalid_arg (Printf.sprintf "Merging.network: invalid parameters t=%d delta=%d" t delta);
+  Builder.build ~input_width:t (fun b ins ->
+      let half = t / 2 in
+      let x = Array.sub ins 0 half and y = Array.sub ins half half in
+      wires b ~delta (x, y))
+
+let depth_formula ~delta = Params.ilog2 delta

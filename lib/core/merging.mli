@@ -1,0 +1,38 @@
+(** The difference merging network [M(t, δ)] (paper, Section 3).
+
+    [M(t, δ)] is a regular network of width [t] and depth [lg δ] that
+    merges two step input sequences [x], [y] (the first and second half
+    of its input) into one step output sequence, provided
+    [0 <= Σx − Σy <= δ].  Valid parameters are [t = p·2^i], [δ = 2^j]
+    with [p >= 1] and [1 <= j < i] — equivalently [2δ] divides [t].
+
+    The construction recurses on [δ]: two copies of [M(t/2, δ/2)] on the
+    even and odd subsequences, combined by the single layer [M(t, 2)]
+    (Lemma 3.3).  Its depth [lg δ] — rather than the bitonic merger's
+    [lg t] — is what makes the depth of [C(w, t)] independent of [t]
+    (Section 3.3). *)
+
+open Cn_network
+
+val valid : t:int -> delta:int -> bool
+(** [valid ~t ~delta] holds iff [(t, delta)] is a valid parameter pair:
+    [delta] is a power of two, [delta >= 2], and [2·delta] divides [t]. *)
+
+val wires :
+  Builder.t ->
+  delta:int ->
+  Builder.wire array * Builder.wire array ->
+  Builder.wire array
+(** [wires b ~delta (x, y)] appends [M(t, delta)] (where
+    [t = length x + length y]) to builder [b]; [x] is the first input
+    sequence and [y] the second.  Returns the [t] output wires in order.
+    @raise Invalid_argument if lengths differ or the parameters are not
+    valid. *)
+
+val network : t:int -> delta:int -> Topology.t
+(** [network ~t ~delta] is the standalone topology of [M(t, delta)]; its
+    first [t/2] input wires carry [x] and the rest carry [y].
+    @raise Invalid_argument on invalid parameters. *)
+
+val depth_formula : delta:int -> int
+(** [depth_formula ~delta = lg delta] (Lemma 3.1). *)

@@ -1,0 +1,11 @@
+let is_power_of_two v = v > 0 && v land (v - 1) = 0
+
+let ilog2 v =
+  if not (is_power_of_two v) then invalid_arg "Params.ilog2: not a positive power of two";
+  let rec go acc v = if v <= 1 then acc else go (acc + 1) (v / 2) in
+  go 0 v
+
+let valid_counting ~w ~t = is_power_of_two w && w >= 2 && t >= w && t mod w = 0
+
+let valid_merging ~t ~delta =
+  is_power_of_two delta && delta >= 2 && t > 0 && t mod (2 * delta) = 0

@@ -1,0 +1,16 @@
+(** Parameter arithmetic shared by the constructions. *)
+
+val is_power_of_two : int -> bool
+(** [is_power_of_two v] holds iff [v = 2^k] for some [k >= 0]. *)
+
+val ilog2 : int -> int
+(** [ilog2 v] is [lg v] for a positive power of two.
+    @raise Invalid_argument otherwise. *)
+
+val valid_counting : w:int -> t:int -> bool
+(** [valid_counting ~w ~t] holds iff [w = 2^k] and [t = p·w] with
+    [k, p >= 1] — the valid parameters of [C(w, t)] (Section 4). *)
+
+val valid_merging : t:int -> delta:int -> bool
+(** [valid_merging ~t ~delta] holds iff [delta = 2^j >= 2] and [2·delta]
+    divides [t] — the valid parameters of [M(t, δ)] (Section 3). *)

@@ -1,0 +1,91 @@
+open Cn_network
+
+type comparator = { top : int; bottom : int }
+
+type t = {
+  width : int;
+  comparators : comparator array;
+  out_channels : int array; (* channel carrying output wire i *)
+  depth : int;
+}
+
+let of_topology net =
+  let n = Topology.size net in
+  let chan = Array.make n [| 0; 0 |] in
+  let of_source = function
+    | Topology.Net_input i -> i
+    | Topology.Bal_output { bal; port } -> chan.(bal).(port)
+  in
+  let order = Topology.topo_order net in
+  let comparators =
+    Array.map
+      (fun b ->
+        let descriptor = Topology.balancer net b in
+        if descriptor.Balancer.fan_in <> 2 || descriptor.Balancer.fan_out <> 2 then
+          invalid_arg "Sorting.of_topology: network contains a balancer that is not (2,2)";
+        let feeds = Topology.feeds net b in
+        let c = Array.map of_source feeds in
+        chan.(b) <- c;
+        { top = c.(0); bottom = c.(1) })
+      order
+  in
+  let out_channels = Array.map of_source (Topology.outputs net) in
+  {
+    width = Topology.input_width net;
+    comparators;
+    out_channels;
+    depth = Topology.depth net;
+  }
+
+let width net = net.width
+let depth net = net.depth
+let comparator_count net = Array.length net.comparators
+let comparators net = Array.copy net.comparators
+
+let apply net values =
+  if Array.length values <> net.width then invalid_arg "Sorting.apply: wrong input length";
+  let v = Array.copy values in
+  Array.iter
+    (fun { top; bottom } ->
+      if v.(top) < v.(bottom) then begin
+        let tmp = v.(top) in
+        v.(top) <- v.(bottom);
+        v.(bottom) <- tmp
+      end)
+    net.comparators;
+  Array.map (fun c -> v.(c)) net.out_channels
+
+let apply_ascending net values =
+  let out = apply net values in
+  let n = Array.length out in
+  Array.init n (fun i -> out.(n - 1 - i))
+
+let is_sorted_descending a =
+  let ok = ref true in
+  for i = 1 to Array.length a - 1 do
+    if a.(i - 1) < a.(i) then ok := false
+  done;
+  !ok
+
+let sorts_zero_one net =
+  let w = net.width in
+  if w > 24 then invalid_arg "Sorting.sorts_zero_one: width too large for exhaustive check";
+  let ok = ref true in
+  for mask = 0 to (1 lsl w) - 1 do
+    if !ok then begin
+      let input = Array.init w (fun i -> (mask lsr i) land 1) in
+      if not (is_sorted_descending (apply net input)) then ok := false
+    end
+  done;
+  !ok
+
+let sorts_random ?(trials = 1000) ?(seed = 0) net =
+  let rng = Random.State.make [| seed |] in
+  let ok = ref true in
+  for _ = 1 to trials do
+    if !ok then begin
+      let input = Array.init net.width (fun _ -> Random.State.int rng 1_000_000) in
+      if not (is_sorted_descending (apply net input)) then ok := false
+    end
+  done;
+  !ok

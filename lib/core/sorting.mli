@@ -1,0 +1,65 @@
+(** Comparator networks extracted from balancing networks (paper,
+    Section 7).
+
+    Substituting a comparator for every balancer of a regular balancing
+    network built from [(2,2)]-balancers yields a comparator network; if
+    the balancing network counts, the comparator network sorts
+    (Aspnes–Herlihy–Shavit).  Applied to [C(w, w)] this gives the paper's
+    novel [O(lg²w)]-depth sorting network.
+
+    The faithful translation of a balancer — which hands the ceiling half
+    of its tokens to output port 0 — is a comparator that forwards the
+    {e larger} value to its top channel.  On 0-1 inputs this coincides
+    with the balancer on 0-1 token counts, so by the 0-1 principle a
+    counting network yields outputs sorted in {e non-increasing}
+    output-wire order. *)
+
+type comparator = { top : int; bottom : int }
+(** A comparator between two channels: the larger value continues on
+    [top], the smaller on [bottom] — mirroring a balancer forwarding its
+    first token to output port 0. *)
+
+type t
+(** A comparator network over [width] channels. *)
+
+val of_topology : Cn_network.Topology.t -> t
+(** [of_topology net] extracts the comparator network of [net]: channel
+    [i] starts at network input wire [i]; output port [k] of a balancer
+    continues on the channel of its input port [k].
+    @raise Invalid_argument if [net] contains a balancer that is not a
+    [(2,2)]-balancer. *)
+
+val width : t -> int
+(** Number of channels. *)
+
+val depth : t -> int
+(** Comparator depth (same as the balancing network's depth). *)
+
+val comparator_count : t -> int
+(** Number of comparators. *)
+
+val comparators : t -> comparator array
+(** The comparators in dependency order. *)
+
+val apply : t -> int array -> int array
+(** [apply net values] runs the comparator network and reads the result
+    in output-wire order of the originating balancing network; for a
+    counting-derived network the result is non-increasing.
+    @raise Invalid_argument if [values] has the wrong length. *)
+
+val apply_ascending : t -> int array -> int array
+(** [apply_ascending net values] is [apply net values] reversed — the
+    conventional ascending presentation. *)
+
+val is_sorted_descending : int array -> bool
+(** [is_sorted_descending a] holds iff [a] is non-increasing. *)
+
+val sorts_zero_one : t -> bool
+(** [sorts_zero_one net] checks the 0-1 principle exhaustively: the
+    network sorts (descending) every 0-1 input iff it sorts every input.
+    Exponential in the width;
+    @raise Invalid_argument if [width net > 24]. *)
+
+val sorts_random : ?trials:int -> ?seed:int -> t -> bool
+(** [sorts_random net] checks descending sortedness on [trials] (default
+    1000) random integer inputs. *)

@@ -1,0 +1,53 @@
+module T = Cn_network.Topology
+module E = Cn_network.Eval
+module S = Cn_sequence.Sequence
+
+type outcome = Verified of int | Counterexample of S.t
+
+let forall_inputs ~max_tokens net p =
+  if max_tokens < 0 then invalid_arg "Verify.forall_inputs: negative bound";
+  let w = T.input_width net in
+  let space = float_of_int (max_tokens + 1) ** float_of_int w in
+  if space > 1e7 then invalid_arg "Verify.forall_inputs: input space too large";
+  let x = Array.make w 0 in
+  let checked = ref 0 in
+  (* Odometer enumeration of all vectors in [0, max_tokens]^w. *)
+  let rec advance i = if i >= w then false
+    else if x.(i) < max_tokens then begin
+      x.(i) <- x.(i) + 1;
+      true
+    end
+    else begin
+      x.(i) <- 0;
+      advance (i + 1)
+    end
+  in
+  let rec loop () =
+    incr checked;
+    if not (p x (E.quiescent net x)) then Counterexample (Array.copy x)
+    else if advance 0 then loop ()
+    else Verified !checked
+  in
+  loop ()
+
+let counting ~max_tokens net = forall_inputs ~max_tokens net (fun _ y -> S.is_step y)
+
+let smoothing ~k ~max_tokens net = forall_inputs ~max_tokens net (fun _ y -> S.is_smooth k y)
+
+let merging ~delta ~max_half_sum net =
+  let t = T.input_width net in
+  if t mod 2 <> 0 then invalid_arg "Verify.merging: odd input width";
+  let half = t / 2 in
+  let checked = ref 0 in
+  let rec loop sy d =
+    if sy > max_half_sum then Verified !checked
+    else if d > delta then loop (sy + 1) 0
+    else begin
+      incr checked;
+      let x = S.make_step ~total:(sy + d) ~width:half in
+      let y = S.make_step ~total:sy ~width:half in
+      let input = S.concat x y in
+      if S.is_step (E.quiescent net input) then loop sy (d + 1) else Counterexample input
+    end
+  in
+  loop 0 0

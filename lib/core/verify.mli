@@ -1,0 +1,40 @@
+(** Bounded exhaustive verification of network properties.
+
+    Because a balancing network's quiescent output is a deterministic
+    function of its input counts (Section 2.2), checking a property for
+    *every input vector* up to a per-wire bound certifies it for every
+    execution over those loads — a small-scope model check that
+    complements the randomized property tests. *)
+
+type outcome =
+  | Verified of int  (** property held on all [n] input vectors checked *)
+  | Counterexample of Cn_sequence.Sequence.t
+      (** an input vector violating the property *)
+
+val forall_inputs :
+  max_tokens:int ->
+  Cn_network.Topology.t ->
+  (Cn_sequence.Sequence.t -> Cn_sequence.Sequence.t -> bool) ->
+  outcome
+(** [forall_inputs ~max_tokens net p] evaluates [p input output] on every
+    input vector with entries in [\[0, max_tokens\]] — all
+    [(max_tokens+1)^w] of them.
+    @raise Invalid_argument if [max_tokens < 0] or the input space
+    exceeds [10^7] vectors. *)
+
+val counting : max_tokens:int -> Cn_network.Topology.t -> outcome
+(** [counting ~max_tokens net] certifies the step property on every
+    bounded load. *)
+
+val smoothing : k:int -> max_tokens:int -> Cn_network.Topology.t -> outcome
+(** [smoothing ~k ~max_tokens net] certifies the [k]-smooth property on
+    every bounded load. *)
+
+val merging :
+  delta:int -> max_half_sum:int -> Cn_network.Topology.t -> outcome
+(** [merging ~delta ~max_half_sum net] certifies the difference-merging
+    contract: for every pair of step input halves with sums
+    [sy <= max_half_sum] and [sx = sy + d], [0 <= d <= delta], the
+    output is step.  The returned counterexample, if any, is the full
+    input vector.
+    @raise Invalid_argument if the network width is odd. *)

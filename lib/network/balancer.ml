@@ -1,0 +1,54 @@
+module Sequence = Cn_sequence.Sequence
+
+type t = { fan_in : int; fan_out : int; init_state : int }
+
+let make ?(init_state = 0) ~fan_in ~fan_out () =
+  if fan_in <= 0 then invalid_arg "Balancer.make: fan_in <= 0";
+  if fan_out <= 0 then invalid_arg "Balancer.make: fan_out <= 0";
+  if init_state < 0 || init_state >= fan_out then
+    invalid_arg "Balancer.make: init_state out of range";
+  { fan_in; fan_out; init_state }
+
+let is_regular b = b.fan_in = b.fan_out
+
+let wire_of_kth_token b k =
+  if k < 0 then invalid_arg "Balancer.wire_of_kth_token: negative index";
+  (b.init_state + k) mod b.fan_out
+
+let output_counts b ~tokens =
+  if tokens < 0 then invalid_arg "Balancer.output_counts: negative token count";
+  let q = b.fan_out in
+  (* Wire [i] receives tokens numbered [k] with [(init_state + k) mod q = i],
+     i.e. [k ≡ i - init_state (mod q)], [0 <= k < tokens].  With
+     [d = (i - init_state) mod q] (non-negative), that count is
+     [⌈(tokens - d) / q⌉], which is 0 whenever [d >= tokens]. *)
+  Array.init q (fun i ->
+      let d = ((i - b.init_state) mod q + q) mod q in
+      max 0 (Sequence.ceil_div (tokens - d) q))
+
+let state_after b ~tokens =
+  if tokens < 0 then invalid_arg "Balancer.state_after: negative token count";
+  (b.init_state + tokens) mod b.fan_out
+
+let net_output_counts b ~net =
+  if net >= 0 then output_counts b ~tokens:net
+  else begin
+    let q = b.fan_out in
+    (* The i-th antitoken (1-based) exits on wire (init_state - i) mod q,
+       each contributing -1 to its wire's net flow. *)
+    Array.init q (fun wire ->
+        let d = ((b.init_state - wire) mod q + q) mod q in
+        (* Antitoken indices hitting [wire] are i ≡ d (mod q), i >= 1;
+           count those with i <= -net. *)
+        let d = if d = 0 then q else d in
+        let hits = if -net >= d then ((-net - d) / q) + 1 else 0 in
+        -hits)
+  end
+
+let state_after_net b ~net = (((b.init_state + net) mod b.fan_out) + b.fan_out) mod b.fan_out
+
+let equal a b = a = b
+
+let pp ppf b =
+  if b.init_state = 0 then Format.fprintf ppf "(%d,%d)" b.fan_in b.fan_out
+  else Format.fprintf ppf "(%d,%d)@@%d" b.fan_in b.fan_out b.init_state

@@ -1,0 +1,53 @@
+type wire = { src : Topology.source; owner : int; mutable consumed : bool }
+
+type t = {
+  id : int;
+  input_width : int;
+  mutable balancers : Balancer.t list; (* reversed *)
+  mutable feeds : Topology.source array list; (* reversed *)
+  mutable count : int;
+}
+
+let next_id = ref 0
+
+let create ~input_width =
+  if input_width <= 0 then invalid_arg "Builder.create: non-positive input width";
+  incr next_id;
+  let b = { id = !next_id; input_width; balancers = []; feeds = []; count = 0 } in
+  let ins =
+    Array.init input_width (fun i -> { src = Topology.Net_input i; owner = b.id; consumed = false })
+  in
+  (b, ins)
+
+let consume b w =
+  if w.owner <> b.id then invalid_arg "Builder: wire belongs to a different builder";
+  if w.consumed then invalid_arg "Builder: wire consumed twice";
+  w.consumed <- true;
+  w.src
+
+let add_balancer b ?init_state ~fan_out ins =
+  let fan_in = Array.length ins in
+  let descriptor = Balancer.make ?init_state ~fan_in ~fan_out () in
+  let srcs = Array.map (consume b) ins in
+  let bal = b.count in
+  b.balancers <- descriptor :: b.balancers;
+  b.feeds <- srcs :: b.feeds;
+  b.count <- bal + 1;
+  Array.init fan_out (fun port ->
+      { src = Topology.Bal_output { bal; port }; owner = b.id; consumed = false })
+
+let balancer2 b ?init_state top bottom =
+  match add_balancer b ?init_state ~fan_out:2 [| top; bottom |] with
+  | [| o0; o1 |] -> (o0, o1)
+  | _ -> assert false
+
+let finish b outs =
+  let outputs = Array.map (consume b) outs in
+  Topology.create ~input_width:b.input_width
+    ~balancers:(Array.of_list (List.rev b.balancers))
+    ~feeds:(Array.of_list (List.rev b.feeds))
+    ~outputs
+
+let build ~input_width f =
+  let b, ins = create ~input_width in
+  finish b (f b ins)

@@ -1,0 +1,37 @@
+(** Imperative construction of topologies by threading wires.
+
+    A builder hands out wires (network inputs or balancer outputs); each
+    wire must be consumed exactly once, either as an input of a later
+    balancer or as a network output.  Recursive constructions such as
+    [C(w, t)] become functions from wire arrays to wire arrays. *)
+
+type t
+(** Builder state accumulating balancers and wiring. *)
+
+type wire
+(** A dangling wire awaiting its unique consumer. *)
+
+val create : input_width:int -> t * wire array
+(** [create ~input_width] starts a network with [input_width] fresh input
+    wires.  @raise Invalid_argument if [input_width <= 0]. *)
+
+val add_balancer : t -> ?init_state:int -> fan_out:int -> wire array -> wire array
+(** [add_balancer b ~fan_out ins] appends a [(Array.length ins, fan_out)]-
+    balancer consuming the wires [ins] (port [i] takes [ins.(i)]) and
+    returns its [fan_out] fresh output wires in port order.
+    @raise Invalid_argument if a wire was already consumed, belongs to a
+    different builder, or the balancer shape is invalid. *)
+
+val balancer2 : t -> ?init_state:int -> wire -> wire -> wire * wire
+(** [balancer2 b top bottom] adds a [(2,2)]-balancer; convenience for the
+    dominant case.  Returns [(top_out, bottom_out)]. *)
+
+val finish : t -> wire array -> Topology.t
+(** [finish b outs] consumes the wires [outs] as the network output wires
+    in order and returns the validated topology.
+    @raise Invalid_argument if any wire is consumed twice or some wire of
+    the builder is left dangling (the topology validator reports it). *)
+
+val build : input_width:int -> (t -> wire array -> wire array) -> Topology.t
+(** [build ~input_width f] runs [f] on fresh input wires and finishes with
+    the wires [f] returns: the common construct-one-network pattern. *)

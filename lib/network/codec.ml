@@ -1,0 +1,112 @@
+let source_to_string = function
+  | Topology.Net_input i -> Printf.sprintf "in%d" i
+  | Topology.Bal_output { bal; port } -> Printf.sprintf "b%d.%d" bal port
+
+let to_string net =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "counting-network v1\n";
+  Buffer.add_string buf (Printf.sprintf "inputs %d\n" (Topology.input_width net));
+  for b = 0 to Topology.size net - 1 do
+    let d = Topology.balancer net b in
+    Buffer.add_string buf
+      (Printf.sprintf "balancer %d %d %d %d :" b d.Balancer.fan_in d.Balancer.fan_out
+         d.Balancer.init_state);
+    Array.iter
+      (fun s ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (source_to_string s))
+      (Topology.feeds net b);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf "outputs :";
+  Array.iter
+    (fun s ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (source_to_string s))
+    (Topology.outputs net);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+exception Parse_error of int * string
+
+let parse_source lineno tok =
+  let fail reason = raise (Parse_error (lineno, reason)) in
+  if String.length tok > 2 && String.sub tok 0 2 = "in" then
+    match int_of_string_opt (String.sub tok 2 (String.length tok - 2)) with
+    | Some i -> Topology.Net_input i
+    | None -> fail (Printf.sprintf "bad input-wire token %S" tok)
+  else if String.length tok > 1 && tok.[0] = 'b' then begin
+    match String.index_opt tok '.' with
+    | None -> fail (Printf.sprintf "bad balancer token %S (missing port)" tok)
+    | Some dot -> (
+        let bal = int_of_string_opt (String.sub tok 1 (dot - 1)) in
+        let port = int_of_string_opt (String.sub tok (dot + 1) (String.length tok - dot - 1)) in
+        match (bal, port) with
+        | Some bal, Some port -> Topology.Bal_output { bal; port }
+        | _ -> fail (Printf.sprintf "bad balancer token %S" tok))
+  end
+  else fail (Printf.sprintf "unknown source token %S" tok)
+
+let split_words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  try
+    let input_width = ref None in
+    let balancers = ref [] (* reversed: (descriptor, feeds) *) in
+    let next_id = ref 0 in
+    let outputs = ref None in
+    List.iteri
+      (fun idx raw ->
+        let lineno = idx + 1 in
+        let fail reason = raise (Parse_error (lineno, reason)) in
+        let line = String.trim raw in
+        if line = "" || line.[0] = '#' then ()
+        else
+          match split_words line with
+          | [ "counting-network"; "v1" ] ->
+              if lineno <> 1 && !input_width <> None then fail "duplicate header"
+          | "counting-network" :: v :: _ -> fail (Printf.sprintf "unsupported version %S" v)
+          | [ "inputs"; w ] -> (
+              match int_of_string_opt w with
+              | Some w when !input_width = None -> input_width := Some w
+              | Some _ -> fail "duplicate inputs line"
+              | None -> fail (Printf.sprintf "bad input width %S" w))
+          | "balancer" :: id :: fan_in :: fan_out :: init_state :: ":" :: srcs -> (
+              match
+                (int_of_string_opt id, int_of_string_opt fan_in, int_of_string_opt fan_out,
+                 int_of_string_opt init_state)
+              with
+              | Some id, Some fan_in, Some fan_out, Some init_state ->
+                  if id <> !next_id then
+                    fail (Printf.sprintf "balancer ids must be dense and ordered (got %d, expected %d)" id !next_id);
+                  incr next_id;
+                  let descriptor =
+                    try Balancer.make ~init_state ~fan_in ~fan_out ()
+                    with Invalid_argument m -> fail m
+                  in
+                  let feeds = Array.of_list (List.map (parse_source lineno) srcs) in
+                  if Array.length feeds <> fan_in then
+                    fail
+                      (Printf.sprintf "balancer %d declares fan-in %d but has %d feeds" id fan_in
+                         (Array.length feeds));
+                  balancers := (descriptor, feeds) :: !balancers
+              | _ -> fail "bad balancer line")
+          | "outputs" :: ":" :: srcs ->
+              if !outputs <> None then fail "duplicate outputs line";
+              outputs := Some (Array.of_list (List.map (parse_source lineno) srcs))
+          | _ -> fail (Printf.sprintf "unrecognized line %S" line))
+      lines;
+    match (!input_width, !outputs) with
+    | None, _ -> Error "missing 'inputs' line"
+    | _, None -> Error "missing 'outputs' line"
+    | Some input_width, Some outputs -> (
+        let balancers = Array.of_list (List.rev !balancers) in
+        try
+          Ok
+            (Topology.create ~input_width
+               ~balancers:(Array.map fst balancers)
+               ~feeds:(Array.map snd balancers)
+               ~outputs)
+        with Invalid_argument m -> Error m)
+  with Parse_error (lineno, reason) -> Error (Printf.sprintf "line %d: %s" lineno reason)

@@ -1,0 +1,27 @@
+(** Textual serialization of topologies.
+
+    A small line-oriented format so networks can be saved, diffed, and
+    piped between tools:
+
+    {v
+    counting-network v1
+    inputs 4
+    balancer 0 2 2 0 : in0 in2
+    balancer 1 2 4 0 : b0.0 b0.1
+    outputs : b1.0 b1.1 b1.2 b1.3 in1 in3
+    v}
+
+    Each [balancer] line gives id, fan-in, fan-out, initial state, and
+    the source of each input port; the [outputs] line gives the source
+    of each network output wire.  Balancer ids must be dense and in
+    order.  Parsing re-validates through [Topology.create], so a decoded
+    value satisfies every structural invariant. *)
+
+val to_string : Topology.t -> string
+(** [to_string net] serializes [net]; [of_string (to_string net)]
+    reconstructs an equal topology. *)
+
+val of_string : string -> (Topology.t, string) result
+(** [of_string s] parses the format above.  Errors carry a line number
+    and reason; structural violations are reported with the
+    [Topology.create] message. *)

@@ -1,0 +1,287 @@
+let ( let* ) r f = Result.bind r f
+
+let check a b ~mapping =
+  let na = Topology.size a and nb = Topology.size b in
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  if Array.length mapping <> na then err "mapping has %d entries for %d balancers" (Array.length mapping) na
+  else if na <> nb then err "different balancer counts (%d vs %d)" na nb
+  else if Topology.input_width a <> Topology.input_width b then
+    err "different input widths (%d vs %d)" (Topology.input_width a) (Topology.input_width b)
+  else if Topology.output_width a <> Topology.output_width b then
+    err "different output widths (%d vs %d)" (Topology.output_width a) (Topology.output_width b)
+  else begin
+    (* [mapping] must be a bijection. *)
+    let seen = Array.make na false in
+    let bijective =
+      Array.for_all
+        (fun v ->
+          if v < 0 || v >= na || seen.(v) then false
+          else begin
+            seen.(v) <- true;
+            true
+          end)
+        mapping
+    in
+    if not bijective then err "mapping is not a bijection"
+    else begin
+      (* Condition i: corresponding balancers have the same shape. *)
+      let rec shapes i =
+        if i >= na then Ok ()
+        else
+          let ba = Topology.balancer a i and bb = Topology.balancer b mapping.(i) in
+          if Balancer.equal ba bb then shapes (i + 1)
+          else err "balancer %d has shape %a but its image %d has %a" i Balancer.pp ba mapping.(i) Balancer.pp bb
+      in
+      let* () = shapes 0 in
+      (* Condition ii, checked per output port, in both directions (the
+         bijection makes the reverse direction a consequence for
+         balancer-to-balancer edges, but bare checking of both also pins
+         balancer-to-network-output edges). *)
+      let target net bal port =
+        match Topology.consumer net (Topology.Bal_output { bal; port }) with
+        | Topology.Bal_input { bal = j; port = _ } -> `Bal j
+        | Topology.Net_output o -> `Out o
+      in
+      let rec ports i =
+        if i >= na then Ok ()
+        else
+          let q = (Topology.balancer a i).Balancer.fan_out in
+          let rec port k =
+            if k >= q then Ok ()
+            else
+              match (target a i k, target b mapping.(i) k) with
+              | `Bal j, `Bal j' when mapping.(j) = j' -> port (k + 1)
+              | `Out _, `Out _ -> port (k + 1)
+              | `Bal j, `Bal j' ->
+                  err "port %d of balancer %d feeds balancer %d, image feeds %d (expected %d)" k i j j' mapping.(j)
+              | `Bal _, `Out _ | `Out _, `Bal _ ->
+                  err "port %d of balancer %d disagrees on feeding a network output" k i
+          in
+          match port 0 with Ok () -> ports (i + 1) | Error _ as e -> e
+      in
+      let* () = ports 0 in
+      (* Derive pi_in: group each network's input wires by the balancer
+         they enter (or by direct network output) and pair groups in
+         ascending order.  Group sizes must agree. *)
+      let input_groups net =
+        let w = Topology.input_width net in
+        let tbl = Hashtbl.create 16 in
+        for i = 0 to w - 1 do
+          let key =
+            match Topology.consumer net (Topology.Net_input i) with
+            | Topology.Bal_input { bal; port = _ } -> `Bal bal
+            | Topology.Net_output o -> `Direct o
+          in
+          let prev = try Hashtbl.find tbl key with Not_found -> [] in
+          Hashtbl.replace tbl key (i :: prev)
+        done;
+        tbl
+      in
+      let ga = input_groups a and gb = input_groups b in
+      let w = Topology.input_width a in
+      let pi_in = Array.make w (-1) in
+      let direct_pairs = ref [] in
+      let rec assign_groups keys =
+        match keys with
+        | [] -> Ok ()
+        | key :: rest -> (
+            let wires_a = List.rev (Hashtbl.find ga key) in
+            let key_b =
+              match key with
+              | `Bal bal -> `Bal mapping.(bal)
+              | `Direct _ -> key
+            in
+            let wires_b =
+              match key_b with
+              | `Bal _ as k -> ( try List.rev (Hashtbl.find gb k) with Not_found -> [])
+              | `Direct o -> (
+                  (* Direct wires of [b] are matched globally by order, not
+                     by output index; collect them all. *)
+                  ignore o;
+                  [])
+            in
+            match key with
+            | `Direct o ->
+                (* Defer: pair all direct input wires of [a] and [b] in
+                   ascending order after balancer-bound ones. *)
+                List.iter (fun ia -> direct_pairs := (ia, o) :: !direct_pairs) wires_a;
+                assign_groups rest
+            | `Bal _ ->
+                if List.length wires_a <> List.length wires_b then
+                  err "balancer %s receives different numbers of network inputs"
+                    (match key with `Bal i -> string_of_int i | `Direct _ -> "?")
+                else begin
+                  List.iter2 (fun ia ib -> pi_in.(ia) <- ib) wires_a wires_b;
+                  assign_groups rest
+                end)
+      in
+      let keys = Hashtbl.fold (fun k _ acc -> k :: acc) ga [] in
+      let keys =
+        List.sort
+          (fun x y ->
+            match (x, y) with
+            | `Bal i, `Bal j -> compare i j
+            | `Direct i, `Direct j -> compare i j
+            | `Bal _, `Direct _ -> -1
+            | `Direct _, `Bal _ -> 1)
+          keys
+      in
+      let* () = assign_groups keys in
+      (* Direct (balancer-free) input wires: pair ascending. *)
+      let directs_b =
+        let acc = ref [] in
+        for i = Topology.input_width b - 1 downto 0 do
+          match Topology.consumer b (Topology.Net_input i) with
+          | Topology.Net_output o -> acc := (i, o) :: !acc
+          | Topology.Bal_input _ -> ()
+        done;
+        !acc
+      in
+      let directs_a = List.sort compare (List.map (fun (ia, o) -> (ia, o)) !direct_pairs) in
+      let* direct_out_pairs =
+        if List.length directs_a <> List.length directs_b then
+          err "different numbers of balancer-free input wires"
+        else
+          Ok
+            (List.map2
+               (fun (ia, oa) (ib, ob) ->
+                 pi_in.(ia) <- ib;
+                 (oa, ob))
+               directs_a directs_b)
+      in
+      if Array.exists (fun v -> v < 0) pi_in then err "internal: incomplete input correspondence"
+      else begin
+        (* Derive pi_out from balancer ports feeding network outputs, plus
+           the bare-wire pairs. *)
+        let t = Topology.output_width a in
+        let pi_out = Array.make t (-1) in
+        List.iter (fun (oa, ob) -> pi_out.(oa) <- ob) direct_out_pairs;
+        let rec outs i =
+          if i >= na then Ok ()
+          else begin
+            let q = (Topology.balancer a i).Balancer.fan_out in
+            for k = 0 to q - 1 do
+              match
+                ( Topology.consumer a (Topology.Bal_output { bal = i; port = k }),
+                  Topology.consumer b (Topology.Bal_output { bal = mapping.(i); port = k }) )
+              with
+              | Topology.Net_output oa, Topology.Net_output ob -> pi_out.(oa) <- ob
+              | _ -> ()
+            done;
+            outs (i + 1)
+          end
+        in
+        let* () = outs 0 in
+        if Array.exists (fun v -> v < 0) pi_out then err "internal: incomplete output correspondence"
+        else Ok (Permutation.of_array pi_in, Permutation.of_array pi_out)
+      end
+    end
+  end
+
+exception Budget_exhausted
+
+let find ?(budget = 10_000_000) a b =
+  let na = Topology.size a in
+  if
+    na <> Topology.size b
+    || Topology.input_width a <> Topology.input_width b
+    || Topology.output_width a <> Topology.output_width b
+    || Topology.depth a <> Topology.depth b
+  then None
+  else begin
+    (* Static signature of a balancer: shape, depth, how many network
+       inputs feed it, and which output ports feed network outputs.  All
+       are isomorphism invariants. *)
+    let signature net i =
+      let descriptor = Topology.balancer net i in
+      let net_ins =
+        Array.fold_left
+          (fun acc s -> match s with Topology.Net_input _ -> acc + 1 | Topology.Bal_output _ -> acc)
+          0 (Topology.feeds net i)
+      in
+      let out_ports =
+        Array.init descriptor.Balancer.fan_out (fun port ->
+            match Topology.consumer net (Topology.Bal_output { bal = i; port }) with
+            | Topology.Net_output _ -> true
+            | Topology.Bal_input _ -> false)
+      in
+      (descriptor, Topology.balancer_depth net i, net_ins, out_ports)
+    in
+    let sig_a = Array.init na (signature a) and sig_b = Array.init na (signature b) in
+    let candidates =
+      Array.init na (fun i ->
+          let s = sig_a.(i) in
+          let acc = ref [] in
+          for j = na - 1 downto 0 do
+            if sig_b.(j) = s then acc := j :: !acc
+          done;
+          Array.of_list !acc)
+    in
+    if Array.exists (fun c -> Array.length c = 0) candidates then None
+    else begin
+      let order = Topology.topo_order a in
+      let mapping = Array.make na (-1) in
+      let used = Array.make na false in
+      let steps = ref 0 in
+      (* Feeds of [i] coming from balancers, as (producer, port) pairs. *)
+      let bal_feeds net i =
+        Array.to_list (Topology.feeds net i)
+        |> List.filter_map (function
+             | Topology.Bal_output { bal; port } -> Some (bal, port)
+             | Topology.Net_input _ -> None)
+      in
+      let consistent i j =
+        (* In [a]'s topological order every balancer producer of [i] is
+           already mapped; the multiset of mapped (producer, port) pairs
+           must equal [j]'s balancer feeds. *)
+        let fa = List.map (fun (bal, port) -> (mapping.(bal), port)) (bal_feeds a i) in
+        let fb = bal_feeds b j in
+        List.sort compare fa = List.sort compare fb
+      in
+      let rec assign k =
+        incr steps;
+        if !steps > budget then raise Budget_exhausted;
+        if k >= na then true
+        else begin
+          let i = order.(k) in
+          let rec try_candidates ci =
+            if ci >= Array.length candidates.(i) then false
+            else begin
+              let j = candidates.(i).(ci) in
+              if (not used.(j)) && consistent i j then begin
+                mapping.(i) <- j;
+                used.(j) <- true;
+                if assign (k + 1) then true
+                else begin
+                  mapping.(i) <- -1;
+                  used.(j) <- false;
+                  try_candidates (ci + 1)
+                end
+              end
+              else try_candidates (ci + 1)
+            end
+          in
+          try_candidates 0
+        end
+      in
+      match assign 0 with
+      | exception Budget_exhausted -> None
+      | false -> None
+      | true -> (
+          match check a b ~mapping with Ok _ -> Some (Array.copy mapping) | Error _ -> None)
+    end
+  end
+
+let equivalent_under ?(trials = 64) ?(seed = 0) ?(max_tokens = 32) ~pi_in ~pi_out a b =
+  let w = Topology.input_width a in
+  let rng = Random.State.make [| seed |] in
+  let ok = ref true in
+  for _ = 1 to trials do
+    if !ok then begin
+      let x = Array.init w (fun _ -> Random.State.int rng (max_tokens + 1)) in
+      let ya = Eval.quiescent a x in
+      let yb = Eval.quiescent b (Permutation.permute pi_in x) in
+      if yb <> Permutation.permute pi_out ya then ok := false
+    end
+  done;
+  !ok

@@ -1,0 +1,44 @@
+(** Isomorphism of balancing networks (paper, Section 2.3).
+
+    Two networks are isomorphic when a bijection between their balancers
+    preserves balancer shapes and, for every balancer output port [k]
+    connected to some balancer [bj], sends that connection to the *same
+    port [k]* of the corresponding balancer, landing on (any input port
+    of) the corresponding target balancer.  This is finer than graph
+    isomorphism: output-port order matters, input-port order does not. *)
+
+val check :
+  Topology.t ->
+  Topology.t ->
+  mapping:int array ->
+  (Permutation.t * Permutation.t, string) result
+(** [check a b ~mapping] verifies that [mapping] (balancer [i] of [a]
+    corresponds to balancer [mapping.(i)] of [b]) is an isomorphism, and
+    derives input/output wire correspondences [(pi_in, pi_out)] such that
+    by Lemma 2.7 quiescent runs satisfy
+    [quiescent b (permute pi_in x) = permute pi_out (quiescent a x)].
+    Wire pairings not forced by the structure (parallel wires into the
+    same balancer) are resolved in ascending index order.
+    Returns [Error reason] when [mapping] is not an isomorphism. *)
+
+val find : ?budget:int -> Topology.t -> Topology.t -> int array option
+(** [find a b] searches for a balancer mapping witnessing [a ≅ b] by
+    backtracking in topological order, pruning with balancer shape,
+    depth, and predecessor-port consistency.  Returns [None] if no
+    isomorphism exists or the node budget (default [10_000_000] search
+    steps) is exhausted.  Intended for the moderately sized, highly
+    constrained networks of this library (e.g. butterflies up to a few
+    hundred balancers). *)
+
+val equivalent_under :
+  ?trials:int ->
+  ?seed:int ->
+  ?max_tokens:int ->
+  pi_in:Permutation.t ->
+  pi_out:Permutation.t ->
+  Topology.t ->
+  Topology.t ->
+  bool
+(** [equivalent_under ~pi_in ~pi_out a b] empirically validates the
+    Lemma 2.7 relation on [trials] (default 64) random input loads with
+    per-wire counts in [\[0, max_tokens\]] (default 32). *)

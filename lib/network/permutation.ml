@@ -1,0 +1,77 @@
+type t = int array
+
+let identity n =
+  if n < 0 then invalid_arg "Permutation.identity: negative size";
+  Array.init n (fun i -> i)
+
+let of_array a =
+  let n = Array.length a in
+  let seen = Array.make n false in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= n then invalid_arg "Permutation.of_array: value out of range";
+      if seen.(v) then invalid_arg "Permutation.of_array: duplicate value";
+      seen.(v) <- true)
+    a;
+  Array.copy a
+
+let to_array = Array.copy
+
+let size = Array.length
+
+let apply_index pi i =
+  if i < 0 || i >= Array.length pi then invalid_arg "Permutation.apply_index: out of range";
+  pi.(i)
+
+let inverse pi =
+  let inv = Array.make (Array.length pi) 0 in
+  Array.iteri (fun i v -> inv.(v) <- i) pi;
+  inv
+
+let compose a b =
+  if Array.length a <> Array.length b then invalid_arg "Permutation.compose: size mismatch";
+  Array.map (fun v -> a.(v)) b
+
+let permute pi x =
+  let n = Array.length pi in
+  if Array.length x <> n then invalid_arg "Permutation.permute: length mismatch";
+  if n = 0 then [||]
+  else begin
+    let y = Array.make n x.(0) in
+    Array.iteri (fun i v -> y.(pi.(i)) <- v) x;
+    y
+  end
+
+let is_identity pi =
+  let ok = ref true in
+  Array.iteri (fun i v -> if i <> v then ok := false) pi;
+  !ok
+
+let equal a b = a = b
+
+let reverse n = of_array (Array.init n (fun i -> n - 1 - i))
+
+let rotate n k =
+  if n <= 0 then invalid_arg "Permutation.rotate: non-positive size";
+  let k = ((k mod n) + n) mod n in
+  Array.init n (fun i -> (i + k) mod n)
+
+let riffle n =
+  if n <= 0 || n mod 2 <> 0 then invalid_arg "Permutation.riffle: size must be positive and even";
+  Array.init n (fun i -> if i < n / 2 then 2 * i else (2 * (i - (n / 2))) + 1)
+
+let random ?(seed = 0) n =
+  let st = Random.State.make [| seed |] in
+  let a = identity n in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+let pp ppf pi =
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_array ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") Format.pp_print_int)
+    pi

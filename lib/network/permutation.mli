@@ -1,0 +1,65 @@
+(** Permutations on wire indices (paper, Section 2.3).
+
+    Following the paper, applying a permutation [pi] to a sequence [x]
+    yields the sequence [y] with [x_i = y_{pi(i)}]: element [i] moves to
+    position [pi(i)]. *)
+
+type t
+(** A permutation on [{0, ..., size - 1}]. *)
+
+val identity : int -> t
+(** [identity n] maps every element to itself.
+    @raise Invalid_argument if [n < 0]. *)
+
+val of_array : int array -> t
+(** [of_array a] is the permutation mapping [i] to [a.(i)].
+    @raise Invalid_argument if [a] is not a bijection on its index
+    range. *)
+
+val to_array : t -> int array
+(** [to_array pi] is a copy of the underlying mapping array. *)
+
+val size : t -> int
+(** Number of elements permuted. *)
+
+val apply_index : t -> int -> int
+(** [apply_index pi i] is [pi(i)].
+    @raise Invalid_argument if [i] is out of range. *)
+
+val inverse : t -> t
+(** [inverse pi] is the permutation [piR] with [piR (pi i) = i]. *)
+
+val compose : t -> t -> t
+(** [compose a b] maps [i] to [a (b i)] (apply [b] first).
+    @raise Invalid_argument if sizes differ. *)
+
+val permute : t -> 'a array -> 'a array
+(** [permute pi x] is the array [y] with [y.(pi i) = x.(i)] — the paper's
+    [pi(x)].  @raise Invalid_argument if lengths differ. *)
+
+val is_identity : t -> bool
+(** [is_identity pi] holds iff [pi] maps every element to itself. *)
+
+val equal : t -> t -> bool
+(** Pointwise equality. *)
+
+val reverse : int -> t
+(** [reverse n] maps [i] to [n - 1 - i]. *)
+
+val rotate : int -> int -> t
+(** [rotate n k] maps [i] to [(i + k) mod n] ([k] may be negative).
+    @raise Invalid_argument if [n <= 0]. *)
+
+val riffle : int -> t
+(** [riffle n] (for even [n]) sends the first half to even positions and
+    the second half to odd positions: [i -> 2i] for [i < n/2] and
+    [i -> 2(i - n/2) + 1] otherwise — the wire shuffle relating a
+    half-split to an even/odd split.
+    @raise Invalid_argument if [n] is odd or non-positive. *)
+
+val random : ?seed:int -> int -> t
+(** [random n] is a uniformly random permutation (Fisher–Yates) drawn
+    from a generator seeded with [seed] (default [0]). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the mapping array. *)

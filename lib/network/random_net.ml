@@ -1,0 +1,90 @@
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let check_layered name ~width ~layers =
+  if width < 2 || width mod 2 <> 0 then invalid_arg (name ^ ": width must be even and >= 2");
+  if layers < 0 then invalid_arg (name ^ ": negative layer count")
+
+let layered ?(seed = 0) ~layers width =
+  check_layered "Random_net.layered" ~width ~layers;
+  let rng = Random.State.make [| seed; width; layers |] in
+  Builder.build ~input_width:width (fun b ins ->
+      let wires = ref ins in
+      for _ = 1 to layers do
+        let order = Array.init width (fun i -> i) in
+        shuffle rng order;
+        let next = Array.copy !wires in
+        for k = 0 to (width / 2) - 1 do
+          let i = order.(2 * k) and j = order.((2 * k) + 1) in
+          let top, bottom = Builder.balancer2 b !wires.(i) !wires.(j) in
+          next.(i) <- top;
+          next.(j) <- bottom
+        done;
+        wires := next
+      done;
+      !wires)
+
+let sparse ?(seed = 0) ?(density = 0.5) ~layers width =
+  check_layered "Random_net.sparse" ~width ~layers;
+  if density < 0. || density > 1. then invalid_arg "Random_net.sparse: density outside [0, 1]";
+  let rng = Random.State.make [| seed; width; layers; 77 |] in
+  Builder.build ~input_width:width (fun b ins ->
+      let wires = ref ins in
+      for _ = 1 to layers do
+        let order = Array.init width (fun i -> i) in
+        shuffle rng order;
+        let pairs = int_of_float (density *. float_of_int (width / 2)) in
+        let next = Array.copy !wires in
+        for k = 0 to pairs - 1 do
+          let i = order.(2 * k) and j = order.((2 * k) + 1) in
+          let top, bottom = Builder.balancer2 b !wires.(i) !wires.(j) in
+          next.(i) <- top;
+          next.(j) <- bottom
+        done;
+        wires := next
+      done;
+      !wires)
+
+let irregular ?(seed = 0) ~layers width =
+  if width < 2 then invalid_arg "Random_net.irregular: width must be >= 2";
+  if layers < 0 then invalid_arg "Random_net.irregular: negative layer count";
+  let rng = Random.State.make [| seed; width; layers; 131 |] in
+  Builder.build ~input_width:width (fun b ins ->
+      let wires = ref (Array.to_list ins) in
+      for _ = 1 to layers do
+        let arr = Array.of_list !wires in
+        shuffle rng arr;
+        let rec consume acc = function
+          | [] -> List.rev acc
+          | [ w ] ->
+              (* A lone wire: split it with a (1,2)-balancer or pass. *)
+              if Random.State.bool rng then
+                let outs = Builder.add_balancer b ~fan_out:2 [| w |] in
+                List.rev (outs.(1) :: outs.(0) :: acc)
+              else List.rev (w :: acc)
+          | w1 :: w2 :: rest -> (
+              match Random.State.int rng 4 with
+              | 0 ->
+                  (* (2,2)-balancer *)
+                  let top, bottom = Builder.balancer2 b w1 w2 in
+                  consume (bottom :: top :: acc) rest
+              | 1 ->
+                  (* (2,1)-balancer: fan-in *)
+                  let outs = Builder.add_balancer b ~fan_out:1 [| w1; w2 |] in
+                  consume (outs.(0) :: acc) rest
+              | 2 ->
+                  (* (1,2)-balancer on the first wire *)
+                  let outs = Builder.add_balancer b ~fan_out:2 [| w1 |] in
+                  consume (outs.(1) :: outs.(0) :: acc) (w2 :: rest)
+              | _ ->
+                  (* pass both through *)
+                  consume (w2 :: w1 :: acc) rest)
+        in
+        wires := consume [] (Array.to_list arr)
+      done;
+      Array.of_list !wires)

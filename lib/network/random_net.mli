@@ -1,0 +1,27 @@
+(** Random balancing-network generation, for fuzzing the framework.
+
+    The generators below produce structurally valid topologies with
+    non-trivial wiring, so that framework-level invariants (validation,
+    evaluation, isomorphism, runtime agreement) can be property-tested
+    far beyond the hand-built constructions. *)
+
+val layered : ?seed:int -> layers:int -> int -> Topology.t
+(** [layered ~layers width] is a regular network of [layers] layers on
+    an even [width]: each layer pairs the wires by a fresh random perfect
+    matching with [(2,2)]-balancers.
+    @raise Invalid_argument if [width] is odd, [width < 2], or
+    [layers < 0]. *)
+
+val sparse : ?seed:int -> ?density:float -> layers:int -> int -> Topology.t
+(** [sparse ~layers width] is like {!layered}, but each layer pairs only
+    about [density] (default [0.5]) of the wires, leaving the rest to
+    pass through — exercising wiring where balancer outputs connect
+    across multiple layers.
+    @raise Invalid_argument on invalid [width]/[layers] or if [density]
+    is outside [\[0, 1\]]. *)
+
+val irregular : ?seed:int -> layers:int -> int -> Topology.t
+(** [irregular ~layers width] inserts, per layer, a random mix of
+    [(2,2)]-, [(1,2)]- and [(2,1)]-balancers, so the wire count varies
+    between layers (the generated network's output width may differ from
+    [width]).  @raise Invalid_argument if [width < 2] or [layers < 0]. *)

@@ -1,0 +1,175 @@
+let pp_source ppf = function
+  | Topology.Net_input i -> Format.fprintf ppf "in%d" i
+  | Topology.Bal_output { bal; port } -> Format.fprintf ppf "b%d.%d" bal port
+
+let pp_dest ppf = function
+  | Topology.Bal_input { bal; port } -> Format.fprintf ppf "b%d.%d" bal port
+  | Topology.Net_output i -> Format.fprintf ppf "out%d" i
+
+let describe net =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.fprintf ppf "network %a@." Topology.pp net;
+  Array.iteri
+    (fun li layer ->
+      Format.fprintf ppf "layer %d:@." (li + 1);
+      Array.iter
+        (fun b ->
+          let descriptor = Topology.balancer net b in
+          let ins = Topology.feeds net b in
+          let outs =
+            Array.init descriptor.Balancer.fan_out (fun port ->
+                Topology.consumer net (Topology.Bal_output { bal = b; port }))
+          in
+          Format.fprintf ppf "  b%d %a  <- [%a]  -> [%a]@." b Balancer.pp descriptor
+            (Format.pp_print_array ~pp_sep:(fun ppf () -> Format.fprintf ppf " ") pp_source)
+            ins
+            (Format.pp_print_array ~pp_sep:(fun ppf () -> Format.fprintf ppf " ") pp_dest)
+            outs)
+        layer)
+    (Topology.layers net);
+  (* Bare wires, if any. *)
+  Array.iteri
+    (fun i s ->
+      match s with
+      | Topology.Net_input j -> Format.fprintf ppf "wire: in%d -> out%d@." j i
+      | Topology.Bal_output _ -> ())
+    (Topology.outputs net);
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+(* Channel of every wire in a straightened drawing: network input [i] is
+   channel [i]; output port [k] of a (2,2)-balancer continues on the
+   channel of its input port [k]. *)
+let channels net =
+  let n = Topology.size net in
+  let chan = Array.make n [| 0; 0 |] in
+  Array.iter
+    (fun b ->
+      let descriptor = Topology.balancer net b in
+      if descriptor.Balancer.fan_in <> 2 || descriptor.Balancer.fan_out <> 2 then
+        invalid_arg "Render.ascii: network contains a balancer that is not (2,2)";
+      let of_source = function
+        | Topology.Net_input i -> i
+        | Topology.Bal_output { bal; port } -> chan.(bal).(port)
+      in
+      chan.(b) <- Array.map of_source (Topology.feeds net b))
+    (Topology.topo_order net);
+  chan
+
+let ascii net =
+  let chan = channels net in
+  let w = Topology.input_width net in
+  let layers = Topology.layers net in
+  let d = Array.length layers in
+  (* Each layer gets a column of width 3: " | " marks the connector, with
+     'o' endpoints on the joined channels.  Channels are drawn as rows of
+     '-' and separated by blank rows holding the vertical strokes. *)
+  let col_w = 4 in
+  let rows = (2 * w) - 1 and cols = (col_w * d) + 2 in
+  let grid = Array.make_matrix rows cols ' ' in
+  for c = 0 to w - 1 do
+    for x = 0 to cols - 1 do
+      grid.(2 * c).(x) <- '-'
+    done
+  done;
+  Array.iteri
+    (fun li layer ->
+      let x = (col_w * li) + 2 in
+      Array.iter
+        (fun b ->
+          let a = min chan.(b).(0) chan.(b).(1) and z = max chan.(b).(0) chan.(b).(1) in
+          grid.(2 * a).(x) <- 'o';
+          grid.(2 * z).(x) <- 'o';
+          for y = (2 * a) + 1 to (2 * z) - 1 do
+            grid.(y).(x) <- (if y mod 2 = 0 then '+' else '|')
+          done)
+        layer)
+    layers;
+  let buf = Buffer.create (rows * (cols + 1)) in
+  Array.iter
+    (fun row ->
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.contents buf
+
+let svg net =
+  let chan = channels net in
+  let w = Topology.input_width net in
+  let layers = Topology.layers net in
+  let d = Array.length layers in
+  let margin = 30 and row_h = 28 and col_w = 46 in
+  let width = (2 * margin) + (col_w * (d + 1)) in
+  let height = (2 * margin) + (row_h * (max 1 (w - 1))) in
+  let y_of c = margin + (row_h * c) in
+  let x_of l = margin + (col_w * (l + 1)) in
+  let buf = Buffer.create 2048 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" viewBox=\"0 0 %d %d\">\n"
+    width height width height;
+  out "  <style>line{stroke:#333;stroke-width:2} circle{fill:#333} text{font:12px monospace;fill:#555}</style>\n";
+  for c = 0 to w - 1 do
+    out "  <line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\"/>\n" (margin - 12) (y_of c)
+      (width - margin + 12) (y_of c);
+    out "  <text x=\"%d\" y=\"%d\">%d</text>\n" 2 (y_of c + 4) c
+  done;
+  Array.iteri
+    (fun li layer ->
+      let x = x_of li in
+      Array.iter
+        (fun b ->
+          let a = min chan.(b).(0) chan.(b).(1) and z = max chan.(b).(0) chan.(b).(1) in
+          out "  <line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\"/>\n" x (y_of a) x (y_of z);
+          out "  <circle cx=\"%d\" cy=\"%d\" r=\"4\"/>\n" x (y_of a);
+          out "  <circle cx=\"%d\" cy=\"%d\" r=\"4\"/>\n" x (y_of z))
+        layer)
+    layers;
+  out "</svg>\n";
+  Buffer.contents buf
+
+let dot net =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "digraph balancing_network {\n";
+  out "  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n";
+  for i = 0 to Topology.input_width net - 1 do
+    out "  in%d [shape=diamond, label=\"in %d\"];\n" i i
+  done;
+  Array.iteri
+    (fun i _ -> out "  out%d [shape=diamond, label=\"out %d\"];\n" i i)
+    (Topology.outputs net);
+  for b = 0 to Topology.size net - 1 do
+    let descriptor = Topology.balancer net b in
+    out "  b%d [label=\"b%d %s\"];\n" b b (Format.asprintf "%a" Balancer.pp descriptor)
+  done;
+  let edge src dst label = out "  %s -> %s [label=\"%s\"];\n" src dst label in
+  for b = 0 to Topology.size net - 1 do
+    Array.iter
+      (fun s ->
+        match s with
+        | Topology.Net_input i -> edge (Printf.sprintf "in%d" i) (Printf.sprintf "b%d" b) ""
+        | Topology.Bal_output { bal; port } ->
+            edge (Printf.sprintf "b%d" bal) (Printf.sprintf "b%d" b) (string_of_int port))
+      (Topology.feeds net b)
+  done;
+  Array.iteri
+    (fun i s ->
+      match s with
+      | Topology.Net_input j -> edge (Printf.sprintf "in%d" j) (Printf.sprintf "out%d" i) ""
+      | Topology.Bal_output { bal; port } ->
+          edge (Printf.sprintf "b%d" bal) (Printf.sprintf "out%d" i) (string_of_int port))
+    (Topology.outputs net);
+  out "}\n";
+  Buffer.contents buf
+
+let layer_profile net =
+  Array.map
+    (fun layer ->
+      Array.map
+        (fun b ->
+          let descriptor = Topology.balancer net b in
+          (descriptor.Balancer.fan_in, descriptor.Balancer.fan_out))
+        layer)
+    (Topology.layers net)

@@ -1,0 +1,36 @@
+(** Text rendering of balancing networks.
+
+    [describe] works for every topology; [ascii] draws the classic
+    straightened-wire diagram (cf. paper Figs. 11–13) and is available for
+    networks built exclusively from [(2,2)]-balancers. *)
+
+val describe : Topology.t -> string
+(** [describe net] is a multi-line, layer-by-layer listing of balancers
+    with their input sources and output consumers, suitable for any
+    network (including irregular ones). *)
+
+val ascii : Topology.t -> string
+(** [ascii net] draws [net] on horizontal channels, one column per layer,
+    with each [(2,2)]-balancer shown as a vertical connector between the
+    two channels it joins (output port 0 continues on the channel of
+    input port 0, so wires are straightened as in the paper's figures).
+    @raise Invalid_argument if some balancer is not a [(2,2)]-balancer. *)
+
+val svg : Topology.t -> string
+(** [svg net] renders the straightened-wire diagram as a standalone SVG
+    document: horizontal channel lines, one column per layer, each
+    [(2,2)]-balancer drawn as a vertical connector with dot endpoints —
+    the style of the paper's Figs. 11–13.
+    @raise Invalid_argument if some balancer is not a
+    [(2,2)]-balancer. *)
+
+val dot : Topology.t -> string
+(** [dot net] is a Graphviz digraph of [net]: one node per balancer
+    (labelled with its shape), diamond nodes for network inputs and
+    outputs, and one edge per wire labelled with the producing output
+    port.  Render with [dot -Tsvg]. *)
+
+val layer_profile : Topology.t -> (int * int) array array
+(** [layer_profile net] lists, per layer, the [(fan_in, fan_out)] shapes
+    of the layer's balancers in id order — handy for structural
+    assertions in tests. *)

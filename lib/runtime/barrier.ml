@@ -1,0 +1,51 @@
+type t = {
+  counter : Shared_counter.t;
+  parties : int;
+  sense : bool Atomic.t;
+  rounds : int Atomic.t;
+}
+
+let default_network parties =
+  if parties < 2 || parties mod 2 <> 0 then
+    invalid_arg "Barrier.create: parties must be even and >= 2 (or supply a network)";
+  (* Largest power of two dividing parties, as input width. *)
+  let w = parties land -parties in
+  let w = if w > parties then parties else w in
+  (* [w] is a power of two >= 2 and divides parties, so C(w, parties) is
+     valid. *)
+  Cn_core.Counting.network ~w ~t:parties
+
+let create ?network ~parties () =
+  if parties < 2 then invalid_arg "Barrier.create: parties must be >= 2";
+  let net =
+    match network with
+    | Some net ->
+        if Cn_network.Topology.output_width net <> parties then
+          invalid_arg "Barrier.create: network output width must equal parties";
+        net
+    | None -> default_network parties
+  in
+  {
+    counter = Shared_counter.of_topology net;
+    parties;
+    sense = Atomic.make false;
+    rounds = Atomic.make 0;
+  }
+
+let await b ~pid =
+  let sense0 = Atomic.get b.sense in
+  let v = Shared_counter.next b.counter ~pid in
+  (* The token's exit wire is [v mod parties]; the last wire carries the
+     threshold tokens. *)
+  if v mod b.parties = b.parties - 1 then begin
+    Atomic.incr b.rounds;
+    Atomic.set b.sense (not sense0)
+  end
+  else
+    while Atomic.get b.sense = sense0 do
+      Domain.cpu_relax ()
+    done
+
+let parties b = b.parties
+
+let rounds_completed b = Atomic.get b.rounds

@@ -1,0 +1,36 @@
+(** Sense-reversing barriers built on counting networks.
+
+    Counting networks are not linearizable (paper, Section 1.4.2), so
+    the naive “last ticket flips the sense” barrier is unsound.  What
+    they do satisfy is the {e threshold property}
+    (Aspnes–Herlihy–Shavit): the [k]-th token to exit the last output
+    wire does so only after [k·t] tokens have entered.  This barrier
+    therefore uses a network whose output width equals the number of
+    parties: the token exiting the last wire is the round's threshold
+    token — by then everyone has arrived — and it alone toggles the
+    sense. *)
+
+type t
+(** A reusable barrier for a fixed number of parties. *)
+
+val create : ?network:Cn_network.Topology.t -> parties:int -> unit -> t
+(** [create ~parties ()] builds a barrier for [parties] domains.
+
+    Without [network], a counting network [C(w, parties)] is chosen
+    automatically, with [w] the largest power of two dividing [parties]
+    (so [parties] must be even).  A custom [network] must be a counting
+    network with output width exactly [parties].
+    @raise Invalid_argument if [parties < 2], [parties] is odd (and no
+    network is supplied), or the supplied network's output width differs
+    from [parties]. *)
+
+val await : t -> pid:int -> unit
+(** [await b ~pid] blocks until all [parties] processes of the current
+    round have called [await].  Each participating domain must use a
+    distinct [pid] per round. *)
+
+val parties : t -> int
+(** Number of parties. *)
+
+val rounds_completed : t -> int
+(** Number of rounds whose threshold token has been seen so far. *)

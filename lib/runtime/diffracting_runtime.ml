@@ -1,0 +1,102 @@
+module Params = Cn_core.Params
+
+(* Prism slot states. *)
+let empty = 0
+let waiting = 1
+let captured = 2
+
+type node = {
+  toggle : int Atomic.t;
+  prism : int Atomic.t array;
+}
+
+type t = {
+  width : int;
+  depth : int;
+  nodes : node array; (* heap layout: root 0, children of i at 2i+1, 2i+2 *)
+  values : int Atomic.t array; (* per leaf *)
+  patience : int;
+  diffracted : int Atomic.t;
+  toggled : int Atomic.t;
+}
+
+let rng_key =
+  Domain.DLS.new_key (fun () ->
+      Random.State.make [| (Domain.self () :> int); 0x9e3779b9 |])
+
+let create ?(prism_width = 4) ?(patience = 64) ~width () =
+  if not (Params.is_power_of_two width) || width < 2 then
+    invalid_arg "Diffracting_runtime.create: width must be a power of two >= 2";
+  if prism_width <= 0 then invalid_arg "Diffracting_runtime.create: non-positive prism width";
+  if patience < 0 then invalid_arg "Diffracting_runtime.create: negative patience";
+  {
+    width;
+    depth = Params.ilog2 width;
+    nodes =
+      Array.init (width - 1) (fun _ ->
+          {
+            toggle = Atomic.make 0;
+            prism = Array.init prism_width (fun _ -> Atomic.make empty);
+          });
+    values = Array.init width (fun leaf -> Atomic.make leaf);
+    patience;
+    diffracted = Atomic.make 0;
+    toggled = Atomic.make 0;
+  }
+
+(* Visit one node; returns the chosen direction (0 = child 0 / even
+   leaves, 1 = child 1 / odd leaves). *)
+let visit tree node =
+  let rng = Domain.DLS.get rng_key in
+  let slot = node.prism.(Random.State.int rng (Array.length node.prism)) in
+  let toggle_pass () =
+    Atomic.incr tree.toggled;
+    let s = Atomic.fetch_and_add node.toggle 1 in
+    ((s mod 2) + 2) mod 2
+  in
+  if Atomic.compare_and_set slot empty waiting then begin
+    (* Advertised: wait for a partner within the patience window. *)
+    let rec wait spins =
+      if Atomic.get slot = captured then begin
+        (* A partner captured us: we are the first of the pair. *)
+        Atomic.set slot empty;
+        Atomic.incr tree.diffracted;
+        0
+      end
+      else if spins > 0 then begin
+        Domain.cpu_relax ();
+        wait (spins - 1)
+      end
+      else if Atomic.compare_and_set slot waiting empty then toggle_pass ()
+      else begin
+        (* Withdrawal raced with a capture. *)
+        Atomic.set slot empty;
+        Atomic.incr tree.diffracted;
+        0
+      end
+    in
+    wait tree.patience
+  end
+  else if Atomic.compare_and_set slot waiting captured then
+    (* We captured an advertised token: we are the second of the pair. *)
+    1
+  else toggle_pass ()
+
+let next tree =
+  let rec descend node_id level leaf =
+    if level >= tree.depth then leaf
+    else begin
+      let d = visit tree tree.nodes.(node_id) in
+      let child = (2 * node_id) + 1 + d in
+      descend child (level + 1) (leaf lor (d lsl level))
+    end
+  in
+  let leaf = descend 0 0 0 in
+  Atomic.fetch_and_add tree.values.(leaf) tree.width
+
+let diffractions tree = Atomic.get tree.diffracted
+
+let toggle_passes tree = Atomic.get tree.toggled
+
+let exit_distribution tree =
+  Array.init tree.width (fun leaf -> (Atomic.get tree.values.(leaf) - leaf) / tree.width)

@@ -1,0 +1,46 @@
+(** The diffracting tree of Shavit and Zemach with its *prism*
+    optimization (paper, Section 1.4.1) — a runtime-only mechanism that
+    the combinatorial topology in [Cn_baselines.Diffracting] omits.
+
+    Every tree node carries a small array of exchanger slots (the
+    prism).  A token first advertises itself in a random slot; if a
+    second token meets it there within its patience window the pair
+    {e diffracts}: one goes left, one goes right, and neither touches
+    the node's toggle bit — two toggles would have cancelled anyway.
+    Collisions thus convert contention into progress, which is exactly
+    the effect the paper contrasts with its own worst-case guarantees
+    (an adversary can still serialize everyone on the root toggle, so
+    the tree's amortized contention remains [Θ(n)]).
+
+    Quiescent behaviour is identical to the plain tree: diffraction
+    preserves the balancer semantics, so after any run the values handed
+    out are a dense prefix of the ID space (tested over domains). *)
+
+type t
+(** A prism-equipped diffracting tree handing out counter values. *)
+
+val create : ?prism_width:int -> ?patience:int -> width:int -> unit -> t
+(** [create ~width ()] builds a tree with [width] leaves ([width] a
+    power of two [>= 2]).  [prism_width] (default [4]) is the number of
+    exchanger slots per node; [patience] (default [64]) is the number of
+    spins a waiting token invests before giving up on diffraction and
+    using the toggle.
+    @raise Invalid_argument on a bad width, non-positive prism width, or
+    negative patience. *)
+
+val next : t -> int
+(** [next tree] shepherds one token from the root and returns the
+    counter value assigned at its leaf.  Thread-safe. *)
+
+val diffractions : t -> int
+(** Number of token pairs that met in a prism and diffracted so far —
+    the contention converted into progress. *)
+
+val toggle_passes : t -> int
+(** Number of toggle-bit traversals so far.  Every token performs
+    [lg width] node visits; each visit ends in either half a
+    diffraction or one toggle pass. *)
+
+val exit_distribution : t -> Cn_sequence.Sequence.t
+(** Tokens handed out per leaf so far; a step sequence (w.r.t. leaf
+    order) in any quiescent state. *)

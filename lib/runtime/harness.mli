@@ -1,0 +1,34 @@
+(** Multi-domain measurement harness for shared counters (experiment E5;
+    the real-system side of the comparison reported in Section 1.3.1).
+
+    Note on this environment: on a single-core host OCaml domains
+    timeshare rather than run in parallel, so absolute throughputs
+    understate contention effects; relative per-implementation shapes
+    remain indicative, and correctness checks are unaffected. *)
+
+type result = {
+  counter : string;  (** implementation name *)
+  domains : int;
+  total_ops : int;
+  seconds : float;
+  ops_per_sec : float;
+}
+
+val throughput :
+  make:(unit -> Shared_counter.t) -> domains:int -> ops_per_domain:int -> result
+(** [throughput ~make ~domains ~ops_per_domain] spawns [domains] domains
+    over a fresh counter, each performing [ops_per_domain] increments,
+    and reports aggregate throughput.  Uses a start barrier so all
+    domains race together.
+    @raise Invalid_argument if [domains <= 0] or [ops_per_domain < 0]. *)
+
+val run_collect :
+  make:(unit -> Shared_counter.t) -> domains:int -> ops_per_domain:int -> int array array
+(** [run_collect ~make ~domains ~ops_per_domain] performs the same run
+    but returns the values each domain obtained, for correctness
+    checks. *)
+
+val values_are_a_range : int array array -> bool
+(** [values_are_a_range vss] holds iff the collected values are exactly
+    [{0, ..., total - 1}] with no duplicates — the [Fetch&Increment]
+    contract of a quiesced counting network. *)

@@ -1,0 +1,121 @@
+module Topology = Cn_network.Topology
+module Balancer = Cn_network.Balancer
+
+type mode = Faa | Cas
+
+(* Destinations are encoded as ints: a non-negative value is a balancer
+   id; a negative value [-(wire + 1)] is a network output wire. *)
+let encode_dest = function
+  | Topology.Bal_input { bal; port = _ } -> bal
+  | Topology.Net_output i -> -(i + 1)
+
+type t = {
+  mode : mode;
+  input_width : int;
+  output_width : int;
+  states : int Atomic.t array; (* per balancer: monotone transition count *)
+  init_states : int array;
+  fan_out : int array;
+  next : int array array; (* per balancer, per port: encoded destination *)
+  entry : int array; (* per input wire: encoded destination *)
+  values : int Atomic.t array; (* per output wire: next value to hand out *)
+  failures : int Atomic.t;
+}
+
+let compile ?(mode = Faa) net =
+  let n = Topology.size net in
+  let t = Topology.output_width net in
+  let init_states = Array.init n (fun b -> (Topology.balancer net b).Balancer.init_state) in
+  {
+    mode;
+    input_width = Topology.input_width net;
+    output_width = t;
+    states = Array.init n (fun b -> Atomic.make init_states.(b));
+    init_states;
+    fan_out = Array.init n (fun b -> (Topology.balancer net b).Balancer.fan_out);
+    next =
+      Array.init n (fun b ->
+          let q = (Topology.balancer net b).Balancer.fan_out in
+          Array.init q (fun port ->
+              encode_dest (Topology.consumer net (Topology.Bal_output { bal = b; port }))));
+    entry =
+      Array.init (Topology.input_width net) (fun i ->
+          encode_dest (Topology.consumer net (Topology.Net_input i)));
+    values = Array.init t (fun i -> Atomic.make i);
+    failures = Atomic.make 0;
+  }
+
+let mode rt = rt.mode
+let input_width rt = rt.input_width
+let output_width rt = rt.output_width
+
+let cross_faa rt b = Atomic.fetch_and_add rt.states.(b) 1
+
+let rec cross_cas rt b =
+  let s = Atomic.get rt.states.(b) in
+  if Atomic.compare_and_set rt.states.(b) s (s + 1) then s
+  else begin
+    (* A concurrent token won the balancer: that is a stall. *)
+    Atomic.incr rt.failures;
+    Domain.cpu_relax ();
+    cross_cas rt b
+  end
+
+let traverse rt ~wire =
+  if wire < 0 || wire >= rt.input_width then invalid_arg "Network_runtime.traverse: wire out of range";
+  let cross = match rt.mode with Faa -> cross_faa | Cas -> cross_cas in
+  let rec walk dest =
+    if dest >= 0 then begin
+      let s = cross rt dest in
+      let q = rt.fan_out.(dest) in
+      (* States may be negative after antitoken decrements. *)
+      let port = (s mod q + q) mod q in
+      walk rt.next.(dest).(port)
+    end
+    else begin
+      let out = -dest - 1 in
+      Atomic.fetch_and_add rt.values.(out) rt.output_width
+    end
+  in
+  walk rt.entry.(wire)
+
+let cross_dec_faa rt b = Atomic.fetch_and_add rt.states.(b) (-1) - 1
+
+let rec cross_dec_cas rt b =
+  let s = Atomic.get rt.states.(b) in
+  if Atomic.compare_and_set rt.states.(b) s (s - 1) then s - 1
+  else begin
+    Atomic.incr rt.failures;
+    Domain.cpu_relax ();
+    cross_dec_cas rt b
+  end
+
+let traverse_decrement rt ~wire =
+  if wire < 0 || wire >= rt.input_width then
+    invalid_arg "Network_runtime.traverse_decrement: wire out of range";
+  let cross = match rt.mode with Faa -> cross_dec_faa | Cas -> cross_dec_cas in
+  let rec walk dest =
+    if dest >= 0 then begin
+      let s = cross rt dest in
+      let q = rt.fan_out.(dest) in
+      let port = (s mod q + q) mod q in
+      walk rt.next.(dest).(port)
+    end
+    else begin
+      let out = -dest - 1 in
+      Atomic.fetch_and_add rt.values.(out) (-rt.output_width) - rt.output_width
+    end
+  in
+  walk rt.entry.(wire)
+
+let exit_distribution rt =
+  (* Output wire [i] hands out [i, i + t, ...]; its next value [v]
+     encodes the number of exits as [(v - i) / t]. *)
+  Array.init rt.output_width (fun i -> (Atomic.get rt.values.(i) - i) / rt.output_width)
+
+let cas_failures rt = Atomic.get rt.failures
+
+let reset rt =
+  Array.iteri (fun b s -> Atomic.set rt.states.(b) s) rt.init_states;
+  Array.iteri (fun i c -> Atomic.set c i) rt.values;
+  Atomic.set rt.failures 0

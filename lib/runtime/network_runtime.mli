@@ -1,0 +1,63 @@
+(** Shared-memory execution of balancing networks on OCaml 5 multicore
+    (paper, Section 1.2).
+
+    Each balancer is one shared memory word holding its state; wires are
+    precompiled jump tables.  Tokens are traversals performed by domains;
+    each output wire [i] carries an assignment cell handing out the values
+    [i, i + t, i + 2t, ...] so a full traversal implements
+    [Fetch&Increment] on a distributed counter.
+
+    Two balancer implementations are provided: [Faa] uses
+    [Atomic.fetch_and_add] (wait-free, fastest) and [Cas] uses a
+    compare-and-set retry loop whose failures are counted — the runtime
+    analogue of the stall accounting in [Cn_sim]. *)
+
+type mode = Faa | Cas
+(** Balancer implementation: atomic fetch-and-add, or an instrumented
+    CAS retry loop. *)
+
+type t
+(** A compiled network ready for concurrent traversals. *)
+
+val compile : ?mode:mode -> Cn_network.Topology.t -> t
+(** [compile net] builds the runtime representation (default mode
+    [Faa]). *)
+
+val mode : t -> mode
+(** Implementation mode chosen at compile time. *)
+
+val input_width : t -> int
+(** Network input width [w]. *)
+
+val output_width : t -> int
+(** Network output width [t]. *)
+
+val traverse : t -> wire:int -> int
+(** [traverse rt ~wire] shepherds one token from input wire [wire]
+    through the network and returns the counter value assigned at its
+    exit wire.  Thread-safe; called concurrently from many domains.
+    @raise Invalid_argument if [wire] is out of range. *)
+
+val traverse_decrement : t -> wire:int -> int
+(** [traverse_decrement rt ~wire] shepherds one *antitoken* from input
+    wire [wire]: every balancer state is decremented instead of
+    incremented, undoing one token (Aiello et al.; paper,
+    Section 1.4.2), and the assignment cell at the exit wire is rolled
+    back by [t].  Returns the value given back to the counter — the
+    value the next token exiting that wire will receive.  Sequentially,
+    [traverse] after [traverse_decrement] returns the same value the
+    antitoken reclaimed, implementing [Fetch&Decrement].
+    @raise Invalid_argument if [wire] is out of range. *)
+
+val exit_distribution : t -> Cn_sequence.Sequence.t
+(** [exit_distribution rt] is the number of tokens that have exited on
+    each output wire so far (derived from the assignment cells);  a step
+    sequence in any quiescent state of a counting network. *)
+
+val cas_failures : t -> int
+(** Total CAS retry failures so far ([0] in [Faa] mode) — a lower bound
+    on memory-contention events experienced by tokens. *)
+
+val reset : t -> unit
+(** [reset rt] restores initial balancer states and assignment cells.
+    Must not run concurrently with traversals. *)

@@ -1,0 +1,101 @@
+type t = int array
+
+let length = Array.length
+
+let sum x = Array.fold_left ( + ) 0 x
+
+let require_nonempty name x =
+  if Array.length x = 0 then invalid_arg (name ^ ": empty sequence")
+
+let max_value x =
+  require_nonempty "Sequence.max_value" x;
+  Array.fold_left max x.(0) x
+
+let min_value x =
+  require_nonempty "Sequence.min_value" x;
+  Array.fold_left min x.(0) x
+
+let spread x = max_value x - min_value x
+
+let is_smooth k x = Array.length x = 0 || spread x <= k
+
+let is_step x =
+  let w = Array.length x in
+  let rec check i =
+    if i >= w then true
+    else
+      let d = x.(i - 1) - x.(i) in
+      if d = 0 || d = 1 then
+        (* Elements never increase along a step sequence, and a drop is
+           final: once the value has dropped, all later elements equal the
+           smaller value.  Checking adjacent pairs plus the global bound
+           is equivalent to checking all pairs. *)
+        check (i + 1)
+      else false
+  in
+  w = 0 || (check 1 && x.(0) - x.(w - 1) <= 1)
+
+let step_point x =
+  require_nonempty "Sequence.step_point" x;
+  if not (is_step x) then invalid_arg "Sequence.step_point: not a step sequence";
+  let w = Array.length x in
+  let rec find i = if i >= w then w else if x.(i) < x.(i - 1) then i else find (i + 1) in
+  find 1
+
+let ceil_div a b =
+  if b <= 0 then invalid_arg "Sequence.ceil_div: non-positive divisor";
+  if a >= 0 then (a + b - 1) / b else -(-a / b)
+
+let step_element ~total ~width i =
+  if width <= 0 then invalid_arg "Sequence.step_element: width <= 0";
+  if i < 0 || i >= width then invalid_arg "Sequence.step_element: index out of range";
+  ceil_div (total - i) width
+
+let make_step ~total ~width =
+  if width <= 0 then invalid_arg "Sequence.make_step: width <= 0";
+  if total < 0 then invalid_arg "Sequence.make_step: total < 0";
+  Array.init width (fun i -> step_element ~total ~width i)
+
+let even_subsequence x =
+  Array.init ((Array.length x + 1) / 2) (fun i -> x.(2 * i))
+
+let odd_subsequence x = Array.init (Array.length x / 2) (fun i -> x.((2 * i) + 1))
+
+let first_half x =
+  let w = Array.length x in
+  if w mod 2 <> 0 then invalid_arg "Sequence.first_half: odd length";
+  Array.sub x 0 (w / 2)
+
+let second_half x =
+  let w = Array.length x in
+  if w mod 2 <> 0 then invalid_arg "Sequence.second_half: odd length";
+  Array.sub x (w / 2) (w / 2)
+
+let halves x = (first_half x, second_half x)
+
+let interleave e o =
+  let ne = Array.length e and no = Array.length o in
+  if ne <> no then invalid_arg "Sequence.interleave: length mismatch";
+  Array.init (ne + no) (fun i -> if i mod 2 = 0 then e.(i / 2) else o.(i / 2))
+
+let concat = Array.append
+
+let subsequence x idx =
+  let w = Array.length x in
+  let last = ref (-1) in
+  Array.map
+    (fun i ->
+      if i <= !last || i >= w then
+        invalid_arg "Sequence.subsequence: indices must be strictly increasing and in range";
+      last := i;
+      x.(i))
+    idx
+
+let equal a b = a = b
+
+let pp ppf x =
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_array ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") Format.pp_print_int)
+    x
+
+let to_string x = Format.asprintf "%a" pp x

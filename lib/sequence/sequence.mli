@@ -1,0 +1,97 @@
+(** Integer sequences and the step / [k]-smooth properties (paper, Section
+    2.1).
+
+    A sequence of length [w] represents the number of tokens observed on
+    each of [w] wires of a balancing network in a quiescent state.  All
+    functions treat the underlying [int array] as immutable; none of them
+    mutates its argument. *)
+
+type t = int array
+(** A sequence [x(w) = x0, x1, ..., x_{w-1}].  Elements are token counts
+    and are normally non-negative, but the algebra below does not require
+    it. *)
+
+val length : t -> int
+(** [length x] is the number of elements [w] of [x]. *)
+
+val sum : t -> int
+(** [sum x] is [x0 + x1 + ... + x_{w-1}], written [Σ(x)] in the paper. *)
+
+val max_value : t -> int
+(** [max_value x] is the largest element of [x].
+    @raise Invalid_argument on the empty sequence. *)
+
+val min_value : t -> int
+(** [min_value x] is the smallest element of [x].
+    @raise Invalid_argument on the empty sequence. *)
+
+val spread : t -> int
+(** [spread x = max_value x - min_value x]; the smallest [k] for which [x]
+    is [k]-smooth.  @raise Invalid_argument on the empty sequence. *)
+
+val is_smooth : int -> t -> bool
+(** [is_smooth k x] holds iff [|xi - xj| <= k] for all pairs [i, j] — the
+    [k]-smooth property.  The empty sequence is vacuously smooth. *)
+
+val is_step : t -> bool
+(** [is_step x] holds iff [0 <= xi - xj <= 1] for all [i < j] — the step
+    property.  Every step sequence is 1-smooth. *)
+
+val step_point : t -> int
+(** [step_point x] is the unique index [i] with [x_i < x_{i-1}], or
+    [length x] when all elements are equal (paper convention:
+    [1 <= step_point x <= length x]).
+    @raise Invalid_argument if [x] is not step or is empty. *)
+
+val step_element : total:int -> width:int -> int -> int
+(** [step_element ~total ~width i] is the closed form of Eq. (1):
+    [ceil ((total - i) / width)] — element [i] of the unique step sequence
+    of length [width] summing to [total].
+    @raise Invalid_argument if [width <= 0] or [i] is out of range. *)
+
+val make_step : total:int -> width:int -> t
+(** [make_step ~total ~width] is the unique step sequence of length
+    [width] whose elements sum to [total >= 0].
+    @raise Invalid_argument if [width <= 0] or [total < 0]. *)
+
+val even_subsequence : t -> t
+(** [even_subsequence x] is [x0, x2, x4, ...]. *)
+
+val odd_subsequence : t -> t
+(** [odd_subsequence x] is [x1, x3, x5, ...]. *)
+
+val first_half : t -> t
+(** [first_half x] is [x0 ... x_{w/2-1}].
+    @raise Invalid_argument if the length is odd. *)
+
+val second_half : t -> t
+(** [second_half x] is [x_{w/2} ... x_{w-1}].
+    @raise Invalid_argument if the length is odd. *)
+
+val halves : t -> t * t
+(** [halves x = (first_half x, second_half x)]. *)
+
+val interleave : t -> t -> t
+(** [interleave e o] is the sequence whose even subsequence is [e] and odd
+    subsequence is [o].  @raise Invalid_argument if lengths differ. *)
+
+val concat : t -> t -> t
+(** [concat x y] appends [y] after [x]. *)
+
+val subsequence : t -> int array -> t
+(** [subsequence x idx] extracts elements at strictly increasing indices
+    [idx].  @raise Invalid_argument if indices are not strictly
+    increasing or out of range. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is [⌈a / b⌉] for [b > 0] and any sign of [a].
+    @raise Invalid_argument if [b <= 0]. *)
+
+val equal : t -> t -> bool
+(** Structural equality of sequences. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [[x0; x1; ...]]. *)
+
+val to_string : t -> string
+(** [to_string x] is [Format.asprintf "%a" pp x]. *)

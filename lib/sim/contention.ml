@@ -1,0 +1,46 @@
+module Sequence = Cn_sequence.Sequence
+
+type measurement = {
+  strategy : string;
+  stalls : int;
+  tokens : int;
+  per_token : float;
+  per_layer : int array;
+  max_token_stalls : int;
+  step_ok : bool;
+}
+
+let measure net ~n ~m strategy =
+  let s = Stall_model.create net ~concurrency:n ~tokens:m in
+  Scheduler.run s strategy;
+  let stalls = Stall_model.total_stalls s in
+  let max_token_stalls =
+    Array.fold_left (fun acc op -> max acc op.Stall_model.stalls) 0 (Stall_model.history s)
+  in
+  {
+    strategy = Scheduler.strategy_name strategy;
+    stalls;
+    tokens = m;
+    per_token = (if m = 0 then 0. else float_of_int stalls /. float_of_int m);
+    per_layer = Stall_model.stalls_per_layer s;
+    max_token_stalls;
+    step_ok = Sequence.is_step (Stall_model.output_counts s);
+  }
+
+let worst ?strategies net ~n ~m =
+  let strategies = match strategies with Some l -> l | None -> Scheduler.all ~seed:1 in
+  match strategies with
+  | [] -> invalid_arg "Contention.worst: empty strategy list"
+  | first :: rest ->
+      List.fold_left
+        (fun acc strategy ->
+          let r = measure net ~n ~m strategy in
+          if r.per_token > acc.per_token then r else acc)
+        (measure net ~n ~m first) rest
+
+let worst_over_seeds ?(seeds = [ 1; 2; 3; 4; 5 ]) net ~n ~m =
+  let strategies = List.concat_map (fun seed -> Scheduler.all ~seed) seeds in
+  worst ~strategies net ~n ~m
+
+let sweep ?strategies net ~ns ~m_per_n =
+  List.map (fun n -> (n, worst ?strategies net ~n ~m:(m_per_n * n))) ns

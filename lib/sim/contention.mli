@@ -1,0 +1,54 @@
+(** Amortized-contention estimation (paper, Sections 1.2 and 6).
+
+    [cont(B, n, m)] is approximated by running [m] tokens at concurrency
+    [n] under each strategy of a portfolio and reporting the worst
+    stalls/token observed; [cont(B, n)] is approximated by choosing
+    [m >> n]. *)
+
+type measurement = {
+  strategy : string;
+  stalls : int;
+  tokens : int;
+  per_token : float;  (** [stalls / tokens] *)
+  per_layer : int array;  (** stalls per network layer *)
+  max_token_stalls : int;
+      (** worst stalls suffered by any single token — the fairness view:
+          amortized contention bounds the average, but an adversary can
+          concentrate stalls on one victim token *)
+  step_ok : bool;  (** final output distribution satisfied the step property *)
+}
+
+val measure :
+  Cn_network.Topology.t -> n:int -> m:int -> Scheduler.strategy -> measurement
+(** [measure net ~n ~m strategy] runs one execution to completion and
+    reports its stall statistics.  [step_ok] applies the step check to
+    the final output counts (meaningful for counting networks). *)
+
+val worst :
+  ?strategies:Scheduler.strategy list ->
+  Cn_network.Topology.t ->
+  n:int ->
+  m:int ->
+  measurement
+(** [worst net ~n ~m] is the measurement with the highest stalls/token
+    across the portfolio (default [Scheduler.all ~seed:1]). *)
+
+val worst_over_seeds :
+  ?seeds:int list ->
+  Cn_network.Topology.t ->
+  n:int ->
+  m:int ->
+  measurement
+(** [worst_over_seeds net ~n ~m] runs the whole portfolio once per seed
+    (default seeds [1..5]) and keeps the global worst — a sturdier
+    adversary estimate at ~5x the cost. *)
+
+val sweep :
+  ?strategies:Scheduler.strategy list ->
+  Cn_network.Topology.t ->
+  ns:int list ->
+  m_per_n:int ->
+  (int * measurement) list
+(** [sweep net ~ns ~m_per_n] measures [worst] at each concurrency
+    [n ∈ ns] with [m = m_per_n · n] tokens, so the token load scales with
+    the concurrency. *)

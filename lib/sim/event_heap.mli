@@ -1,0 +1,23 @@
+(** A minimal binary min-heap keyed by [(time, sequence)] used by the
+    discrete-event simulator.  The sequence number makes the order of
+    simultaneous events deterministic (FIFO). *)
+
+type 'a t
+(** Mutable heap of events carrying payloads of type ['a]. *)
+
+val create : unit -> 'a t
+(** An empty heap. *)
+
+val push : 'a t -> time:float -> 'a -> unit
+(** [push h ~time payload] inserts an event.  Events pushed with equal
+    [time] pop in push order. *)
+
+val pop : 'a t -> (float * 'a) option
+(** [pop h] removes and returns the earliest event, or [None] when
+    empty. *)
+
+val size : 'a t -> int
+(** Number of pending events. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty h] iff no event is pending. *)

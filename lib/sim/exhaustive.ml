@@ -1,0 +1,95 @@
+module Topology = Cn_network.Topology
+module Balancer = Cn_network.Balancer
+
+(* Execution state for the search: balancer states, plus per process its
+   position (balancer id, or -1 when done) and remaining quota.  Output
+   counters are not part of the state: stalls depend only on token
+   positions. *)
+type state = { bals : int array; pos : int array; quota : int array }
+
+let key state =
+  (* Compact string key for the memo table. *)
+  let buf = Buffer.create 64 in
+  Array.iter (fun v -> Buffer.add_char buf (Char.chr (v land 0xff))) state.bals;
+  Buffer.add_char buf '|';
+  Array.iter
+    (fun v -> Buffer.add_char buf (Char.chr ((v + 2) land 0xff)))
+    state.pos;
+  Buffer.add_char buf '|';
+  Array.iter (fun v -> Buffer.add_char buf (Char.chr (v land 0xff))) state.quota;
+  Buffer.contents buf
+
+let search ~better ~limit_states net ~n ~m =
+  if n <= 0 then invalid_arg "Exhaustive: concurrency must be positive";
+  if m < 0 then invalid_arg "Exhaustive: negative token count";
+  let w = Topology.input_width net in
+  let entry_of wire =
+    match Topology.consumer net (Topology.Net_input wire) with
+    | Topology.Bal_input { bal; port = _ } -> bal
+    | Topology.Net_output _ -> -1 (* bare wire: tokens never wait *)
+  in
+  let entries = Array.init w entry_of in
+  (* Initial state mirrors Stall_model.create. *)
+  let pos = Array.make n (-1) in
+  let quota = Array.make n 0 in
+  for p = 0 to n - 1 do
+    let share = (m / n) + (if p < m mod n then 1 else 0) in
+    if share > 0 then begin
+      quota.(p) <- share - 1;
+      pos.(p) <- entries.(p mod w)
+      (* A bare entry wire completes the token instantly; consume the
+         whole quota with zero stalls. *)
+    end
+  done;
+  (* Normalize: processes sitting on bare wires (-1 position but quota
+     left) contribute nothing. *)
+  for p = 0 to n - 1 do
+    if pos.(p) = -1 then quota.(p) <- 0
+  done;
+  let init = { bals = Array.init (Topology.size net) (fun b -> (Topology.balancer net b).Balancer.init_state); pos; quota } in
+  let memo : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+  let rec solve state =
+    let k = key state in
+    match Hashtbl.find_opt memo k with
+    | Some v -> v
+    | None ->
+        if Hashtbl.length memo >= limit_states then
+          invalid_arg "Exhaustive: state-space limit exceeded";
+        (* Count waiters per balancer once. *)
+        let waiting = Array.make (Topology.size net) 0 in
+        Array.iter (fun b -> if b >= 0 then waiting.(b) <- waiting.(b) + 1) state.pos;
+        let best = ref None in
+        Array.iteri
+          (fun p b ->
+            if b >= 0 then begin
+              let stalls_now = waiting.(b) - 1 in
+              (* Fire process p at balancer b. *)
+              let descriptor = Topology.balancer net b in
+              let port = state.bals.(b) in
+              let bals = Array.copy state.bals in
+              bals.(b) <- (port + 1) mod descriptor.Balancer.fan_out;
+              let pos = Array.copy state.pos in
+              let quota = Array.copy state.quota in
+              (match Topology.consumer net (Topology.Bal_output { bal = b; port }) with
+              | Topology.Bal_input { bal = next; port = _ } -> pos.(p) <- next
+              | Topology.Net_output _ ->
+                  if quota.(p) > 0 then begin
+                    quota.(p) <- quota.(p) - 1;
+                    pos.(p) <- entries.(p mod w)
+                  end
+                  else pos.(p) <- -1);
+              let v = stalls_now + solve { bals; pos; quota } in
+              best := Some (match !best with None -> v | Some b -> better b v)
+            end)
+          state.pos;
+        let v = match !best with None -> 0 (* quiescent *) | Some v -> v in
+        Hashtbl.replace memo k v;
+        v
+  in
+  solve init
+
+let max_contention ?(limit_states = 2_000_000) net ~n ~m =
+  search ~better:max ~limit_states net ~n ~m
+
+let min_contention ?(limit_states = 2_000_000) net ~n ~m =
+  search ~better:min ~limit_states net ~n ~m

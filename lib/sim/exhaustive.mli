@@ -1,0 +1,27 @@
+(** Exact worst-case contention by exhaustive schedule exploration.
+
+    The paper's [cont(B, n, m)] is a maximum over *all* schedules
+    (Section 1.2); the heuristic adversaries in {!Scheduler} only lower
+    bound it.  For small instances this module computes it exactly: a
+    depth-first search over every scheduling decision, memoized on the
+    execution state (balancer states plus each process's position and
+    remaining quota — future stalls depend on nothing else).
+
+    State spaces blow up quickly; the [limit_states] cap (default
+    [2_000_000] memo entries) turns runaway instances into
+    [Invalid_argument] rather than memory exhaustion. *)
+
+val max_contention :
+  ?limit_states:int -> Cn_network.Topology.t -> n:int -> m:int -> int
+(** [max_contention net ~n ~m] is the exact [cont(net, n, m)]: the
+    maximum total number of stalls over every schedule of [m] tokens
+    issued by [n] processes (process [l] on wire [l mod w], quotas as in
+    {!Stall_model.create}).
+    @raise Invalid_argument if [n <= 0], [m < 0], or the memo table
+    exceeds [limit_states]. *)
+
+val min_contention :
+  ?limit_states:int -> Cn_network.Topology.t -> n:int -> m:int -> int
+(** [min_contention net ~n ~m] is the best-case total stalls over every
+    schedule — usually [0], but not always: tokens forced through a
+    shared entry balancer must collide. *)

@@ -1,0 +1,55 @@
+let violation ops =
+  let sorted = Array.copy ops in
+  Array.sort (fun a b -> compare a.Stall_model.value b.Stall_model.value) sorted;
+  let n = Array.length sorted in
+  if n = 0 then None
+  else begin
+    (* The value order is the only candidate linearization; it is
+       consistent with real time iff no operation responds before a
+       smaller-valued operation is invoked.  Scan values in decreasing
+       order keeping the earliest response seen; a violation pairs that
+       response with a later invocation of a smaller value. *)
+    let best = ref None in
+    let min_resp = ref sorted.(n - 1) in
+    for i = n - 2 downto 0 do
+      let a = !min_resp and b = sorted.(i) in
+      (* a has larger value than b *)
+      if a.Stall_model.response < b.Stall_model.invoke then best := Some (a, b);
+      if sorted.(i).Stall_model.response < (!min_resp).Stall_model.response then
+        min_resp := sorted.(i)
+    done;
+    !best
+  end
+
+let is_linearizable ops = violation ops = None
+
+let is_dense ops =
+  let m = Array.length ops in
+  let seen = Array.make m false in
+  let ok = ref true in
+  Array.iter
+    (fun op ->
+      let v = op.Stall_model.value in
+      if v < 0 || v >= m || seen.(v) then ok := false else seen.(v) <- true)
+    ops;
+  !ok && Array.for_all (fun b -> b) seen
+
+let find_violation ?(seeds = List.init 50 (fun i -> i)) net ~n ~m =
+  let attempt strategy =
+    let s = Stall_model.create net ~concurrency:n ~tokens:m in
+    Scheduler.run s strategy;
+    violation (Stall_model.history s)
+  in
+  let rec try_seeds = function
+    | [] -> None
+    | seed :: rest -> (
+        (* The parking adversary finds inversions by construction; random
+           schedules occasionally do. *)
+        match attempt (Scheduler.Park seed) with
+        | Some pair -> Some pair
+        | None -> (
+            match attempt (Scheduler.Random seed) with
+            | Some pair -> Some pair
+            | None -> try_seeds rest))
+  in
+  try_seeds seeds

@@ -1,0 +1,39 @@
+(** Linearizability analysis of [Fetch&Increment] histories (paper,
+    Section 1.4.2; Herlihy–Shavit–Waarts, “Linearizable counting
+    networks”).
+
+    For a shared counter the only candidate linearization is the value
+    order, so a history is linearizable iff the value order never
+    contradicts real time: whenever operation [a] responds before [b] is
+    invoked, [a]'s value must be smaller.  Counting networks are
+    quiescently consistent but *not* linearizable — an adversary can
+    park a token in the network while later tokens overtake it and drain
+    smaller values — and the Herlihy–Shavit–Waarts lower bound says
+    fixing this costs [Ω(n)] depth.  These checkers make the violation
+    concrete. *)
+
+val violation :
+  Stall_model.op array -> (Stall_model.op * Stall_model.op) option
+(** [violation ops] is a pair [(a, b)] with [a.response < b.invoke] yet
+    [a.value > b.value], if one exists: a witness that no linearization
+    exists.  [None] means the history is linearizable. *)
+
+val is_linearizable : Stall_model.op array -> bool
+(** [is_linearizable ops = (violation ops = None)]. *)
+
+val is_dense : Stall_model.op array -> bool
+(** [is_dense ops] holds iff the values are exactly [{0, ..., m-1}] —
+    the quiescent-consistency contract every counting network does
+    satisfy. *)
+
+val find_violation :
+  ?seeds:int list ->
+  Cn_network.Topology.t ->
+  n:int ->
+  m:int ->
+  (Stall_model.op * Stall_model.op) option
+(** [find_violation net ~n ~m] searches random schedules (default seeds
+    [0..49]) for a non-linearizable history of the network used as a
+    counter at concurrency [n] with [m] tokens.  For counting networks
+    of depth [>= 2] a violation typically surfaces within a few seeds;
+    for an actually linearizable counter it returns [None]. *)

@@ -1,0 +1,117 @@
+type strategy = Random of int | Round_robin | Max_queue | Herd of int | Replay of int array | Park of int
+
+let strategy_name = function
+  | Random _ -> "random"
+  | Round_robin -> "round-robin"
+  | Max_queue -> "max-queue"
+  | Herd _ -> "herd"
+  | Park _ -> "park"
+  | Replay _ -> "replay"
+
+let all ~seed = [ Random seed; Round_robin; Max_queue; Herd seed; Park seed ]
+
+let run_random s seed =
+  let rng = Random.State.make [| seed |] in
+  (* Snapshot the waiting set, fire it in a random order, re-snapshot:
+     firing never removes *other* processes from the waiting set, so each
+     sampled entry only needs re-validation, not re-lookup. *)
+  while not (Stall_model.finished s) do
+    let waiting = Array.of_list (Stall_model.waiting_processes s) in
+    let batch = Array.length waiting in
+    (* Fire a whole random permutation of the current waiting set between
+       re-snapshots; each fire keeps the chosen process valid because
+       firing never removes *other* processes from waiting. *)
+    let order = Array.init batch (fun i -> i) in
+    for i = batch - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let tmp = order.(i) in
+      order.(i) <- order.(j);
+      order.(j) <- tmp
+    done;
+    Array.iter
+      (fun idx ->
+        let p = waiting.(idx) in
+        if Stall_model.is_waiting s p then Stall_model.fire s p)
+      order
+  done
+
+let run_round_robin s =
+  let n = Stall_model.concurrency s in
+  let p = ref 0 in
+  while not (Stall_model.finished s) do
+    if Stall_model.is_waiting s !p then Stall_model.fire s !p;
+    p := (!p + 1) mod n
+  done
+
+let run_max_queue s =
+  while not (Stall_model.finished s) do
+    match Stall_model.crowded_balancer s with
+    | None -> ()
+    | Some b -> (
+        match Stall_model.process_at s b with
+        | Some p -> Stall_model.fire s p
+        | None -> ())
+  done
+
+let run_herd s seed =
+  let rng = Random.State.make [| seed |] in
+  while not (Stall_model.finished s) do
+    let waiting = Array.of_list (Stall_model.waiting_processes s) in
+    if Array.length waiting > 0 then begin
+      let p = waiting.(Random.State.int rng (Array.length waiting)) in
+      let b = Stall_model.balancer_of s p in
+      (* Drain balancer [b] completely: every fire charges the full
+         remaining queue, manufacturing a convoy. *)
+      let rec drain () =
+        match Stall_model.process_at s b with
+        | Some q ->
+            Stall_model.fire s q;
+            drain ()
+        | None -> ()
+      in
+      drain ()
+    end
+  done
+
+(* Park process 0 one hop into the network while everyone else runs to
+   completion, then release it: the classic schedule showing counting
+   networks are not linearizable (the parked token keeps one output
+   wire's values unclaimed while later-invoked tokens overtake it). *)
+let run_park s seed =
+  let rng = Random.State.make [| seed |] in
+  if Stall_model.is_waiting s 0 then Stall_model.fire s 0;
+  let rec others () =
+    let ws = List.filter (fun p -> p <> 0) (Stall_model.waiting_processes s) in
+    match ws with
+    | [] -> ()
+    | _ ->
+        let arr = Array.of_list ws in
+        Stall_model.fire s arr.(Random.State.int rng (Array.length arr));
+        others ()
+  in
+  others ();
+  while not (Stall_model.finished s) do
+    if Stall_model.is_waiting s 0 then Stall_model.fire s 0
+    else begin
+      (* Process 0 re-injected and other processes are done; drain any
+         stragglers. *)
+      match Stall_model.waiting_processes s with
+      | p :: _ -> Stall_model.fire s p
+      | [] -> ()
+    end
+  done
+
+let run_replay s trace =
+  Array.iter
+    (fun p -> if Stall_model.is_waiting s p then Stall_model.fire s p)
+    trace;
+  (* Finish any remainder fairly so the execution always completes. *)
+  run_round_robin s
+
+let run s = function
+  | Random seed -> run_random s seed
+  | Round_robin -> run_round_robin s
+  | Max_queue -> run_max_queue s
+  | Herd seed -> run_herd s seed
+  | Park seed -> run_park s seed
+  | Replay trace -> run_replay s trace

@@ -1,0 +1,39 @@
+(** Schedules driving {!Stall_model} executions.
+
+    Amortized contention is a supremum over adversary schedules; no
+    executable scheduler realizes the formal adversary, so this module
+    offers a spread of strategies — a fair baseline, randomized
+    schedules, and greedy adversarial heuristics — whose worst observed
+    stalls/token is reported by {!Contention}. *)
+
+type strategy =
+  | Random of int
+      (** Fire a uniformly random waiting token; the seed makes runs
+          reproducible. *)
+  | Round_robin  (** Cycle over processes, firing each waiting one in turn. *)
+  | Max_queue
+      (** Always fire at a balancer with the longest waiting queue —
+          a greedy adversary that maximizes immediate stall charges. *)
+  | Herd of int
+      (** Let queues build: repeatedly pick a random balancer among those
+          with waiting tokens, then drain it completely before moving
+          on — an adversary that manufactures convoys (seeded). *)
+  | Replay of int array
+      (** Fire exactly the given process ids in order (skipping any that
+          are not waiting), then finish round-robin: replays a schedule
+          captured with [Stall_model.fire_trace] for regression
+          pinning. *)
+  | Park of int
+      (** Park process 0 one hop into the network while every other
+          process runs to completion (randomly, seeded), then release
+          it — the schedule that witnesses non-linearizability
+          (Section 1.4.2) and starves one output wire. *)
+
+val strategy_name : strategy -> string
+(** Short printable name ("random", "round-robin", ...). *)
+
+val all : seed:int -> strategy list
+(** The standard strategy portfolio used by the contention benchmarks. *)
+
+val run : Stall_model.t -> strategy -> unit
+(** [run s strategy] drives the execution to completion. *)

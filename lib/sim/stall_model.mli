@@ -1,0 +1,105 @@
+(** Execution-level contention accounting for balancing networks, after
+    Dwork, Herlihy and Waarts (“Contention in shared memory algorithms”,
+    JACM 44(6)) as used by the paper (Sections 1.2 and 6.1).
+
+    [n] asynchronous processes each shepherd one token at a time through
+    the network; process [l] enters on input wire [l mod w].  Every time
+    a token passes through a balancer it incurs one stall to each other
+    token currently waiting at that balancer.  A schedule chooses which
+    waiting token advances next; the contention of an execution is its
+    total number of stalls.
+
+    This module is the passive execution state; strategies that drive it
+    live in {!Scheduler}. *)
+
+type t
+(** Mutable execution state. *)
+
+type op = { pid : int; invoke : int; response : int; value : int; stalls : int }
+(** One completed [Fetch&Increment]: the token of process [pid] was
+    injected at logical time [invoke] (one tick per balancer
+    transition), exited at time [response], obtained [value] from its
+    exit wire's assignment cell, and personally suffered [stalls] stalls
+    while waiting at balancers — the per-token view of contention
+    (amortized contention averages this; an adversary can starve one
+    token far beyond the average). *)
+
+val create : Cn_network.Topology.t -> concurrency:int -> tokens:int -> t
+(** [create net ~concurrency ~tokens] prepares an execution of [tokens]
+    total tokens issued by [concurrency] processes (process quotas differ
+    by at most one; process [l] enters on wire [l mod w]).  All processes
+    with a non-zero quota start with their first token already waiting at
+    its entry balancer.
+    @raise Invalid_argument if [concurrency <= 0] or [tokens < 0]. *)
+
+val concurrency : t -> int
+(** Number of processes. *)
+
+val finished : t -> bool
+(** [finished s] holds when every token has exited the network. *)
+
+val waiting_processes : t -> int list
+(** Processes whose token is currently waiting at some balancer
+    (ascending order). *)
+
+val is_waiting : t -> int -> bool
+(** [is_waiting s p] holds iff process [p]'s token is waiting at a
+    balancer. *)
+
+val balancer_of : t -> int -> int
+(** [balancer_of s p] is the balancer process [p]'s token waits at.
+    @raise Invalid_argument if [p] is not waiting. *)
+
+val queue_length : t -> int -> int
+(** [queue_length s b] is the number of tokens waiting at balancer
+    [b]. *)
+
+val crowded_balancer : t -> int option
+(** [crowded_balancer s] is a balancer holding the longest waiting queue,
+    or [None] when no token is waiting. *)
+
+val process_at : t -> int -> int option
+(** [process_at s b] is some process waiting at balancer [b] (the one
+    waiting longest), if any. *)
+
+val fire : t -> int -> unit
+(** [fire s p] advances process [p]'s waiting token through its balancer,
+    charging one stall to every other token waiting there; the token
+    moves to the next balancer, or exits — in which case the process
+    immediately injects its next token if its quota allows.
+    @raise Invalid_argument if [p] is not currently waiting. *)
+
+val total_stalls : t -> int
+(** Stalls accumulated so far across the whole execution. *)
+
+val completed_tokens : t -> int
+(** Tokens that have fully exited so far. *)
+
+val injected_tokens : t -> int
+(** Tokens that have entered the network so far (completed plus
+    in-flight).  Used to validate the {e threshold property} of counting
+    networks — a token exits the last output wire for the [k]-th time
+    only once [k·t] tokens have entered — which is what makes
+    counting-network barriers sound (see examples/barrier_sync.ml). *)
+
+val stalls_at_balancer : t -> int -> int
+(** Stalls charged at a given balancer so far. *)
+
+val stalls_per_layer : t -> int array
+(** Stalls aggregated by balancer depth (index 0 = layer 1). *)
+
+val output_counts : t -> Cn_sequence.Sequence.t
+(** Tokens that have exited on each output wire so far; in a finished
+    execution of a counting network this is a step sequence. *)
+
+val fire_trace : t -> int array
+(** The process ids fired so far, in order — a complete, replayable
+    record of the schedule (see [Scheduler.Replay]).  Replaying a trace
+    on a fresh model of the same network and parameters reproduces the
+    execution exactly, stalls and history included. *)
+
+val history : t -> op array
+(** Completed operations in completion order, with the counter values
+    the standard output-wire scheme assigns (wire [i] hands out
+    [i, i + t, ...]).  Feed to {!Linearizability} to study consistency
+    (paper, Section 1.4.2). *)

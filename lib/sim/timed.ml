@@ -1,0 +1,136 @@
+module Topology = Cn_network.Topology
+module Balancer = Cn_network.Balancer
+
+type result = {
+  tokens : int;
+  makespan : float;
+  avg_latency : float;
+  max_latency : float;
+  avg_wait : float;
+  throughput : float;
+}
+
+(* A pending event: token [token] reaches [dest] (balancer input or
+   network output). *)
+type event = { token : int; dest : Topology.dest }
+
+type engine = {
+  net : Topology.t;
+  service : int -> float;
+  wire_delay : float;
+  heap : event Event_heap.t;
+  states : int array; (* balancer routing state *)
+  free_at : float array; (* per balancer: when the server frees up *)
+  mutable completed : int;
+  mutable makespan : float;
+  mutable total_latency : float;
+  mutable max_latency : float;
+  mutable total_wait : float;
+  birth : (int, float) Hashtbl.t; (* token -> arrival time *)
+  on_exit : engine -> token:int -> time:float -> unit;
+}
+
+let make_engine ?(service = fun _ -> 1.0) ?(wire_delay = 0.0) ~on_exit net =
+  if wire_delay < 0. then invalid_arg "Timed: negative wire delay";
+  let n = Topology.size net in
+  for b = 0 to n - 1 do
+    if service b <= 0. then invalid_arg "Timed: non-positive service time"
+  done;
+  {
+    net;
+    service;
+    wire_delay;
+    heap = Event_heap.create ();
+    states = Array.init n (fun b -> (Topology.balancer net b).Balancer.init_state);
+    free_at = Array.make n 0.0;
+    completed = 0;
+    makespan = 0.0;
+    total_latency = 0.0;
+    max_latency = 0.0;
+    total_wait = 0.0;
+    birth = Hashtbl.create 64;
+    on_exit;
+  }
+
+let inject engine ~token ~wire ~time =
+  if wire < 0 || wire >= Topology.input_width engine.net then
+    invalid_arg "Timed: entry wire out of range";
+  if time < 0. then invalid_arg "Timed: negative arrival time";
+  Hashtbl.replace engine.birth token time;
+  Event_heap.push engine.heap ~time
+    { token; dest = Topology.consumer engine.net (Topology.Net_input wire) }
+
+let step engine =
+  match Event_heap.pop engine.heap with
+  | None -> false
+  | Some (time, { token; dest }) ->
+      (match dest with
+      | Topology.Bal_input { bal; port = _ } ->
+          let start = Float.max time engine.free_at.(bal) in
+          engine.total_wait <- engine.total_wait +. (start -. time);
+          let depart = start +. engine.service bal in
+          engine.free_at.(bal) <- depart;
+          let q = (Topology.balancer engine.net bal).Balancer.fan_out in
+          let port = engine.states.(bal) in
+          engine.states.(bal) <- (port + 1) mod q;
+          Event_heap.push engine.heap
+            ~time:(depart +. engine.wire_delay)
+            { token; dest = Topology.consumer engine.net (Topology.Bal_output { bal; port }) }
+      | Topology.Net_output _ ->
+          let born = Hashtbl.find engine.birth token in
+          let latency = time -. born in
+          engine.completed <- engine.completed + 1;
+          engine.makespan <- Float.max engine.makespan time;
+          engine.total_latency <- engine.total_latency +. latency;
+          engine.max_latency <- Float.max engine.max_latency latency;
+          engine.on_exit engine ~token ~time);
+      true
+
+let drain engine =
+  while step engine do
+    ()
+  done
+
+let summary engine =
+  let tokens = engine.completed in
+  let ftokens = float_of_int (max tokens 1) in
+  {
+    tokens;
+    makespan = engine.makespan;
+    avg_latency = engine.total_latency /. ftokens;
+    max_latency = engine.max_latency;
+    avg_wait = engine.total_wait /. ftokens;
+    throughput = (if engine.makespan <= 0. then 0. else float_of_int tokens /. engine.makespan);
+  }
+
+let run ?service ?wire_delay net ~arrivals =
+  let engine = make_engine ?service ?wire_delay ~on_exit:(fun _ ~token:_ ~time:_ -> ()) net in
+  List.iteri (fun token (wire, time) -> inject engine ~token ~wire ~time) arrivals;
+  drain engine;
+  summary engine
+
+let closed_loop ?service ?wire_delay ?(think = 0.0) ?(jitter = 0.0) ?(seed = 0) net ~n ~rounds =
+  if n <= 0 then invalid_arg "Timed.closed_loop: n must be positive";
+  if rounds < 0 then invalid_arg "Timed.closed_loop: negative rounds";
+  if think < 0. then invalid_arg "Timed.closed_loop: negative think time";
+  if jitter < 0. then invalid_arg "Timed.closed_loop: negative jitter";
+  let rng = Random.State.make [| seed |] in
+  let noise () = if jitter = 0. then 0. else Random.State.float rng jitter in
+  let w = Topology.input_width net in
+  let remaining = Array.make n (rounds - 1) in
+  let on_exit engine ~token ~time =
+    let p = token mod n in
+    if remaining.(p) > 0 then begin
+      remaining.(p) <- remaining.(p) - 1;
+      (* Re-issue under a fresh token id so birth times stay distinct. *)
+      let fresh = token + n in
+      inject engine ~token:fresh ~wire:(p mod w) ~time:(time +. think +. noise ())
+    end
+  in
+  let engine = make_engine ?service ?wire_delay ~on_exit net in
+  if rounds > 0 then
+    for p = 0 to n - 1 do
+      inject engine ~token:p ~wire:(p mod w) ~time:(noise ())
+    done;
+  drain engine;
+  summary engine

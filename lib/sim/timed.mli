@@ -1,0 +1,57 @@
+(** Discrete-event latency simulation of balancing networks.
+
+    The paper identifies two delay sources (Section 1.1): latency —
+    proportional to the network depth — and contention — waiting behind
+    other tokens at balancers.  This simulator models both: each
+    balancer is a FIFO single server with a service time; a token's
+    latency is its exit time minus its arrival time, and its waiting
+    time is the part of that spent queued behind other tokens.
+
+    Two drivers are provided: an open workload with explicit arrival
+    times, and a closed loop of [n] processes that matches the paper's
+    execution model (each process re-issues a token a think-time after
+    its previous token exits). *)
+
+type result = {
+  tokens : int;  (** tokens completed *)
+  makespan : float;  (** last exit time *)
+  avg_latency : float;  (** mean (exit - arrival) per token *)
+  max_latency : float;
+  avg_wait : float;  (** mean time spent queued behind other tokens *)
+  throughput : float;  (** tokens / makespan *)
+}
+
+val run :
+  ?service:(int -> float) ->
+  ?wire_delay:float ->
+  Cn_network.Topology.t ->
+  arrivals:(int * float) list ->
+  result
+(** [run net ~arrivals] processes one token per [(wire, time)] pair.
+    [service] gives each balancer's service time (default: 1.0 for
+    all); [wire_delay] is added per wire hop (default 0).
+    @raise Invalid_argument on an out-of-range wire, a negative arrival
+    time, a negative delay, or a non-positive service time. *)
+
+val closed_loop :
+  ?service:(int -> float) ->
+  ?wire_delay:float ->
+  ?think:float ->
+  ?jitter:float ->
+  ?seed:int ->
+  Cn_network.Topology.t ->
+  n:int ->
+  rounds:int ->
+  result
+(** [closed_loop net ~n ~rounds] runs [n] processes, process [l]
+    entering on wire [l mod w], each issuing [rounds] tokens
+    back-to-back separated by [think] (default 0) — the paper's
+    concurrency model with the schedule induced by the timing.
+
+    A perfectly deterministic loop settles into lockstep waves in which
+    balancers alternate tokens with no queueing beyond the first layer;
+    [jitter] (default 0) adds a uniform [\[0, jitter)] random delay to
+    every re-issue (drawn from [seed], default 0), which breaks the
+    lockstep and exposes the queueing differences between networks.
+    @raise Invalid_argument if [n <= 0], [rounds < 0], or a negative
+    [think]/[jitter]. *)

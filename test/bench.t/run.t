@@ -1,0 +1,50 @@
+Deterministic experiment tables, pinned as regression goldens (E5 and
+micro are timing-dependent and excluded).
+
+  $ cn-bench e8
+  
+  === E8  Fig. 1 reproduction: (4,6)-balancer and C(4,8) token values ===
+  (4,6)-balancer, 11 tokens in -> per-wire exits [2; 2; 2; 2; 2; 1]
+  C(4,8): w=4 t=8 depth=3 size=8
+  17 sequential tokens (entry wire -> exit wire = counter value):
+    token  0: in 0 -> out 0, value  0
+    token  1: in 1 -> out 1, value  1
+    token  2: in 2 -> out 2, value  2
+    token  3: in 3 -> out 3, value  3
+    token  4: in 0 -> out 4, value  4
+    token  5: in 1 -> out 5, value  5
+    token  6: in 2 -> out 6, value  6
+    token  7: in 3 -> out 7, value  7
+    token  8: in 0 -> out 0, value  8
+    token  9: in 1 -> out 1, value  9
+    token 10: in 2 -> out 2, value 10
+    token 11: in 3 -> out 3, value 11
+    token 12: in 0 -> out 4, value 12
+    token 13: in 1 -> out 5, value 13
+    token 14: in 2 -> out 6, value 14
+    token 15: in 3 -> out 7, value 15
+    token 16: in 0 -> out 0, value 16
+  exit distribution [3; 2; 2; 2; 2; 2; 2; 2] (step: true)
+
+  $ cn-bench e14
+  
+  === E14  exact cont(B,n,m) by exhaustive schedule search vs heuristic adversaries (Sect 1.2) ===
+  network        n   m | exact max exact min | heuristic max/token
+  C(2,2)         3   6 |         9         6 |         9         4
+  C(2,2)         4   8 |        18        12 |        18         6
+  C(4,4)         3   6 |         8         1 |         6         2
+  C(4,8)         3   6 |         7         1 |         6         2
+  L(4)           4   8 |         6         4 |         6         2
+  difftree-4     3   6 |        10         5 |         8         3
+  the widened C(4,8) already beats C(4,4) in the EXACT worst case (7 vs 8);
+  heuristics lower-bound the exact adversary (and match it on single balancers).
+
+  $ cn-bench e2 | head -n 8
+  
+  === E2  depth(M(t,delta)) = lg delta (Lemma 3.1; Figs 5,6) ===
+       t  delta |  measured  lg delta |   size
+       8      2 |         1         1 |      4
+       8      4 |         2         2 |      8
+      16      2 |         1         1 |      8
+      16      4 |         2         2 |     16
+      16      8 |         3         3 |     24

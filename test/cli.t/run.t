@@ -1,0 +1,100 @@
+The countnet CLI, exercised end to end.
+
+Structural statistics of the flagship network:
+
+  $ countnet depth -f counting -w 16 -t 64
+  input width   16
+  output width  64
+  depth         10
+  balancers     224
+  regular       false
+
+The depth never depends on t (Theorem 4.1):
+
+  $ countnet depth -f counting -w 16 -t 16 | grep depth
+  depth         10
+
+Verification, randomized and exhaustive:
+
+  $ countnet verify -f counting -w 8 -t 24 --trials 200
+  ok: 200 random loads produced step outputs
+
+  $ countnet verify -f counting -w 4 -t 8 --exhaustive 5
+  certified: step property on all 1296 loads with <= 5 tokens/wire
+
+A butterfly is smoothing but not counting:
+
+  $ countnet verify -f butterfly -w 8 --trials 300
+  FAILED on 250/300 loads (not a counting network?)
+  [1]
+
+Drawing (the layer listing shows the irregular transition layer):
+
+  $ countnet draw -f counting -w 4 -t 8 | head -n 8
+  network 4 -> 8, size 8, depth 3
+  layer 1:
+    b0 (2,2)  <- [in0 in2]  -> [b2.0 b3.0]
+    b1 (2,2)  <- [in1 in3]  -> [b2.1 b3.1]
+  layer 2:
+    b2 (2,4)  <- [b0.0 b1.0]  -> [b4.0 b5.1 b6.1 b7.1]
+    b3 (2,4)  <- [b0.1 b1.1]  -> [b5.0 b6.0 b7.0 b4.1]
+  layer 3:
+
+Sequential counting, Fig. 1 style:
+
+  $ countnet count -f counting -w 4 -t 8 --tokens 6
+  token  0: in wire 0, out wire 0, counter value 0
+  token  1: in wire 1, out wire 1, counter value 1
+  token  2: in wire 2, out wire 2, counter value 2
+  token  3: in wire 3, out wire 3, counter value 3
+  token  4: in wire 0, out wire 4, counter value 4
+  token  5: in wire 1, out wire 5, counter value 5
+
+Sorting through the Section 7 comparator network:
+
+  $ countnet sort -f counting -w 8 "9,2,5,1,8,3,7,4"
+  input:  [9; 2; 5; 1; 8; 3; 7; 4]
+  sorted: [1; 2; 3; 4; 5; 7; 8; 9]
+
+The butterfly isomorphism of Lemma 5.3 is the bit-reversal permutation:
+
+  $ countnet iso -f bbutterfly --against butterfly -w 8
+  isomorphic
+  pi_in:  [0; 4; 2; 6; 1; 5; 3; 7]
+  pi_out: [0; 4; 2; 6; 1; 5; 3; 7]
+
+Serialization round trip:
+
+  $ countnet save -f counting -w 2 -t 4
+  counting-network v1
+  inputs 2
+  balancer 0 2 4 0 : in0 in1
+  outputs : b0.0 b0.1 b0.2 b0.3
+
+  $ countnet save -f counting -w 4 -t 8 > net.cn
+  $ countnet load net.cn --trials 50
+  loaded: 4 -> 8, size 8, depth 3
+  step property held on 50/50 random loads (counting network)
+
+The Aharonson-Attiya impossibility criterion:
+
+  $ countnet feasible 6 --balancers 2
+  impossible: prime 3 divides width 6 but none of the balancer outputs {2}
+  [1]
+
+  $ countnet feasible 6 --balancers 2,3
+  width 6 passes the Aharonson-Attiya criterion for balancer outputs {2, 3}
+
+Contention simulation is deterministic under a named strategy:
+
+  $ countnet simulate -f counting -w 4 -t 4 -n 4 -m 40 --strategy round-robin | head -n 4
+  strategy      round-robin
+  tokens        40
+  stalls        60
+  stalls/token  1.500
+
+Invalid parameters are rejected with a clear message:
+
+  $ countnet depth -f counting -w 6 -t 6
+  countnet: Counting.network: invalid parameters w=6 t=6
+  [124]

@@ -1,0 +1,201 @@
+(* Tests for antitoken / Fetch&Decrement support (paper, Section 1.4.2;
+   Aiello et al., "Supporting increment and decrement operations in
+   balancing networks"). *)
+
+module B = Cn_network.Balancer
+module T = Cn_network.Topology
+module E = Cn_network.Eval
+module S = Cn_sequence.Sequence
+module RT = Cn_runtime.Network_runtime
+module SC = Cn_runtime.Shared_counter
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let balancer_level =
+  [
+    tc "net counts agree with token counts when net >= 0" (fun () ->
+        let b = B.make ~init_state:1 ~fan_in:2 ~fan_out:3 () in
+        for m = 0 to 20 do
+          Alcotest.check Util.seq
+            (Printf.sprintf "m=%d" m)
+            (B.output_counts b ~tokens:m)
+            (B.net_output_counts b ~net:m)
+        done);
+    tc "pure antitoken run walks wires backwards" (fun () ->
+        let b = B.make ~fan_in:2 ~fan_out:4 () in
+        (* From state 0, antitokens exit wires 3, 2, 1, 0, 3, ... *)
+        Alcotest.check Util.seq "one" [| 0; 0; 0; -1 |] (B.net_output_counts b ~net:(-1));
+        Alcotest.check Util.seq "three" [| 0; -1; -1; -1 |] (B.net_output_counts b ~net:(-3));
+        Alcotest.check Util.seq "five" [| -1; -1; -1; -2 |] (B.net_output_counts b ~net:(-5)));
+    tc "net counts sum to net" (fun () ->
+        let b = B.make ~init_state:2 ~fan_in:2 ~fan_out:5 () in
+        for net = -30 to 30 do
+          Alcotest.(check int) (Printf.sprintf "net=%d" net) net
+            (S.sum (B.net_output_counts b ~net))
+        done);
+    tc "token then antitoken cancels (simulated pairwise)" (fun () ->
+        (* Explicit small interleavings through a single balancer: apply
+           +1/-1 in every order of a 4-element mixed sequence and compare
+           quiescent counts. *)
+        let q = 3 in
+        let apply signs =
+          let state = ref 0 and counts = Array.make q 0 in
+          List.iter
+            (fun sign ->
+              if sign > 0 then begin
+                counts.(!state) <- counts.(!state) + 1;
+                state := (!state + 1) mod q
+              end
+              else begin
+                state := (!state - 1 + q) mod q;
+                counts.(!state) <- counts.(!state) - 1
+              end)
+            signs;
+          (!state, counts)
+        in
+        let rec interleavings tokens antis =
+          match (tokens, antis) with
+          | 0, 0 -> [ [] ]
+          | 0, a -> List.map (fun l -> -1 :: l) (interleavings 0 (a - 1))
+          | t, 0 -> List.map (fun l -> 1 :: l) (interleavings (t - 1) 0)
+          | t, a ->
+              List.map (fun l -> 1 :: l) (interleavings (t - 1) a)
+              @ List.map (fun l -> -1 :: l) (interleavings t (a - 1))
+        in
+        List.iter
+          (fun (t, a) ->
+            let b = B.make ~fan_in:2 ~fan_out:q () in
+            let expected_counts = B.net_output_counts b ~net:(t - a) in
+            let expected_state = B.state_after_net b ~net:(t - a) in
+            List.iter
+              (fun signs ->
+                let state, counts = apply signs in
+                Alcotest.(check int) "state" expected_state state;
+                Alcotest.check Util.seq "counts" expected_counts counts)
+              (interleavings t a))
+          [ (2, 2); (3, 1); (1, 3); (3, 2); (0, 4) ]);
+    tc "state_after_net normalizes" (fun () ->
+        let b = B.make ~fan_in:2 ~fan_out:4 () in
+        Alcotest.(check int) "-1" 3 (B.state_after_net b ~net:(-1));
+        Alcotest.(check int) "-9" 3 (B.state_after_net b ~net:(-9));
+        Alcotest.(check int) "+6" 2 (B.state_after_net b ~net:6));
+  ]
+
+let network_level =
+  [
+    tc "quiescent_net = quiescent on all-token loads" (fun () ->
+        let net = Cn_core.Counting.network ~w:8 ~t:16 in
+        Util.for_random_inputs ~trials:80 net (fun ~trial:_ ~x ~y ->
+            Alcotest.check Util.seq "agree" y (E.quiescent_net net x)));
+    tc "trace_signed matches quiescent_net (C(8,16))" (fun () ->
+        let net = Cn_core.Counting.network ~w:8 ~t:16 in
+        let rng = Random.State.make [| 23 |] in
+        for seed = 0 to 40 do
+          let tokens = Array.init 8 (fun _ -> Random.State.int rng 15) in
+          let antitokens = Array.init 8 (fun _ -> Random.State.int rng 15) in
+          let net_in = Array.init 8 (fun i -> tokens.(i) - antitokens.(i)) in
+          Alcotest.check Util.seq
+            (Printf.sprintf "seed %d" seed)
+            (E.quiescent_net net net_in)
+            (E.trace_signed ~seed net ~tokens ~antitokens)
+        done);
+    tc "trace_signed matches quiescent_net (bitonic 8)" (fun () ->
+        let net = Cn_baselines.Bitonic.network 8 in
+        let rng = Random.State.make [| 29 |] in
+        for seed = 0 to 40 do
+          let tokens = Array.init 8 (fun _ -> Random.State.int rng 10) in
+          let antitokens = Array.init 8 (fun _ -> Random.State.int rng 10) in
+          let net_in = Array.init 8 (fun i -> tokens.(i) - antitokens.(i)) in
+          Alcotest.check Util.seq
+            (Printf.sprintf "seed %d" seed)
+            (E.quiescent_net net net_in)
+            (E.trace_signed ~seed net ~tokens ~antitokens)
+        done);
+    tc "counting networks count net flows (non-negative nets)" (fun () ->
+        (* With every input net >= 0 the net output is a step sequence
+           (the all-token equivalent load). *)
+        let net = Cn_core.Counting.network ~w:8 ~t:24 in
+        let rng = Random.State.make [| 31 |] in
+        for _ = 1 to 60 do
+          let x = Array.init 8 (fun _ -> Random.State.int rng 12) in
+          Util.check_step (E.quiescent_net net x)
+        done);
+    tc "all-antitoken load mirrors the token load" (fun () ->
+        (* Pushing k antitokens everywhere is the time-reverse of pushing
+           k tokens: net outputs are <= 0 and sum to the negated total. *)
+        let net = Cn_core.Counting.network ~w:4 ~t:8 in
+        let x = [| -3; -5; -2; -7 |] in
+        let y = E.quiescent_net net x in
+        Alcotest.(check int) "sum" (-17) (S.sum y);
+        Alcotest.(check bool) "all non-positive" true (Array.for_all (fun v -> v <= 0) y));
+    Util.raises_invalid "trace_signed rejects negative counts" (fun () ->
+        ignore
+          (E.trace_signed (Cn_core.Ladder.network 2) ~tokens:[| -1; 0 |] ~antitokens:[| 0; 0 |]));
+  ]
+
+let runtime_level =
+  [
+    tc "sequential inc/dec round trip" (fun () ->
+        let rt = RT.compile (Cn_core.Counting.network ~w:4 ~t:8) in
+        let v0 = RT.traverse rt ~wire:0 in
+        let v1 = RT.traverse rt ~wire:1 in
+        Alcotest.(check int) "v0" 0 v0;
+        Alcotest.(check int) "v1" 1 v1;
+        let back = RT.traverse_decrement rt ~wire:1 in
+        Alcotest.(check int) "reclaimed" 1 back;
+        Alcotest.(check int) "reissued" 1 (RT.traverse rt ~wire:1));
+    tc "dec to negative and back" (fun () ->
+        let rt = RT.compile (Cn_core.Counting.network ~w:4 ~t:8) in
+        let d = RT.traverse_decrement rt ~wire:0 in
+        Alcotest.(check bool) "below zero" true (d < 0);
+        (* Inc after dec returns the same value. *)
+        Alcotest.(check int) "reissue" d (RT.traverse rt ~wire:0));
+    tc "exit distribution reflects net flow" (fun () ->
+        let rt = RT.compile (Cn_core.Counting.network ~w:4 ~t:8) in
+        for i = 0 to 9 do
+          ignore (RT.traverse rt ~wire:(i mod 4))
+        done;
+        for i = 0 to 3 do
+          ignore (RT.traverse_decrement rt ~wire:(i mod 4))
+        done;
+        let dist = RT.exit_distribution rt in
+        Alcotest.(check int) "net sum" 6 (S.sum dist);
+        Util.check_step dist);
+    tc "shared counter prev/next contract (all impls)" (fun () ->
+        List.iter
+          (fun (label, c) ->
+            let a = SC.next c ~pid:0 in
+            let b = SC.next c ~pid:1 in
+            let r = SC.prev c ~pid:1 in
+            let b' = SC.next c ~pid:2 in
+            Alcotest.(check int) (label ^ " a") 0 a;
+            Alcotest.(check int) (label ^ " b") 1 b;
+            Alcotest.(check int) (label ^ " reclaim") 1 r;
+            Alcotest.(check int) (label ^ " reissue") 1 b')
+          [
+            ("network", SC.of_topology (Cn_core.Counting.network ~w:4 ~t:8));
+            ("central", SC.central_faa ());
+            ("lock", SC.with_lock ());
+          ]);
+    tc "concurrent matched inc/dec nets to zero" (fun () ->
+        let rt = RT.compile (Cn_core.Counting.network ~w:8 ~t:16) in
+        let body pid () =
+          for _ = 1 to 500 do
+            ignore (RT.traverse rt ~wire:(pid mod 8));
+            ignore (RT.traverse_decrement rt ~wire:(pid mod 8))
+          done
+        in
+        let handles = Array.init 4 (fun pid -> Domain.spawn (body pid)) in
+        Array.iter Domain.join handles;
+        Alcotest.(check int) "net zero" 0 (S.sum (RT.exit_distribution rt)));
+    Util.raises_invalid "decrement wire out of range" (fun () ->
+        ignore
+          (RT.traverse_decrement (RT.compile (Cn_core.Ladder.network 2)) ~wire:5));
+  ]
+
+let suite =
+  [
+    ("antitokens.balancer", balancer_level);
+    ("antitokens.network", network_level);
+    ("antitokens.runtime", runtime_level);
+  ]

@@ -1,0 +1,140 @@
+(* Tests for Cn_baselines: bitonic, periodic, diffracting tree. *)
+
+module T = Cn_network.Topology
+module E = Cn_network.Eval
+module S = Cn_sequence.Sequence
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let step_suite name make widths =
+  List.map
+    (fun w ->
+      tc
+        (Printf.sprintf "%s(%d) counts" name w)
+        (fun () ->
+          let net = make w in
+          Util.for_random_inputs ~trials:120 ~seed:w net (fun ~trial:_ ~x ~y ->
+              Alcotest.(check int) "sum" (S.sum x) (S.sum y);
+              Util.check_step y)))
+    widths
+
+let bitonic =
+  step_suite "bitonic" Cn_baselines.Bitonic.network [ 2; 4; 8; 16; 32 ]
+  @ [
+      tc "depth lgw(lgw+1)/2" (fun () ->
+          List.iter
+            (fun w ->
+              Alcotest.(check int) (Printf.sprintf "w=%d" w)
+                (Cn_baselines.Bitonic.depth_formula ~w)
+                (T.depth (Cn_baselines.Bitonic.network w)))
+            [ 2; 4; 8; 16; 32; 64 ]);
+      tc "size (w/2) x depth" (fun () ->
+          List.iter
+            (fun w ->
+              Alcotest.(check int) (Printf.sprintf "w=%d" w)
+                (Cn_baselines.Bitonic.size_formula ~w)
+                (T.size (Cn_baselines.Bitonic.network w)))
+            [ 2; 4; 8; 16; 32 ]);
+      tc "merger merges step halves" (fun () ->
+          let m = Cn_baselines.Bitonic.merger 16 in
+          for sx = 0 to 12 do
+            for sy = 0 to 12 do
+              let x = S.make_step ~total:sx ~width:8 in
+              let y = S.make_step ~total:sy ~width:8 in
+              Util.check_step
+                ~msg:(Printf.sprintf "merger sx=%d sy=%d" sx sy)
+                (E.quiescent m (S.concat x y))
+            done
+          done);
+      tc "merger merges any steps (no difference bound)" (fun () ->
+          (* Unlike M(t, delta), the bitonic merger accepts arbitrary
+             step-sum differences — the price is depth lg t. *)
+          let m = Cn_baselines.Bitonic.merger 8 in
+          let x = S.make_step ~total:50 ~width:4 in
+          let y = S.make_step ~total:0 ~width:4 in
+          Util.check_step (E.quiescent m (S.concat x y)));
+      Util.raises_invalid "merger odd width" (fun () ->
+          ignore (Cn_baselines.Bitonic.merger 6));
+      Util.raises_invalid "network non power of two" (fun () ->
+          ignore (Cn_baselines.Bitonic.network 12));
+    ]
+
+let periodic =
+  step_suite "periodic" Cn_baselines.Periodic.network [ 2; 4; 8; 16; 32 ]
+  @ [
+      tc "depth lg2 w" (fun () ->
+          List.iter
+            (fun w ->
+              Alcotest.(check int) (Printf.sprintf "w=%d" w)
+                (Cn_baselines.Periodic.depth_formula ~w)
+                (T.depth (Cn_baselines.Periodic.network w)))
+            [ 2; 4; 8; 16; 32 ]);
+      tc "size (w/2) lg2 w" (fun () ->
+          List.iter
+            (fun w ->
+              Alcotest.(check int) (Printf.sprintf "w=%d" w)
+                (Cn_baselines.Periodic.size_formula ~w)
+                (T.size (Cn_baselines.Periodic.network w)))
+            [ 2; 4; 8; 16 ]);
+      tc "single block does not count" (fun () ->
+          let net = Cn_baselines.Periodic.block 8 in
+          let found = ref false in
+          let rng = Random.State.make [| 3 |] in
+          for _ = 1 to 500 do
+            if not (S.is_step (E.quiescent net (Util.random_input rng 8))) then
+              found := true
+          done;
+          Alcotest.(check bool) "non-step exists" true !found);
+      tc "block preserves sums" (fun () ->
+          let net = Cn_baselines.Periodic.block 16 in
+          Util.for_random_inputs ~trials:100 net (fun ~trial:_ ~x ~y ->
+              Alcotest.(check int) "sum" (S.sum x) (S.sum y)));
+      tc "block is lg w-smoothing on step-ish inputs" (fun () ->
+          (* The block smooths; full smoothing bound exercised via the
+             periodic cascade counting above. *)
+          let net = Cn_baselines.Periodic.block 8 in
+          Util.for_random_inputs ~trials:200 ~max_tokens:30 net (fun ~trial:_ ~x:_ ~y ->
+              Alcotest.(check bool) "smooth" true (S.is_smooth 3 y)));
+    ]
+
+let diffracting =
+  [
+    tc "diffracting tree counts" (fun () ->
+        let net = Cn_baselines.Diffracting.network 8 in
+        let rng = Random.State.make [| 17 |] in
+        for _ = 1 to 50 do
+          let x = [| Random.State.int rng 200 |] in
+          Util.check_step (E.quiescent net x)
+        done);
+    tc "depth lg w" (fun () ->
+        List.iter
+          (fun w ->
+            Alcotest.(check int) (Printf.sprintf "w=%d" w)
+              (Cn_baselines.Diffracting.depth_formula ~w)
+              (T.depth (Cn_baselines.Diffracting.network w)))
+          [ 2; 4; 8; 16; 32; 64 ]);
+    tc "size w-1" (fun () ->
+        List.iter
+          (fun w ->
+            Alcotest.(check int) (Printf.sprintf "w=%d" w)
+              (Cn_baselines.Diffracting.size_formula ~w)
+              (T.size (Cn_baselines.Diffracting.network w)))
+          [ 2; 4; 8; 16; 32 ]);
+    tc "single input wire" (fun () ->
+        let net = Cn_baselines.Diffracting.network 16 in
+        Alcotest.(check int) "w" 1 (T.input_width net);
+        Alcotest.(check int) "t" 16 (T.output_width net));
+    tc "tokens cycle leaves in wire order" (fun () ->
+        let net = Cn_baselines.Diffracting.network 4 in
+        let wires = List.map fst (E.token_run net [ 0; 0; 0; 0; 0; 0; 0; 0 ]) in
+        Alcotest.(check (list int)) "round robin" [ 0; 1; 2; 3; 0; 1; 2; 3 ] wires);
+    Util.raises_invalid "width not a power of two" (fun () ->
+        ignore (Cn_baselines.Diffracting.network 6));
+  ]
+
+let suite =
+  [
+    ("baselines.bitonic", bitonic);
+    ("baselines.periodic", periodic);
+    ("baselines.diffracting", diffracting);
+  ]

@@ -1,0 +1,115 @@
+(* Tests for Cn_core.Blocks: the N_a / N_b / N_c decomposition of C(w,t)
+   (Sections 1.3.2 and 6.4, Lemma 6.6). *)
+
+module T = Cn_network.Topology
+module E = Cn_network.Eval
+module S = Cn_sequence.Sequence
+module Blocks = Cn_core.Blocks
+module C = Cn_core.Counting
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let structure =
+  [
+    tc "c_prime depth is lg w" (fun () ->
+        List.iter
+          (fun (w, t) ->
+            Alcotest.(check int)
+              (Printf.sprintf "C'(%d,%d)" w t)
+              (Cn_core.Params.ilog2 w)
+              (T.depth (Blocks.c_prime ~w ~t)))
+          [ (2, 4); (4, 8); (8, 8); (8, 24); (16, 32) ]);
+    tc "c_prime widths" (fun () ->
+        let net = Blocks.c_prime ~w:8 ~t:24 in
+        Alcotest.(check int) "w" 8 (T.input_width net);
+        Alcotest.(check int) "t" 24 (T.output_width net));
+    tc "c_second equals backward butterfly" (fun () ->
+        List.iter
+          (fun w ->
+            Alcotest.(check bool)
+              (Printf.sprintf "C''(%d) = E(%d)" w w)
+              true
+              (T.equal (Blocks.c_second w) (Cn_core.Butterfly.backward w)))
+          [ 2; 4; 8; 16 ]);
+    tc "n_c depth is (lg2 w - lg w)/2" (fun () ->
+        List.iter
+          (fun (w, t) ->
+            Alcotest.(check int)
+              (Printf.sprintf "N_c(%d,%d)" w t)
+              (Blocks.n_c_depth ~w)
+              (T.depth (Blocks.n_c ~w ~t)))
+          [ (2, 2); (4, 4); (4, 8); (8, 8); (8, 16); (16, 16); (16, 64) ]);
+    tc "block depths sum to the network depth" (fun () ->
+        List.iter
+          (fun w ->
+            (* depth(N_a) + depth(N_b) + depth(N_c) = depth(C). *)
+            Alcotest.(check int) (Printf.sprintf "w=%d" w)
+              (C.depth_formula ~w)
+              (Blocks.n_a_depth ~w + 1 + Blocks.n_c_depth ~w))
+          [ 2; 4; 8; 16; 32; 64 ]);
+    tc "n_c of w=2 is bare wires" (fun () ->
+        Alcotest.(check int) "no balancers" 0 (T.size (Blocks.n_c ~w:2 ~t:6)));
+  ]
+
+let composition =
+  [
+    tc "C'(w,t) ; N_c(w,t) behaves as C(w,t)" (fun () ->
+        List.iter
+          (fun (w, t) ->
+            let composed = T.cascade (Blocks.c_prime ~w ~t) (Blocks.n_c ~w ~t) in
+            let whole = C.network ~w ~t in
+            let rng = Random.State.make [| w * t |] in
+            for _ = 1 to 60 do
+              let x = Util.random_input rng w in
+              Alcotest.check Util.seq
+                (Printf.sprintf "C(%d,%d)" w t)
+                (E.quiescent whole x) (E.quiescent composed x)
+            done)
+          [ (2, 2); (4, 4); (4, 8); (8, 8); (8, 16); (16, 16); (16, 32) ]);
+    tc "balancer counts add up" (fun () ->
+        List.iter
+          (fun (w, t) ->
+            Alcotest.(check int)
+              (Printf.sprintf "C(%d,%d)" w t)
+              (T.size (C.network ~w ~t))
+              (T.size (Blocks.c_prime ~w ~t) + T.size (Blocks.n_c ~w ~t)))
+          [ (4, 4); (8, 8); (8, 16); (16, 48) ]);
+  ]
+
+let smoothing =
+  [
+    tc "lemma 6.6: N_ab is s-smoothing" (fun () ->
+        List.iter
+          (fun (w, t) ->
+            let s = Blocks.smoothing_parameter ~w ~t in
+            let net = Blocks.c_prime ~w ~t in
+            Util.for_random_inputs ~trials:150 ~seed:(w * 31 + t) ~max_tokens:80 net
+              (fun ~trial:_ ~x:_ ~y ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "C'(%d,%d) %d-smooth" w t s)
+                  true (S.is_smooth s y)))
+          [ (4, 4); (4, 8); (8, 8); (8, 16); (8, 24); (16, 16); (16, 64) ]);
+    tc "smoothing parameter values" (fun () ->
+        List.iter
+          (fun ((w, t), expected) ->
+            Alcotest.(check int) (Printf.sprintf "s(%d,%d)" w t) expected
+              (Blocks.smoothing_parameter ~w ~t))
+          [
+            ((8, 8), 5); (* ⌊24/8⌋+2 *)
+            ((8, 24), 3); (* ⌊24/24⌋+2 *)
+            ((8, 48), 2); (* ⌊24/48⌋+2 *)
+            ((16, 16), 6);
+            ((16, 64), 3);
+          ]);
+    tc "wider t smooths N_ab more" (fun () ->
+        Alcotest.(check bool) "monotone" true
+          (Blocks.smoothing_parameter ~w:16 ~t:64
+          < Blocks.smoothing_parameter ~w:16 ~t:16));
+  ]
+
+let suite =
+  [
+    ("blocks.structure", structure);
+    ("blocks.composition", composition);
+    ("blocks.smoothing", smoothing);
+  ]

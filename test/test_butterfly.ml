@@ -1,0 +1,78 @@
+(* Tests for Cn_core.Butterfly: D(w), E(w), Lemmas 5.1, 5.2. *)
+
+module T = Cn_network.Topology
+module E = Cn_network.Eval
+module S = Cn_sequence.Sequence
+module Bf = Cn_core.Butterfly
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let structure =
+  [
+    tc "lemma 5.1: depth = lg w" (fun () ->
+        List.iter
+          (fun w ->
+            Alcotest.(check int) (Printf.sprintf "D(%d)" w) (Bf.depth_formula ~w)
+              (T.depth (Bf.forward w));
+            Alcotest.(check int) (Printf.sprintf "E(%d)" w) (Bf.depth_formula ~w)
+              (T.depth (Bf.backward w)))
+          [ 2; 4; 8; 16; 32; 64 ]);
+    tc "size is (w/2) lg w" (fun () ->
+        List.iter
+          (fun w ->
+            let expected = w / 2 * Bf.depth_formula ~w in
+            Alcotest.(check int) (Printf.sprintf "D(%d)" w) expected (T.size (Bf.forward w));
+            Alcotest.(check int) (Printf.sprintf "E(%d)" w) expected (T.size (Bf.backward w)))
+          [ 2; 4; 8; 16; 32 ]);
+    tc "regular, width preserved" (fun () ->
+        let net = Bf.forward 16 in
+        Alcotest.(check bool) "regular" true (T.is_regular net);
+        Alcotest.(check int) "w" 16 (T.input_width net);
+        Alcotest.(check int) "t" 16 (T.output_width net));
+    Util.raises_invalid "non power of two" (fun () -> Bf.forward 6);
+    Util.raises_invalid "width 1 standalone" (fun () -> Bf.backward 1);
+    tc "D(2) = E(2) = one balancer" (fun () ->
+        Alcotest.(check bool) "equal" true (T.equal (Bf.forward 2) (Bf.backward 2)));
+  ]
+
+let smoothing_case name make w =
+  tc
+    (Printf.sprintf "lemma 5.2: %s(%d) is lg w-smoothing" name w)
+    (fun () ->
+      let net = make w in
+      let bound = Bf.smoothness_bound ~w in
+      Util.for_random_inputs ~trials:150 ~seed:w ~max_tokens:100 net
+        (fun ~trial:_ ~x ~y ->
+          Alcotest.(check int) "sum" (S.sum x) (S.sum y);
+          Alcotest.(check bool)
+            (Printf.sprintf "%d-smooth" bound)
+            true (S.is_smooth bound y)))
+
+let smoothing =
+  [
+    smoothing_case "D" Bf.forward 2;
+    smoothing_case "D" Bf.forward 4;
+    smoothing_case "D" Bf.forward 8;
+    smoothing_case "D" Bf.forward 16;
+    smoothing_case "D" Bf.forward 32;
+    smoothing_case "E" Bf.backward 4;
+    smoothing_case "E" Bf.backward 8;
+    smoothing_case "E" Bf.backward 16;
+    tc "butterflies do not count" (fun () ->
+        (* lg w-smoothing is weaker than counting: find a non-step
+           output.  (A fixed witness: a butterfly is not a counting
+           network for w >= 4.) *)
+        let net = Bf.forward 8 in
+        let found = ref false in
+        let rng = Random.State.make [| 5 |] in
+        for _ = 1 to 500 do
+          let x = Util.random_input rng 8 in
+          if not (S.is_step (E.quiescent net x)) then found := true
+        done;
+        Alcotest.(check bool) "some non-step output" true !found);
+    tc "uniform input passes through uniformly" (fun () ->
+        let y = E.quiescent (Bf.forward 16) (Array.make 16 7) in
+        Alcotest.check Util.seq "uniform" (Array.make 16 7) y);
+  ]
+
+let suite = [ ("butterfly.structure", structure); ("butterfly.smoothing", smoothing) ]

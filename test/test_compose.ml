@@ -1,0 +1,79 @@
+(* Composability of the wire-level construction API: the [*_wires]
+   functions are meant to let users embed the paper's building blocks in
+   custom networks; these tests build such hybrids and check their
+   semantics. *)
+
+module T = Cn_network.Topology
+module E = Cn_network.Eval
+module S = Cn_sequence.Sequence
+module B = Cn_network.Builder
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let compose =
+  [
+    tc "two counting networks merged by a bitonic merger count" (fun () ->
+        (* The generalized bitonic recursion: (counting || counting) ;
+           bitonic-merger is a counting network, whatever the counting
+           sub-networks are — here the paper's C(4,8)s. *)
+        let net =
+          B.build ~input_width:8 (fun b ins ->
+              let top = Cn_core.Counting.wires b ~t:8 (Array.sub ins 0 4) in
+              let bottom = Cn_core.Counting.wires b ~t:8 (Array.sub ins 4 4) in
+              Cn_baselines.Bitonic.merger_wires b (top, bottom))
+        in
+        Alcotest.(check int) "t" 16 (T.output_width net);
+        Util.for_random_inputs ~trials:120 net (fun ~trial:_ ~x ~y ->
+            Alcotest.(check int) "sum" (S.sum x) (S.sum y);
+            Util.check_step y));
+    tc "ladder + two counting halves + difference merger = C(w,t) by hand" (fun () ->
+        (* Re-assemble the Fig. 10 recursion manually from the public
+           combinators and compare behaviourally with the packaged
+           constructor. *)
+        let manual =
+          B.build ~input_width:8 (fun b ins ->
+              let l = Cn_core.Ladder.wires b ins in
+              let g = Cn_core.Counting.wires b ~t:12 (Array.sub l 0 4) in
+              let h = Cn_core.Counting.wires b ~t:12 (Array.sub l 4 4) in
+              Cn_core.Merging.wires b ~delta:4 (g, h))
+        in
+        let packaged = Cn_core.Counting.network ~w:8 ~t:24 in
+        Alcotest.(check bool) "identical topology" true (T.equal manual packaged));
+    tc "butterfly before a counting network narrows its spread" (fun () ->
+        (* A smoothing pre-stage cannot break counting: the composite
+           still counts (counting of smoothed input counts). *)
+        let net =
+          B.build ~input_width:8 (fun b ins ->
+              let smoothed = Cn_core.Butterfly.forward_wires b ins in
+              Cn_core.Counting.wires b ~t:8 smoothed)
+        in
+        Util.for_random_inputs ~trials:100 net (fun ~trial:_ ~x ~y ->
+            Alcotest.(check int) "sum" (S.sum x) (S.sum y);
+            Util.check_step y));
+    tc "counting network beside pass-through wires" (fun () ->
+        (* Only half the wires go through the network; the rest pass
+           straight through — sparse embedding. *)
+        let net =
+          B.build ~input_width:8 (fun b ins ->
+              let counted = Cn_core.Counting.wires b ~t:4 (Array.sub ins 0 4) in
+              Array.append counted (Array.sub ins 4 4))
+        in
+        let y = E.quiescent net [| 3; 1; 4; 1; 10; 20; 30; 40 |] in
+        Util.check_step ~msg:"counted prefix" (Array.sub y 0 4);
+        Alcotest.check Util.seq "untouched suffix" [| 10; 20; 30; 40 |] (Array.sub y 4 4));
+    tc "periodic block after our ladder still preserves sums" (fun () ->
+        let net =
+          B.build ~input_width:8 (fun b ins ->
+              Cn_baselines.Periodic.block_wires b (Cn_core.Ladder.wires b ins))
+        in
+        Util.for_random_inputs ~trials:80 net (fun ~trial:_ ~x ~y ->
+            Alcotest.(check int) "sum" (S.sum x) (S.sum y)));
+    tc "two stacked C(w,t) stay counting" (fun () ->
+        (* Cascading counting networks through Topology.cascade: the
+           second sees a step input, output must still be step. *)
+        let c = Cn_core.Counting.network ~w:8 ~t:8 in
+        let net = T.cascade c c in
+        Util.for_random_inputs ~trials:80 net (fun ~trial:_ ~x:_ ~y -> Util.check_step y));
+  ]
+
+let suite = [ ("compose.builders", compose) ]

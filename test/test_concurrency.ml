@@ -1,0 +1,105 @@
+(* Tests for the higher-level concurrent components: Barrier and the
+   prism-equipped diffracting tree. *)
+
+module Barrier = Cn_runtime.Barrier
+module D = Cn_runtime.Diffracting_runtime
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let barrier =
+  [
+    tc "all parties synchronize across rounds" (fun () ->
+        let parties = 6 and rounds = 100 in
+        let b = Barrier.create ~parties () in
+        let in_round = Array.init rounds (fun _ -> Atomic.make 0) in
+        let violations = Atomic.make 0 in
+        let body pid () =
+          for r = 0 to rounds - 1 do
+            Atomic.incr in_round.(r);
+            if r > 0 && Atomic.get in_round.(r - 1) < parties then Atomic.incr violations;
+            Barrier.await b ~pid
+          done
+        in
+        let handles = Array.init parties (fun pid -> Domain.spawn (body pid)) in
+        Array.iter Domain.join handles;
+        Alcotest.(check int) "violations" 0 (Atomic.get violations);
+        Alcotest.(check int) "rounds" rounds (Barrier.rounds_completed b);
+        Alcotest.(check bool) "all arrived" true
+          (Array.for_all (fun c -> Atomic.get c = parties) in_round));
+    tc "custom network accepted when widths match" (fun () ->
+        let net = Cn_core.Counting.network ~w:4 ~t:8 in
+        let b = Barrier.create ~network:net ~parties:8 () in
+        Alcotest.(check int) "parties" 8 (Barrier.parties b));
+    Util.raises_invalid "custom network width mismatch" (fun () ->
+        ignore (Barrier.create ~network:(Cn_core.Counting.network ~w:4 ~t:8) ~parties:6 ()));
+    Util.raises_invalid "odd parties without network" (fun () ->
+        ignore (Barrier.create ~parties:5 ()));
+    Util.raises_invalid "fewer than two parties" (fun () ->
+        ignore (Barrier.create ~parties:1 ()));
+    tc "default network choice covers non-power-of-two parties" (fun () ->
+        (* parties = 12: w = 4 (largest power of two dividing 12). *)
+        let b = Barrier.create ~parties:12 () in
+        let handles =
+          Array.init 12 (fun pid ->
+              Domain.spawn (fun () ->
+                  for _ = 1 to 20 do
+                    Barrier.await b ~pid
+                  done))
+        in
+        Array.iter Domain.join handles;
+        Alcotest.(check int) "rounds" 20 (Barrier.rounds_completed b));
+  ]
+
+let diffracting =
+  [
+    tc "sequential values are dense" (fun () ->
+        let tree = D.create ~width:8 () in
+        let vs = List.init 40 (fun _ -> D.next tree) in
+        Alcotest.(check (list int)) "range" (List.init 40 (fun i -> i)) (List.sort compare vs));
+    tc "sequential tokens never diffract" (fun () ->
+        let tree = D.create ~width:8 () in
+        for _ = 1 to 50 do
+          ignore (D.next tree)
+        done;
+        Alcotest.(check int) "no pairs" 0 (D.diffractions tree);
+        (* Every token toggles once per level. *)
+        Alcotest.(check int) "toggles" (50 * 3) (D.toggle_passes tree));
+    tc "exit distribution is step" (fun () ->
+        let tree = D.create ~width:8 () in
+        for _ = 1 to 37 do
+          ignore (D.next tree)
+        done;
+        Util.check_step (D.exit_distribution tree));
+    tc "concurrent uniqueness and density" (fun () ->
+        let tree = D.create ~width:16 ~patience:100 () in
+        let domains = 5 and ops = 3000 in
+        let results = Array.init domains (fun _ -> Array.make ops (-1)) in
+        let body pid () =
+          for i = 0 to ops - 1 do
+            results.(pid).(i) <- D.next tree
+          done
+        in
+        let handles = Array.init domains (fun pid -> Domain.spawn (body pid)) in
+        Array.iter Domain.join handles;
+        let total = domains * ops in
+        let seen = Array.make total false in
+        let ok = ref true in
+        Array.iter
+          (Array.iter (fun v ->
+               if v < 0 || v >= total || seen.(v) then ok := false else seen.(v) <- true))
+          results;
+        Alcotest.(check bool) "unique and dense" true
+          (!ok && Array.for_all (fun b -> b) seen);
+        Util.check_step (D.exit_distribution tree);
+        (* Work conservation: each of the (total * lg w) node visits ends
+           in a toggle or half a diffraction. *)
+        Alcotest.(check int) "visits accounted" (total * 4)
+          (D.toggle_passes tree + (2 * D.diffractions tree)));
+    Util.raises_invalid "width not power of two" (fun () -> ignore (D.create ~width:6 ()));
+    Util.raises_invalid "zero prism width" (fun () ->
+        ignore (D.create ~prism_width:0 ~width:4 ()));
+    Util.raises_invalid "negative patience" (fun () ->
+        ignore (D.create ~patience:(-1) ~width:4 ()));
+  ]
+
+let suite = [ ("concurrency.barrier", barrier); ("concurrency.diffracting", diffracting) ]

@@ -1,0 +1,106 @@
+(* Tests for Cn_network.Eval: closed-form quiescent evaluation, the
+   token-level stepper, sequential token runs and counter values
+   (Fig. 1 reproduction). *)
+
+module T = Cn_network.Topology
+module E = Cn_network.Eval
+module S = Cn_sequence.Sequence
+
+let tc name f = Alcotest.test_case name `Quick f
+
+(* The irregular counting network of Fig. 1 (right): C(4, 8). *)
+let fig1_network () = Cn_core.Counting.network ~w:4 ~t:8
+
+let quiescent =
+  [
+    tc "identity passes through" (fun () ->
+        Alcotest.check Util.seq "id" [| 1; 2; 3 |] (E.quiescent (T.identity 3) [| 1; 2; 3 |]));
+    tc "single balancer splits" (fun () ->
+        let net = Cn_core.Ladder.network 2 in
+        Alcotest.check Util.seq "split" [| 3; 2 |] (E.quiescent net [| 5; 0 |]));
+    tc "sum preservation" (fun () ->
+        let net = fig1_network () in
+        let x = [| 13; 3; 0; 7 |] in
+        Alcotest.(check int) "sum" (S.sum x) (S.sum (E.quiescent net x)));
+    Util.raises_invalid "wrong input length" (fun () ->
+        E.quiescent (T.identity 2) [| 1 |]);
+    Util.raises_invalid "negative input" (fun () ->
+        E.quiescent (T.identity 2) [| 1; -1 |]);
+    tc "final states reported" (fun () ->
+        let net = Cn_core.Ladder.network 2 in
+        let _, states = E.quiescent_full net [| 3; 0 |] in
+        (* 3 tokens through one (2,2)-balancer leave it in state 1. *)
+        Alcotest.check Util.seq "states" [| 1 |] states);
+  ]
+
+let trace_agreement =
+  [
+    tc "trace equals quiescent on C(4,8)" (fun () ->
+        let net = fig1_network () in
+        let x = [| 9; 2; 5; 1 |] in
+        Alcotest.check Util.seq "agree" (E.quiescent net x) (E.trace ~seed:11 net x));
+    tc "trace seed independence" (fun () ->
+        let net = Cn_baselines.Bitonic.network 8 in
+        let x = Array.init 8 (fun i -> (i * 7) mod 5) in
+        let reference = E.trace ~seed:0 net x in
+        for seed = 1 to 10 do
+          Alcotest.check Util.seq "same result" reference (E.trace ~seed net x)
+        done);
+    Util.qtest ~count:60 "trace = quiescent on random loads"
+      QCheck2.Gen.(
+        bind (int_range 0 1000) (fun seed ->
+            map (fun l -> (seed, Array.of_list l)) (list_repeat 8 (int_range 0 30))))
+      (fun (seed, x) ->
+        let net = Cn_core.Counting.network ~w:8 ~t:16 in
+        S.equal (E.trace ~seed net x) (E.quiescent net x));
+  ]
+
+let token_runs =
+  [
+    tc "counter values are 0..m-1 in some order" (fun () ->
+        let net = fig1_network () in
+        let entries = List.init 17 (fun i -> i mod 4) in
+        let values = List.sort compare (E.counter_values net entries) in
+        Alcotest.(check (list int)) "range" (List.init 17 (fun i -> i)) values);
+    tc "sequential tokens get increasing values" (fun () ->
+        (* When tokens traverse one at a time, values are handed out in
+           arrival order: token j gets value j. *)
+        let net = fig1_network () in
+        let entries = List.init 12 (fun i -> i mod 4) in
+        Alcotest.(check (list int)) "in order" (List.init 12 (fun i -> i))
+          (E.counter_values net entries));
+    tc "exit wires cycle through outputs" (fun () ->
+        let net = fig1_network () in
+        let entries = List.init 16 (fun i -> i mod 4) in
+        let wires = List.map fst (E.token_run net entries) in
+        (* Sequential tokens of a counting network exit wires 0,1,2,... mod t. *)
+        Alcotest.(check (list int)) "round robin" (List.init 16 (fun i -> i mod 8)) wires);
+    Util.raises_invalid "entry wire out of range" (fun () ->
+        E.token_run (fig1_network ()) [ 4 ]);
+    tc "token_run then quiescent distribution" (fun () ->
+        let net = fig1_network () in
+        let entries = List.init 11 (fun i -> i mod 3) in
+        let runs = E.token_run net entries in
+        let per_wire = Array.make 8 0 in
+        List.iter (fun (wire, _) -> per_wire.(wire) <- per_wire.(wire) + 1) runs;
+        Util.check_step per_wire);
+  ]
+
+let single_process_order =
+  [
+    tc "values respect per-wire arithmetic" (fun () ->
+        let net = fig1_network () in
+        let runs = E.token_run net (List.init 20 (fun i -> i mod 4)) in
+        (* Value v handed out on wire i satisfies v mod t = i. *)
+        List.iter
+          (fun (wire, v) -> Alcotest.(check int) "congruent" wire (v mod 8))
+          runs);
+  ]
+
+let suite =
+  [
+    ("eval.quiescent", quiescent);
+    ("eval.trace", trace_agreement);
+    ("eval.token_runs", token_runs);
+    ("eval.values", single_process_order);
+  ]

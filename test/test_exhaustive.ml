@@ -1,0 +1,109 @@
+(* Tests for Cn_sim.Exhaustive: exact worst/best-case contention. *)
+
+module X = Cn_sim.Exhaustive
+module Cont = Cn_sim.Contention
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let single_balancer =
+  [
+    tc "n tokens on one balancer: forced triangle" (fun () ->
+        (* All n tokens are injected waiting at the same balancer, so the
+           first fire charges n-1, the next n-2, ...: min = max =
+           n(n-1)/2 when m = n. *)
+        let net = Cn_core.Counting.network ~w:2 ~t:2 in
+        List.iter
+          (fun n ->
+            let expected = n * (n - 1) / 2 in
+            Alcotest.(check int) (Printf.sprintf "max n=%d" n) expected
+              (X.max_contention net ~n ~m:n);
+            Alcotest.(check int) (Printf.sprintf "min n=%d" n) expected
+              (X.min_contention net ~n ~m:n))
+          [ 1; 2; 3; 4; 5 ]);
+    tc "reissued tokens keep colliding" (fun () ->
+        (* n=3 processes, 2 tokens each: each batch costs at least 3
+           pairwise stalls; the adversary can stagger reinjections to add
+           more. *)
+        let net = Cn_core.Counting.network ~w:2 ~t:2 in
+        Alcotest.(check int) "min" 6 (X.min_contention net ~n:3 ~m:6);
+        Alcotest.(check int) "max" 9 (X.max_contention net ~n:3 ~m:6));
+    tc "single process never stalls" (fun () ->
+        let net = Cn_core.Counting.network ~w:4 ~t:4 in
+        Alcotest.(check int) "max" 0 (X.max_contention net ~n:1 ~m:6);
+        Alcotest.(check int) "min" 0 (X.min_contention net ~n:1 ~m:6));
+    tc "zero tokens" (fun () ->
+        let net = Cn_core.Counting.network ~w:2 ~t:2 in
+        Alcotest.(check int) "max" 0 (X.max_contention net ~n:2 ~m:0));
+  ]
+
+let properties =
+  [
+    tc "heuristics never exceed the exact maximum" (fun () ->
+        List.iter
+          (fun (net, n, m) ->
+            let exact = X.max_contention net ~n ~m in
+            let heur = Cont.worst net ~n ~m in
+            Alcotest.(check bool) "bounded" true
+              (float_of_int heur.Cont.stalls <= float_of_int exact +. 1e-9))
+          [
+            (Cn_core.Counting.network ~w:2 ~t:2, 3, 6);
+            (Cn_core.Counting.network ~w:4 ~t:4, 3, 6);
+            (Cn_core.Counting.network ~w:4 ~t:8, 3, 6);
+            (Cn_core.Ladder.network 4, 4, 8);
+          ]);
+    tc "min <= max" (fun () ->
+        List.iter
+          (fun (net, n, m) ->
+            Alcotest.(check bool) "ordered" true
+              (X.min_contention net ~n ~m <= X.max_contention net ~n ~m))
+          [
+            (Cn_core.Counting.network ~w:4 ~t:4, 3, 6);
+            (Cn_baselines.Diffracting.network 4, 3, 6);
+          ]);
+    tc "separated processes can avoid all stalls" (fun () ->
+        (* L(4) with 2 processes on disjoint balancers: wires 0,1 enter
+           different ladder balancers. *)
+        let net = Cn_core.Ladder.network 4 in
+        Alcotest.(check int) "min 0" 0 (X.min_contention net ~n:2 ~m:4));
+    tc "exact worst case: wide beats narrow already at w=4" (fun () ->
+        (* The paper's claim holds in the exact model at toy scale. *)
+        let narrow = X.max_contention (Cn_core.Counting.network ~w:4 ~t:4) ~n:3 ~m:6 in
+        let wide = X.max_contention (Cn_core.Counting.network ~w:4 ~t:8) ~n:3 ~m:6 in
+        Alcotest.(check bool) "wide <= narrow" true (wide < narrow));
+    tc "diffracting tree is worst at equal size" (fun () ->
+        let tree = X.max_contention (Cn_baselines.Diffracting.network 4) ~n:3 ~m:6 in
+        let ours = X.max_contention (Cn_core.Counting.network ~w:4 ~t:4) ~n:3 ~m:6 in
+        Alcotest.(check bool) "tree worse" true (tree > ours));
+    Util.raises_invalid "state limit enforced" (fun () ->
+        ignore
+          (X.max_contention ~limit_states:10 (Cn_core.Counting.network ~w:8 ~t:8) ~n:6 ~m:18));
+    Util.raises_invalid "bad concurrency" (fun () ->
+        ignore (X.max_contention (Cn_core.Ladder.network 2) ~n:0 ~m:1));
+  ]
+
+let fairness =
+  [
+    tc "max_token_stalls at least the average" (fun () ->
+        let net = Cn_core.Counting.network ~w:8 ~t:8 in
+        let r = Cont.worst net ~n:32 ~m:320 in
+        Alcotest.(check bool) "max >= avg" true
+          (float_of_int r.Cont.max_token_stalls >= r.Cont.per_token));
+    tc "park adversary starves its victim" (fun () ->
+        (* The parked token of process 0 suffers far more stalls than the
+           average token: stalls concentrate on the victim. *)
+        let net = Cn_core.Counting.network ~w:8 ~t:8 in
+        let r = Cont.measure net ~n:16 ~m:160 (Cn_sim.Scheduler.Park 1) in
+        Alcotest.(check bool) "starved" true
+          (float_of_int r.Cont.max_token_stalls > 2. *. r.Cont.per_token));
+    tc "round robin on one process has zero token stalls" (fun () ->
+        let net = Cn_core.Counting.network ~w:4 ~t:4 in
+        let r = Cont.measure net ~n:1 ~m:20 Cn_sim.Scheduler.Round_robin in
+        Alcotest.(check int) "none" 0 r.Cont.max_token_stalls);
+  ]
+
+let suite =
+  [
+    ("exhaustive.single", single_balancer);
+    ("exhaustive.properties", properties);
+    ("exhaustive.fairness", fairness);
+  ]

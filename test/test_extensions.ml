@@ -1,0 +1,250 @@
+(* Tests for the extension features: the Section 3.3 merger ablation,
+   randomized initial states (Section 7), the threshold property, and
+   DOT rendering. *)
+
+module T = Cn_network.Topology
+module E = Cn_network.Eval
+module S = Cn_sequence.Sequence
+module A = Cn_core.Ablation
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let ablation =
+  [
+    tc "ablated network still counts" (fun () ->
+        List.iter
+          (fun (w, t) ->
+            let net = A.network ~w ~t in
+            Util.for_random_inputs ~trials:80 ~seed:(w + t) net (fun ~trial:_ ~x ~y ->
+                Alcotest.(check int) "sum" (S.sum x) (S.sum y);
+                Util.check_step y))
+          [ (4, 4); (4, 8); (8, 8); (8, 16); (16, 16) ]);
+    tc "ablated depth matches its recurrence" (fun () ->
+        List.iter
+          (fun (w, t) ->
+            Alcotest.(check int)
+              (Printf.sprintf "w=%d t=%d" w t)
+              (A.depth_formula ~w ~t)
+              (T.depth (A.network ~w ~t)))
+          [ (2, 2); (2, 8); (4, 4); (4, 16); (8, 8); (8, 32); (16, 16); (16, 64) ]);
+    tc "section 3.3: ablated depth grows with t, ours does not" (fun () ->
+        let w = 8 in
+        let ours_narrow = T.depth (Cn_core.Counting.network ~w ~t:8) in
+        let ours_wide = T.depth (Cn_core.Counting.network ~w ~t:64) in
+        let abl_narrow = T.depth (A.network ~w ~t:8) in
+        let abl_wide = T.depth (A.network ~w ~t:64) in
+        Alcotest.(check int) "ours is t-independent" ours_narrow ours_wide;
+        Alcotest.(check bool) "ablation pays for t" true (abl_wide > abl_narrow);
+        Alcotest.(check bool) "ablation never shallower" true (abl_narrow >= ours_narrow));
+    tc "ablation is never shallower than bitonic at w = t" (fun () ->
+        (* The ablated construction keeps C(w,t)'s ladder layers on top
+           of bitonic mergers, so at w = t it is strictly deeper than
+           the bitonic network for w >= 4 (and equal at w = 2). *)
+        List.iter
+          (fun w ->
+            let abl = T.depth (A.network ~w ~t:w) in
+            let bit = Cn_baselines.Bitonic.depth_formula ~w in
+            Alcotest.(check bool) (Printf.sprintf "w=%d" w) true
+              (if w = 2 then abl = bit else abl > bit))
+          [ 2; 4; 8; 16 ]);
+    Util.raises_invalid "rejects non-power-of-two t" (fun () -> A.network ~w:8 ~t:24);
+    Util.raises_invalid "rejects t < w" (fun () -> A.network ~w:8 ~t:4);
+    tc "cross-parity merger is NOT a difference merger" (fun () ->
+        (* Section 3.3, third bullet: pairing evens with odds breaks the
+           halving of the difference bound. *)
+        List.iter
+          (fun (t, delta) ->
+            match
+              Cn_core.Verify.merging ~delta ~max_half_sum:60
+                (A.cross_parity_merger ~t ~delta)
+            with
+            | Cn_core.Verify.Counterexample _ -> ()
+            | Cn_core.Verify.Verified _ ->
+                Alcotest.failf "M'(%d,%d) unexpectedly merged all cases" t delta)
+          [ (8, 4); (16, 4); (16, 8); (32, 8) ]);
+    tc "cross-parity merger has the same shape as M(t,delta)" (fun () ->
+        let faithful = Cn_core.Merging.network ~t:16 ~delta:4 in
+        let wrong = A.cross_parity_merger ~t:16 ~delta:4 in
+        Alcotest.(check int) "depth" (T.depth faithful) (T.depth wrong);
+        Alcotest.(check int) "size" (T.size faithful) (T.size wrong));
+    Util.raises_invalid "cross-parity validates parameters" (fun () ->
+        A.cross_parity_merger ~t:8 ~delta:8);
+  ]
+
+let randomized =
+  [
+    tc "randomize_states preserves structure" (fun () ->
+        let net = Cn_core.Butterfly.forward 16 in
+        let rnd = T.randomize_states ~seed:5 net in
+        Alcotest.(check int) "size" (T.size net) (T.size rnd);
+        Alcotest.(check int) "depth" (T.depth net) (T.depth rnd);
+        Alcotest.(check int) "w" (T.input_width net) (T.input_width rnd));
+    tc "randomized butterfly keeps the lg w smoothing bound" (fun () ->
+        (* A (2,2)-balancer's outputs are {floor, ceil} of half its load
+           whatever its initial state, so the Lemma 5.2 induction is
+           state-independent. *)
+        List.iter
+          (fun seed ->
+            let net = T.randomize_states ~seed (Cn_core.Butterfly.forward 16) in
+            Util.for_random_inputs ~trials:100 ~seed net (fun ~trial:_ ~x:_ ~y ->
+                Alcotest.(check bool) "4-smooth" true (S.is_smooth 4 y)))
+          [ 1; 2; 3 ]);
+    tc "randomized counting network is not counting but stays smooth" (fun () ->
+        let net = T.randomize_states ~seed:11 (Cn_core.Counting.network ~w:8 ~t:8) in
+        let rng = Random.State.make [| 4 |] in
+        let broke_step = ref false in
+        for _ = 1 to 300 do
+          let x = Util.random_input rng 8 in
+          let y = E.quiescent net x in
+          if not (S.is_step y) then broke_step := true;
+          Alcotest.(check bool) "still 2-smooth" true (S.is_smooth 2 y)
+        done;
+        Alcotest.(check bool) "step property lost" true !broke_step);
+    tc "with_init_states validates range" (fun () ->
+        let net = Cn_core.Ladder.network 4 in
+        match T.with_init_states (fun _ _ -> 7) net with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    tc "seeded randomization is deterministic" (fun () ->
+        let net = Cn_core.Counting.network ~w:8 ~t:8 in
+        Alcotest.(check bool) "equal" true
+          (T.equal (T.randomize_states ~seed:3 net) (T.randomize_states ~seed:3 net)));
+  ]
+
+(* The threshold property: the k-th token to exit the LAST output wire
+   does so only once k*t tokens have entered the network.  Validated on
+   random executions by checking after every transition. *)
+let threshold_check net ~n ~m ~seed =
+  let module SM = Cn_sim.Stall_model in
+  let t_width = T.output_width net in
+  let s = SM.create net ~concurrency:n ~tokens:m in
+  let rng = Random.State.make [| seed |] in
+  let violations = ref 0 in
+  while not (SM.finished s) do
+    let waiting = Array.of_list (SM.waiting_processes s) in
+    if Array.length waiting > 0 then begin
+      let p = waiting.(Random.State.int rng (Array.length waiting)) in
+      SM.fire s p;
+      let k = (SM.output_counts s).(t_width - 1) in
+      if k > 0 && SM.injected_tokens s < k * t_width then incr violations
+    end
+  done;
+  !violations
+
+let threshold =
+  [
+    tc "threshold property of C(4,8)" (fun () ->
+        for seed = 0 to 9 do
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d" seed)
+            0
+            (threshold_check (Cn_core.Counting.network ~w:4 ~t:8) ~n:7 ~m:140 ~seed)
+        done);
+    tc "threshold property of C(8,8)" (fun () ->
+        for seed = 0 to 9 do
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d" seed)
+            0
+            (threshold_check (Cn_core.Counting.network ~w:8 ~t:8) ~n:13 ~m:260 ~seed)
+        done);
+    tc "threshold property of bitonic(8)" (fun () ->
+        for seed = 0 to 9 do
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d" seed)
+            0
+            (threshold_check (Cn_baselines.Bitonic.network 8) ~n:13 ~m:260 ~seed)
+        done);
+    tc "injected counts completed plus in-flight" (fun () ->
+        let module SM = Cn_sim.Stall_model in
+        let s = SM.create (Cn_core.Ladder.network 2) ~concurrency:3 ~tokens:9 in
+        Alcotest.(check int) "initial" 3 (SM.injected_tokens s);
+        SM.fire s 0;
+        (* token 0 exited; process 0 immediately injected its next. *)
+        Alcotest.(check int) "after fire" 4 (SM.injected_tokens s));
+  ]
+
+let dot_render =
+  [
+    tc "dot output is a digraph with all nodes" (fun () ->
+        let net = Cn_core.Counting.network ~w:4 ~t:8 in
+        let s = Cn_network.Render.dot net in
+        let contains needle =
+          let lh = String.length s and ln = String.length needle in
+          let rec go i = i + ln <= lh && (String.sub s i ln = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "digraph" true (contains "digraph");
+        Alcotest.(check bool) "inputs" true (contains "in3 [shape=diamond");
+        Alcotest.(check bool) "outputs" true (contains "out7 [shape=diamond");
+        Alcotest.(check bool) "irregular balancer label" true (contains "(2,4)");
+        for b = 0 to T.size net - 1 do
+          Alcotest.(check bool) (Printf.sprintf "b%d" b) true
+            (contains (Printf.sprintf "b%d [label=" b))
+        done);
+    tc "dot edge count equals wire count" (fun () ->
+        let net = Cn_core.Counting.network ~w:4 ~t:8 in
+        let s = Cn_network.Render.dot net in
+        let arrows = ref 0 in
+        String.iteri
+          (fun i c -> if c = '>' && i > 0 && s.[i - 1] = '-' then incr arrows)
+          s;
+        (* wires = balancer inputs + network outputs *)
+        let expected =
+          Array.to_seq (Array.init (T.size net) (fun b -> Array.length (T.feeds net b)))
+          |> Seq.fold_left ( + ) (T.output_width net)
+        in
+        Alcotest.(check int) "edges" expected !arrows);
+  ]
+
+(* Fault injection in the spirit of the self-stabilization work the paper
+   cites ([18], Herlihy–Tirthapura): corrupt every balancer state between
+   batches and check the smoothing guarantees of the *subsequent* traffic
+   degrade gracefully (each corrupted (2,2)-balancer still emits
+   ceil/floor halves, so a butterfly stays lg w-smoothing of totals and
+   per-batch deltas stay 2·lg w-smooth). *)
+let fault_injection =
+  [
+    tc "corrupted butterfly still smooths totals" (fun () ->
+        let rng = Random.State.make [| 3 |] in
+        for seed = 1 to 20 do
+          let net = T.randomize_states ~seed (Cn_core.Butterfly.forward 16) in
+          let x = Array.init 16 (fun _ -> Random.State.int rng 60) in
+          Alcotest.(check bool) "lg w smooth" true
+            (S.is_smooth 4 (E.quiescent net x))
+        done);
+    tc "per-batch deltas after corruption are 2 lg w smooth" (fun () ->
+        let rng = Random.State.make [| 9 |] in
+        for seed = 1 to 20 do
+          let base = Cn_core.Butterfly.forward 16 in
+          (* First batch through a fresh network... *)
+          let x1 = Array.init 16 (fun _ -> Random.State.int rng 30) in
+          let _, states = E.quiescent_full base x1 in
+          ignore states;
+          let y1 = E.quiescent base x1 in
+          (* ...then the adversary corrupts all states; the second batch's
+             delta is the difference of two lg w-smooth totals. *)
+          let corrupted = T.randomize_states ~seed base in
+          let x2 = Array.init 16 (fun _ -> Random.State.int rng 30) in
+          let y2 = E.quiescent corrupted x2 in
+          let delta = Array.init 16 (fun i -> y1.(i) + y2.(i)) in
+          Alcotest.(check bool) "8-smooth" true (S.is_smooth 8 delta)
+        done);
+    tc "corrupted counting network stays within spread 2" (fun () ->
+        (* The step property dies under corruption but 2-smoothness
+           survives for C(w,w) (measured bound; cf. E10). *)
+        let rng = Random.State.make [| 13 |] in
+        for seed = 1 to 20 do
+          let net = T.randomize_states ~seed (Cn_core.Counting.network ~w:8 ~t:8) in
+          let x = Array.init 8 (fun _ -> Random.State.int rng 50) in
+          Alcotest.(check bool) "2-smooth" true (S.is_smooth 2 (E.quiescent net x))
+        done);
+  ]
+
+let suite =
+  [
+    ("extensions.ablation", ablation);
+    ("extensions.randomized", randomized);
+    ("extensions.threshold", threshold);
+    ("extensions.dot", dot_render);
+    ("extensions.faults", fault_injection);
+  ]

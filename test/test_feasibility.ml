@@ -1,0 +1,70 @@
+(* Tests for Cn_analysis.Feasibility: the Aharonson–Attiya criterion
+   (paper, Section 1.4.2). *)
+
+module F = Cn_analysis.Feasibility
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let primes =
+  [
+    tc "prime_factors of small values" (fun () ->
+        List.iter
+          (fun (v, expected) ->
+            Alcotest.(check (list int)) (string_of_int v) expected (F.prime_factors v))
+          [
+            (1, []); (2, [ 2 ]); (3, [ 3 ]); (4, [ 2 ]); (6, [ 2; 3 ]); (12, [ 2; 3 ]);
+            (360, [ 2; 3; 5 ]); (97, [ 97 ]); (1024, [ 2 ]); (210, [ 2; 3; 5; 7 ]);
+          ]);
+    Util.raises_invalid "zero" (fun () -> F.prime_factors 0);
+    Util.raises_invalid "negative" (fun () -> F.prime_factors (-4));
+    Util.qtest ~count:200 "factors multiply back into v"
+      QCheck2.Gen.(int_range 1 100000)
+      (fun v ->
+        List.for_all (fun p -> v mod p = 0) (F.prime_factors v)
+        && List.for_all
+             (fun p -> List.for_all (fun q -> p = q || p mod q <> 0) (F.prime_factors v))
+             (F.prime_factors v));
+  ]
+
+let criterion =
+  [
+    tc "powers of two from (·,2)-balancers" (fun () ->
+        List.iter
+          (fun w ->
+            Alcotest.(check bool) (string_of_int w) true
+              (F.is_constructible ~width:w ~balancer_outputs:[ 2 ]))
+          [ 1; 2; 4; 8; 16; 1024 ]);
+    tc "width 6 impossible from (·,2)-balancers" (fun () ->
+        Alcotest.(check bool) "blocked" false
+          (F.is_constructible ~width:6 ~balancer_outputs:[ 2 ]);
+        Alcotest.(check (option int)) "witness" (Some 3)
+          (F.blocking_prime ~width:6 ~balancer_outputs:[ 2 ]));
+    tc "width 6 possible with a 3-output balancer" (fun () ->
+        Alcotest.(check bool) "ok" true (F.is_constructible ~width:6 ~balancer_outputs:[ 2; 3 ]));
+    tc "our irregular balancers admit t = p·w" (fun () ->
+        (* C(w, t) uses (2,2)- and (2,2p)-balancers; every prime factor
+           of t = p·2^k divides 2p. *)
+        List.iter
+          (fun (w, t) ->
+            let p = t / w in
+            Alcotest.(check bool)
+              (Printf.sprintf "w=%d t=%d" w t)
+              true
+              (F.is_constructible ~width:t ~balancer_outputs:[ 2; 2 * p ]))
+          [ (4, 8); (8, 24); (8, 40); (16, 48); (4, 28) ]);
+    tc "blocking prime is the smallest" (fun () ->
+        Alcotest.(check (option int)) "35 from 2s" (Some 5)
+          (F.blocking_prime ~width:35 ~balancer_outputs:[ 2; 4; 8 ]));
+    tc "constructible_widths enumerates" (fun () ->
+        Alcotest.(check (list int)) "powers of 2 and 1" [ 1; 2; 4; 8; 16 ]
+          (F.constructible_widths ~balancer_outputs:[ 2 ] ~limit:16);
+        Alcotest.(check (list int)) "2,3-smooth" [ 1; 2; 3; 4; 6; 8; 9; 12; 16; 18 ]
+          (List.filter (fun v -> v <= 18)
+             (F.constructible_widths ~balancer_outputs:[ 2; 3 ] ~limit:18)));
+    Util.raises_invalid "empty balancer set" (fun () ->
+        ignore (F.is_constructible ~width:4 ~balancer_outputs:[]));
+    Util.raises_invalid "bad width" (fun () ->
+        ignore (F.is_constructible ~width:0 ~balancer_outputs:[ 2 ]));
+  ]
+
+let suite = [ ("feasibility.primes", primes); ("feasibility.criterion", criterion) ]

@@ -1,0 +1,175 @@
+(* Fuzz tests: framework invariants over randomly generated networks
+   (Cn_network.Random_net), plus the Codec round trip. *)
+
+module T = Cn_network.Topology
+module E = Cn_network.Eval
+module S = Cn_sequence.Sequence
+module RN = Cn_network.Random_net
+module Codec = Cn_network.Codec
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let gen_layered =
+  QCheck2.Gen.(
+    bind (int_range 0 1000) (fun seed ->
+        bind (map (fun h -> 2 * h) (int_range 1 8)) (fun width ->
+            map (fun layers -> RN.layered ~seed ~layers width) (int_range 0 6))))
+
+let gen_sparse =
+  QCheck2.Gen.(
+    bind (int_range 0 1000) (fun seed ->
+        bind (map (fun h -> 2 * h) (int_range 1 8)) (fun width ->
+            bind (int_range 0 6) (fun layers ->
+                map
+                  (fun d -> RN.sparse ~seed ~density:(float_of_int d /. 10.) ~layers width)
+                  (int_range 0 10)))))
+
+let gen_irregular =
+  QCheck2.Gen.(
+    bind (int_range 0 1000) (fun seed ->
+        bind (int_range 2 10) (fun width ->
+            map (fun layers -> RN.irregular ~seed ~layers width) (int_range 0 5))))
+
+let load_for rng net = Array.init (T.input_width net) (fun _ -> Random.State.int rng 20)
+
+let invariants =
+  [
+    Util.qtest ~count:150 "layered: sum preservation + 1-smooth closure" gen_layered
+      (fun net ->
+        let rng = Random.State.make [| T.size net |] in
+        let x = load_for rng net in
+        let y = E.quiescent net x in
+        S.sum y = S.sum x
+        &&
+        (* A regular network never increases the spread beyond input
+           spread + nothing is guaranteed, but uniform inputs must pass
+           through uniformly. *)
+        let u = Array.make (T.input_width net) 7 in
+        E.quiescent net u = u);
+    Util.qtest ~count:150 "layered: trace agrees with closed form" gen_layered (fun net ->
+        let rng = Random.State.make [| T.size net + 1 |] in
+        let x = load_for rng net in
+        E.trace ~seed:(T.size net) net x = E.quiescent net x);
+    Util.qtest ~count:150 "sparse: structural sanity" gen_sparse (fun net ->
+        T.input_width net = T.output_width net
+        && Array.fold_left (fun acc l -> acc + Array.length l) 0 (T.layers net) = T.size net);
+    Util.qtest ~count:150 "sparse: sum preservation" gen_sparse (fun net ->
+        let rng = Random.State.make [| 2 * T.size net |] in
+        let x = load_for rng net in
+        S.sum (E.quiescent net x) = S.sum x);
+    Util.qtest ~count:150 "irregular: sum preservation" gen_irregular (fun net ->
+        let rng = Random.State.make [| (3 * T.size net) + 1 |] in
+        let x = load_for rng net in
+        S.sum (E.quiescent net x) = S.sum x);
+    Util.qtest ~count:100 "irregular: antitoken cancellation" gen_irregular (fun net ->
+        let w = T.input_width net in
+        let rng = Random.State.make [| (5 * T.size net) + 2 |] in
+        let tokens = Array.init w (fun _ -> Random.State.int rng 8) in
+        let antitokens = Array.init w (fun _ -> Random.State.int rng 8) in
+        let nets = Array.init w (fun i -> tokens.(i) - antitokens.(i)) in
+        E.trace_signed ~seed:(T.size net) net ~tokens ~antitokens = E.quiescent_net net nets);
+    Util.qtest ~count:100 "self-isomorphism found on random layered nets"
+      QCheck2.Gen.(
+        bind (int_range 0 200) (fun seed ->
+            map (fun layers -> RN.layered ~seed ~layers 6) (int_range 0 3)))
+      (fun net -> match Cn_network.Iso.find net net with Some _ -> true | None -> false);
+    Util.qtest ~count:120 "runtime agrees with evaluator on random nets" gen_layered
+      (fun net ->
+        let rt = Cn_runtime.Network_runtime.compile net in
+        let rng = Random.State.make [| (7 * T.size net) + 3 |] in
+        let x = load_for rng net in
+        Array.iteri
+          (fun wire count ->
+            for _ = 1 to count do
+              ignore (Cn_runtime.Network_runtime.traverse rt ~wire)
+            done)
+          x;
+        Cn_runtime.Network_runtime.exit_distribution rt = E.quiescent net x);
+  ]
+
+let generator_validation =
+  [
+    Util.raises_invalid "layered odd width" (fun () -> RN.layered ~layers:2 5);
+    Util.raises_invalid "layered negative layers" (fun () -> RN.layered ~layers:(-1) 4);
+    Util.raises_invalid "sparse bad density" (fun () -> RN.sparse ~density:1.5 ~layers:2 4);
+    Util.raises_invalid "irregular width 1" (fun () -> RN.irregular ~layers:2 1);
+    tc "determinism under equal seeds" (fun () ->
+        Alcotest.(check bool) "equal" true
+          (T.equal (RN.layered ~seed:9 ~layers:4 8) (RN.layered ~seed:9 ~layers:4 8)));
+    tc "different seeds differ" (fun () ->
+        Alcotest.(check bool) "differ" false
+          (T.equal (RN.layered ~seed:1 ~layers:4 8) (RN.layered ~seed:2 ~layers:4 8)));
+  ]
+
+let codec =
+  [
+    tc "round trip on hand-built networks" (fun () ->
+        List.iter
+          (fun net ->
+            match Codec.of_string (Codec.to_string net) with
+            | Ok net2 -> Alcotest.(check bool) "equal" true (T.equal net net2)
+            | Error e -> Alcotest.failf "decode failed: %s" e)
+          [
+            Cn_core.Counting.network ~w:4 ~t:8;
+            Cn_core.Counting.network ~w:8 ~t:8;
+            Cn_baselines.Bitonic.network 8;
+            Cn_baselines.Diffracting.network 8;
+            Cn_core.Butterfly.forward 16;
+            T.identity 3;
+          ]);
+    Util.qtest ~count:100 "round trip on random networks" gen_irregular (fun net ->
+        match Codec.of_string (Codec.to_string net) with
+        | Ok net2 -> T.equal net net2
+        | Error _ -> false);
+    tc "rejects missing header fields" (fun () ->
+        (match Codec.of_string "counting-network v1\noutputs : in0\n" with
+        | Error e -> Alcotest.(check bool) "mentions inputs" true (e = "missing 'inputs' line")
+        | Ok _ -> Alcotest.fail "expected error"));
+    tc "rejects bad token" (fun () ->
+        match Codec.of_string "counting-network v1\ninputs 1\noutputs : wat\n" with
+        | Error e -> Alcotest.(check bool) "has line no" true (String.length e > 0)
+        | Ok _ -> Alcotest.fail "expected error");
+    tc "rejects structural violations with topology message" (fun () ->
+        match Codec.of_string "counting-network v1\ninputs 2\noutputs : in0 in0\n" with
+        | Error e ->
+            Alcotest.(check bool) "consumed twice" true
+              (String.length e > 0 && String.sub e 0 8 = "Topology")
+        | Ok _ -> Alcotest.fail "expected error");
+    tc "rejects out-of-order balancer ids" (fun () ->
+        match
+          Codec.of_string
+            "counting-network v1\ninputs 2\nbalancer 1 2 2 0 : in0 in1\noutputs : b1.0 b1.1\n"
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected error");
+    tc "round trip preserves randomized initial states" (fun () ->
+        let net = T.randomize_states ~seed:21 (Cn_baselines.Bitonic.network 8) in
+        (match Codec.of_string (Codec.to_string net) with
+        | Ok net2 ->
+            Alcotest.(check bool) "equal" true (T.equal net net2);
+            (* Behavioural check: same outputs on a probe load. *)
+            let x = Array.init 8 (fun i -> i + 1) in
+            Alcotest.check Util.seq "behaviour"
+              (Cn_network.Eval.quiescent net x)
+              (Cn_network.Eval.quiescent net2 x)
+        | Error e -> Alcotest.failf "decode failed: %s" e));
+    tc "iso search respects its budget" (fun () ->
+        let net = Cn_baselines.Bitonic.network 16 in
+        Alcotest.(check bool) "budget 1 gives up" true
+          (Cn_network.Iso.find ~budget:1 net net = None));
+    tc "ignores comments and blank lines" (fun () ->
+        let text =
+          "counting-network v1\n# a comment\n\ninputs 2\nbalancer 0 2 2 0 : in0 in1\n\
+           outputs : b0.0 b0.1\n"
+        in
+        match Codec.of_string text with
+        | Ok net -> Alcotest.(check int) "size" 1 (T.size net)
+        | Error e -> Alcotest.failf "decode failed: %s" e);
+  ]
+
+let suite =
+  [
+    ("fuzz.invariants", invariants);
+    ("fuzz.generators", generator_validation);
+    ("fuzz.codec", codec);
+  ]

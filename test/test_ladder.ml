@@ -1,0 +1,55 @@
+(* Tests for Cn_core.Ladder: L(w), Section 4.1. *)
+
+module T = Cn_network.Topology
+module E = Cn_network.Eval
+module S = Cn_sequence.Sequence
+module Ladder = Cn_core.Ladder
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let structure =
+  [
+    tc "depth is 1" (fun () ->
+        Alcotest.(check int) "depth" 1 (T.depth (Ladder.network 8)));
+    tc "size is w/2" (fun () ->
+        Alcotest.(check int) "size" 4 (T.size (Ladder.network 8)));
+    tc "width preserved" (fun () ->
+        let net = Ladder.network 6 in
+        Alcotest.(check int) "w" 6 (T.input_width net);
+        Alcotest.(check int) "t" 6 (T.output_width net));
+    Util.raises_invalid "odd width" (fun () -> Ladder.network 5);
+    Util.raises_invalid "width below 2" (fun () -> Ladder.network 0);
+    tc "regular" (fun () -> Alcotest.(check bool) "reg" true (T.is_regular (Ladder.network 4)));
+  ]
+
+let behaviour =
+  [
+    tc "balancer i joins wires i and i+w/2" (fun () ->
+        let net = Ladder.network 4 in
+        (* Load only wire 0: its tokens split between outputs 0 and 2. *)
+        Alcotest.check Util.seq "split" [| 3; 0; 2; 0 |] (E.quiescent net [| 5; 0; 0; 0 |]);
+        Alcotest.check Util.seq "split" [| 0; 2; 0; 2 |] (E.quiescent net [| 0; 1; 0; 3 |]));
+    tc "pair sums preserved" (fun () ->
+        let net = Ladder.network 8 in
+        let x = [| 9; 1; 0; 4; 4; 2; 7; 3 |] in
+        let y = E.quiescent net x in
+        for i = 0 to 3 do
+          Alcotest.(check int) "pair sum" (x.(i) + x.(i + 4)) (y.(i) + y.(i + 4))
+        done);
+    tc "halves difference bounded by w/2" (fun () ->
+        (* The property C(w, t) relies on: sum(first half) - sum(second
+           half) of L(w)'s output lies in [0, w/2]. *)
+        let net = Ladder.network 8 in
+        Util.for_random_inputs ~trials:200 net (fun ~trial:_ ~x:_ ~y ->
+            let d = S.sum (S.first_half y) - S.sum (S.second_half y) in
+            Alcotest.(check bool) "0 <= d <= 4" true (0 <= d && d <= 4)));
+    tc "each pair is top-heavy by at most one" (fun () ->
+        let net = Ladder.network 8 in
+        Util.for_random_inputs ~trials:200 net (fun ~trial:_ ~x:_ ~y ->
+            for i = 0 to 3 do
+              let d = y.(i) - y.(i + 4) in
+              Alcotest.(check bool) "0 <= d <= 1" true (d = 0 || d = 1)
+            done));
+  ]
+
+let suite = [ ("ladder.structure", structure); ("ladder.behaviour", behaviour) ]

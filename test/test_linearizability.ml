@@ -1,0 +1,132 @@
+(* Tests for Cn_sim.Linearizability and Cn_core.Verify. *)
+
+module SM = Cn_sim.Stall_model
+module L = Cn_sim.Linearizability
+module V = Cn_core.Verify
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let op ~pid ~invoke ~response ~value = { SM.pid; invoke; response; value; stalls = 0 }
+
+let checker =
+  [
+    tc "empty history is linearizable" (fun () ->
+        Alcotest.(check bool) "lin" true (L.is_linearizable [||]));
+    tc "sequential history is linearizable" (fun () ->
+        let ops =
+          [|
+            op ~pid:0 ~invoke:0 ~response:1 ~value:0;
+            op ~pid:1 ~invoke:2 ~response:3 ~value:1;
+            op ~pid:0 ~invoke:4 ~response:5 ~value:2;
+          |]
+        in
+        Alcotest.(check bool) "lin" true (L.is_linearizable ops);
+        Alcotest.(check bool) "dense" true (L.is_dense ops));
+    tc "overlapping out-of-order values are fine" (fun () ->
+        (* Two concurrent ops may be linearized either way. *)
+        let ops =
+          [|
+            op ~pid:0 ~invoke:0 ~response:10 ~value:1;
+            op ~pid:1 ~invoke:1 ~response:9 ~value:0;
+          |]
+        in
+        Alcotest.(check bool) "lin" true (L.is_linearizable ops));
+    tc "inversion across a response is a violation" (fun () ->
+        let a = op ~pid:0 ~invoke:0 ~response:2 ~value:5 in
+        let b = op ~pid:1 ~invoke:4 ~response:6 ~value:3 in
+        (match L.violation [| a; b |] with
+        | Some (x, y) ->
+            Alcotest.(check int) "big value" 5 x.SM.value;
+            Alcotest.(check int) "small value" 3 y.SM.value
+        | None -> Alcotest.fail "expected violation"));
+    tc "violation found through interleaved noise" (fun () ->
+        let ops =
+          [|
+            op ~pid:0 ~invoke:0 ~response:1 ~value:0;
+            op ~pid:1 ~invoke:0 ~response:3 ~value:4 (* responds at 3 *);
+            op ~pid:2 ~invoke:5 ~response:7 ~value:2 (* invoked at 5 > 3 *);
+            op ~pid:3 ~invoke:2 ~response:8 ~value:1;
+            op ~pid:4 ~invoke:6 ~response:9 ~value:3;
+          |]
+        in
+        Alcotest.(check bool) "not lin" false (L.is_linearizable ops));
+    tc "is_dense rejects gaps and duplicates" (fun () ->
+        Alcotest.(check bool) "gap" false
+          (L.is_dense [| op ~pid:0 ~invoke:0 ~response:1 ~value:0; op ~pid:1 ~invoke:2 ~response:3 ~value:2 |]);
+        Alcotest.(check bool) "dup" false
+          (L.is_dense [| op ~pid:0 ~invoke:0 ~response:1 ~value:0; op ~pid:1 ~invoke:2 ~response:3 ~value:0 |]));
+  ]
+
+let networks =
+  [
+    tc "counting networks are not linearizable (C(4,4))" (fun () ->
+        match L.find_violation (Cn_core.Counting.network ~w:4 ~t:4) ~n:8 ~m:80 with
+        | Some (a, b) ->
+            Alcotest.(check bool) "real-time order" true (a.SM.response < b.SM.invoke);
+            Alcotest.(check bool) "value inversion" true (a.SM.value > b.SM.value)
+        | None -> Alcotest.fail "expected a violation within the seed budget");
+    tc "counting networks are not linearizable (bitonic 8)" (fun () ->
+        Alcotest.(check bool) "violation exists" true
+          (L.find_violation (Cn_baselines.Bitonic.network 8) ~n:12 ~m:120 <> None));
+    tc "every sim history is quiescently consistent" (fun () ->
+        let net = Cn_core.Counting.network ~w:8 ~t:16 in
+        List.iter
+          (fun seed ->
+            let s = SM.create net ~concurrency:10 ~tokens:200 in
+            Cn_sim.Scheduler.run s (Cn_sim.Scheduler.Random seed);
+            Alcotest.(check bool) "dense" true (L.is_dense (SM.history s)))
+          [ 0; 1; 2; 3; 4 ]);
+    tc "a single balancer is linearizable" (fun () ->
+        (* Depth-1 networks serialize on one location, so value order is
+           completion order. *)
+        Alcotest.(check (option (pair int int))) "no violation" None
+          (Option.map
+             (fun (a, b) -> (a.SM.value, b.SM.value))
+             (L.find_violation ~seeds:(List.init 30 (fun i -> i)) (Cn_core.Counting.network ~w:2 ~t:2)
+                ~n:8 ~m:80)));
+    tc "history length equals completed tokens" (fun () ->
+        let s = SM.create (Cn_core.Counting.network ~w:4 ~t:8) ~concurrency:5 ~tokens:50 in
+        Cn_sim.Scheduler.run s Cn_sim.Scheduler.Round_robin;
+        Alcotest.(check int) "ops" 50 (Array.length (SM.history s)));
+  ]
+
+let verify =
+  [
+    tc "exhaustive counting certificate for C(4,8)" (fun () ->
+        match V.counting ~max_tokens:4 (Cn_core.Counting.network ~w:4 ~t:8) with
+        | V.Verified n -> Alcotest.(check int) "space" 625 n
+        | V.Counterexample x -> Alcotest.failf "unexpected: %s" (Util.S.to_string x));
+    tc "exhaustive counting certificate for C(8,8)" (fun () ->
+        match V.counting ~max_tokens:2 (Cn_core.Counting.network ~w:8 ~t:8) with
+        | V.Verified n -> Alcotest.(check int) "space" 6561 n
+        | V.Counterexample x -> Alcotest.failf "unexpected: %s" (Util.S.to_string x));
+    tc "butterfly yields a counterexample to counting" (fun () ->
+        match V.counting ~max_tokens:3 (Cn_core.Butterfly.forward 4) with
+        | V.Counterexample x ->
+            Alcotest.(check bool) "witness fails" false
+              (Util.S.is_step (Cn_network.Eval.quiescent (Cn_core.Butterfly.forward 4) x))
+        | V.Verified _ -> Alcotest.fail "butterfly should not count");
+    tc "exhaustive smoothing certificate for D(4)" (fun () ->
+        match V.smoothing ~k:2 ~max_tokens:5 (Cn_core.Butterfly.forward 4) with
+        | V.Verified _ -> ()
+        | V.Counterexample x -> Alcotest.failf "unexpected: %s" (Util.S.to_string x));
+    tc "exhaustive merging certificate for M(8,4)" (fun () ->
+        match V.merging ~delta:4 ~max_half_sum:30 (Cn_core.Merging.network ~t:8 ~delta:4) with
+        | V.Verified n -> Alcotest.(check int) "cases" (31 * 5) n
+        | V.Counterexample x -> Alcotest.failf "unexpected: %s" (Util.S.to_string x));
+    tc "merging beyond delta yields a counterexample" (fun () ->
+        match V.merging ~delta:16 ~max_half_sum:20 (Cn_core.Merging.network ~t:8 ~delta:2) with
+        | V.Counterexample _ -> ()
+        | V.Verified _ -> Alcotest.fail "M(8,2) should not merge difference 16");
+    Util.raises_invalid "input space cap" (fun () ->
+        ignore (V.counting ~max_tokens:50 (Cn_core.Counting.network ~w:8 ~t:8)));
+    Util.raises_invalid "negative bound" (fun () ->
+        ignore (V.counting ~max_tokens:(-1) (Cn_core.Counting.network ~w:4 ~t:4)));
+  ]
+
+let suite =
+  [
+    ("linearizability.checker", checker);
+    ("linearizability.networks", networks);
+    ("verify.exhaustive", verify);
+  ]

@@ -1,0 +1,91 @@
+(* Unit and property tests for Cn_network.Permutation (Section 2.3). *)
+
+module P = Cn_network.Permutation
+module S = Cn_sequence.Sequence
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let perm = Alcotest.testable P.pp P.equal
+
+let construction =
+  [
+    tc "identity" (fun () ->
+        Alcotest.(check bool) "id" true (P.is_identity (P.identity 5)));
+    tc "of_array valid" (fun () ->
+        let p = P.of_array [| 2; 0; 1 |] in
+        Alcotest.(check int) "apply" 2 (P.apply_index p 0));
+    Util.raises_invalid "of_array duplicate" (fun () -> P.of_array [| 0; 0 |]);
+    Util.raises_invalid "of_array out of range" (fun () -> P.of_array [| 0; 2 |]);
+    Util.raises_invalid "identity negative" (fun () -> P.identity (-1));
+    Util.raises_invalid "apply_index out of range" (fun () ->
+        P.apply_index (P.identity 2) 5);
+    tc "size" (fun () -> Alcotest.(check int) "size" 4 (P.size (P.identity 4)));
+  ]
+
+let operations =
+  [
+    tc "inverse of cycle" (fun () ->
+        let p = P.of_array [| 1; 2; 0 |] in
+        Alcotest.check perm "inv" (P.of_array [| 2; 0; 1 |]) (P.inverse p));
+    tc "compose" (fun () ->
+        let a = P.of_array [| 1; 0 |] and b = P.of_array [| 1; 0 |] in
+        Alcotest.(check bool) "a.b = id" true (P.is_identity (P.compose a b)));
+    tc "permute moves element i to pi(i)" (fun () ->
+        (* paper convention: pi(x) = y with x_i = y_{pi(i)} *)
+        let p = P.of_array [| 2; 0; 1 |] in
+        Alcotest.check Util.seq "moved" [| 20; 30; 10 |] (P.permute p [| 10; 20; 30 |]));
+    Util.raises_invalid "permute length mismatch" (fun () ->
+        ignore (P.permute (P.identity 2) [| 1; 2; 3 |]));
+    tc "reverse" (fun () ->
+        Alcotest.check Util.seq "rev" [| 3; 2; 1 |] (P.permute (P.reverse 3) [| 1; 2; 3 |]));
+    tc "rotate" (fun () ->
+        let p = P.rotate 4 1 in
+        Alcotest.check Util.seq "rot" [| 4; 1; 2; 3 |] (P.permute p [| 1; 2; 3; 4 |]));
+    tc "rotate negative" (fun () ->
+        let p = P.rotate 4 (-1) in
+        Alcotest.check Util.seq "rot" [| 2; 3; 4; 1 |] (P.permute p [| 1; 2; 3; 4 |]));
+    tc "riffle splits halves to even/odd slots" (fun () ->
+        let p = P.riffle 6 in
+        Alcotest.check Util.seq "riffle" [| 1; 4; 2; 5; 3; 6 |]
+          (P.permute p [| 1; 2; 3; 4; 5; 6 |]));
+    Util.raises_invalid "riffle odd" (fun () -> P.riffle 3);
+  ]
+
+let gen_perm =
+  QCheck2.Gen.(
+    bind (int_range 1 16) (fun n -> map (fun seed -> P.random ~seed n) (int_range 0 10000)))
+
+let gen_perm_and_seq =
+  QCheck2.Gen.(
+    bind (int_range 1 16) (fun n ->
+        bind (int_range 0 10000) (fun seed ->
+            map
+              (fun elts -> (P.random ~seed n, Array.of_list elts))
+              (list_repeat n (int_range 0 100)))))
+
+let properties =
+  [
+    Util.qtest "inverse . apply = identity" gen_perm_and_seq (fun (p, x) ->
+        S.equal x (P.permute (P.inverse p) (P.permute p x)));
+    Util.qtest "compose associates with apply" gen_perm_and_seq (fun (p, x) ->
+        let q = P.reverse (P.size p) in
+        S.equal (P.permute q (P.permute p x)) (P.permute (P.compose q p) x));
+    Util.qtest "random is a bijection" gen_perm (fun p ->
+        let n = P.size p in
+        let seen = Array.make n false in
+        Array.iter (fun v -> seen.(v) <- true) (P.to_array p);
+        Array.for_all (fun b -> b) seen);
+    Util.qtest "lemma 2.6: permutation preserves smoothness" gen_perm_and_seq
+      (fun (p, x) ->
+        let k = S.spread x in
+        S.is_smooth k (P.permute p x));
+    Util.qtest "permute preserves multiset sum" gen_perm_and_seq (fun (p, x) ->
+        S.sum (P.permute p x) = S.sum x);
+  ]
+
+let suite =
+  [
+    ("permutation.construction", construction);
+    ("permutation.operations", operations);
+    ("permutation.properties", properties);
+  ]

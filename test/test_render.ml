@@ -1,0 +1,106 @@
+(* Tests for Cn_network.Render. *)
+
+module T = Cn_network.Topology
+module R = Cn_network.Render
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let describe_tests =
+  [
+    tc "describe mentions every balancer" (fun () ->
+        let net = Cn_core.Counting.network ~w:4 ~t:8 in
+        let text = R.describe net in
+        for b = 0 to T.size net - 1 do
+          Alcotest.(check bool)
+            (Printf.sprintf "mentions b%d" b)
+            true
+            (contains text (Printf.sprintf "b%d " b))
+        done);
+    tc "describe shows summary line" (fun () ->
+        let net = Cn_core.Counting.network ~w:4 ~t:8 in
+        Alcotest.(check bool) "header" true (contains (R.describe net) "4 -> 8"));
+    tc "describe shows irregular balancer shapes" (fun () ->
+        let net = Cn_core.Counting.network ~w:4 ~t:8 in
+        Alcotest.(check bool) "(2,4) appears" true (contains (R.describe net) "(2,4)"));
+    tc "describe lists bare wires" (fun () ->
+        let net = T.identity 2 in
+        Alcotest.(check bool) "wire line" true (contains (R.describe net) "in0 -> out0"));
+  ]
+
+let ascii_tests =
+  [
+    tc "ascii has one row per channel" (fun () ->
+        let net = Cn_baselines.Bitonic.network 4 in
+        let lines = String.split_on_char '\n' (R.ascii net) in
+        (* 2w-1 grid rows plus trailing empty split. *)
+        Alcotest.(check int) "rows" 8 (List.length lines));
+    tc "ascii balancer endpoints drawn" (fun () ->
+        let net = Cn_core.Ladder.network 2 in
+        Alcotest.(check bool) "has endpoints" true (contains (R.ascii net) "o"));
+    Util.raises_invalid "ascii rejects irregular networks" (fun () ->
+        ignore (R.ascii (Cn_core.Counting.network ~w:4 ~t:8)));
+    tc "ascii column count tracks depth" (fun () ->
+        let net = Cn_baselines.Bitonic.network 8 in
+        let first_line = List.hd (String.split_on_char '\n' (R.ascii net)) in
+        Alcotest.(check bool) "wide enough" true
+          (String.length first_line >= 4 * T.depth net));
+  ]
+
+let profile_tests =
+  [
+    tc "layer_profile of C(4,8)" (fun () ->
+        let profile = R.layer_profile (Cn_core.Counting.network ~w:4 ~t:8) in
+        Alcotest.(check int) "layers" 3 (Array.length profile);
+        (* Layer 1: the ladder (2,2)s; layer 2: two (2,4) balancers of the
+           recursion base; layer 3: the M(8,2) layer of (2,2)s. *)
+        Alcotest.(check bool) "layer2 irregular" true
+          (Array.for_all (fun s -> s = (2, 4)) profile.(1));
+        Alcotest.(check int) "layer3 size" 4 (Array.length profile.(2)));
+    tc "layer_profile of ladder" (fun () ->
+        let profile = R.layer_profile (Cn_core.Ladder.network 6) in
+        Alcotest.(check int) "one layer" 1 (Array.length profile);
+        Alcotest.(check int) "three balancers" 3 (Array.length profile.(0)));
+  ]
+
+let svg_tests =
+  [
+    tc "svg is a well-formed document" (fun () ->
+        let s = R.svg (Cn_baselines.Bitonic.network 8) in
+        Alcotest.(check bool) "opens" true (String.length s > 0 && String.sub s 0 4 = "<svg");
+        Alcotest.(check bool) "closes" true (contains s "</svg>"));
+    tc "svg has one connector line per balancer plus channels" (fun () ->
+        let net = Cn_baselines.Bitonic.network 4 in
+        let s = R.svg net in
+        let count needle =
+          let n = ref 0 and ln = String.length needle in
+          for i = 0 to String.length s - ln do
+            if String.sub s i ln = needle then incr n
+          done;
+          !n
+        in
+        Alcotest.(check int) "lines" (T.size net + T.input_width net) (count "<line");
+        Alcotest.(check int) "endpoints" (2 * T.size net) (count "<circle"));
+    Util.raises_invalid "svg rejects irregular networks" (fun () ->
+        ignore (R.svg (Cn_core.Counting.network ~w:4 ~t:8)));
+  ]
+
+let dot_smoke =
+  [
+    tc "dot handles bare wires" (fun () ->
+        Alcotest.(check bool) "in->out edge" true
+          (contains (R.dot (T.identity 2)) "in1 -> out1"));
+  ]
+
+let suite =
+  [
+    ("render.describe", describe_tests);
+    ("render.ascii", ascii_tests);
+    ("render.profile", profile_tests);
+    ("render.svg", svg_tests);
+    ("render.dot", dot_smoke);
+  ]

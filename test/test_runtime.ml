@@ -1,0 +1,150 @@
+(* Tests for Cn_runtime: concurrent traversals with OCaml 5 domains. *)
+
+module RT = Cn_runtime.Network_runtime
+module SC = Cn_runtime.Shared_counter
+module H = Cn_runtime.Harness
+module S = Cn_sequence.Sequence
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let net48 () = Cn_core.Counting.network ~w:4 ~t:8
+
+let single_threaded =
+  [
+    tc "traverse returns counter values in order" (fun () ->
+        let rt = RT.compile (net48 ()) in
+        let values = List.init 12 (fun i -> RT.traverse rt ~wire:(i mod 4)) in
+        Alcotest.(check (list int)) "sequential" (List.init 12 (fun i -> i)) values);
+    tc "exit distribution is step after quiescence" (fun () ->
+        let rt = RT.compile (net48 ()) in
+        for i = 0 to 20 do
+          ignore (RT.traverse rt ~wire:(i mod 4))
+        done;
+        Util.check_step (RT.exit_distribution rt));
+    tc "matches the combinatorial evaluator" (fun () ->
+        let net = Cn_core.Counting.network ~w:8 ~t:16 in
+        let rt = RT.compile net in
+        let x = [| 4; 1; 0; 7; 3; 3; 2; 5 |] in
+        Array.iteri
+          (fun wire count ->
+            for _ = 1 to count do
+              ignore (RT.traverse rt ~wire)
+            done)
+          x;
+        Alcotest.check Util.seq "distribution" (Cn_network.Eval.quiescent net x)
+          (RT.exit_distribution rt));
+    tc "reset restores initial state" (fun () ->
+        let rt = RT.compile (net48 ()) in
+        ignore (RT.traverse rt ~wire:0);
+        ignore (RT.traverse rt ~wire:1);
+        RT.reset rt;
+        Alcotest.(check int) "value restarts" 0 (RT.traverse rt ~wire:0);
+        Alcotest.(check int) "failures cleared" 0 (RT.cas_failures rt));
+    tc "faa mode reports no failures" (fun () ->
+        let rt = RT.compile ~mode:RT.Faa (net48 ()) in
+        for i = 0 to 9 do
+          ignore (RT.traverse rt ~wire:(i mod 4))
+        done;
+        Alcotest.(check int) "zero" 0 (RT.cas_failures rt));
+    tc "cas mode sequential also clean" (fun () ->
+        let rt = RT.compile ~mode:RT.Cas (net48 ()) in
+        for i = 0 to 9 do
+          ignore (RT.traverse rt ~wire:(i mod 4))
+        done;
+        Alcotest.(check int) "zero" 0 (RT.cas_failures rt));
+    Util.raises_invalid "wire out of range" (fun () ->
+        ignore (RT.traverse (RT.compile (net48 ())) ~wire:9));
+    tc "modes and widths exposed" (fun () ->
+        let rt = RT.compile ~mode:RT.Cas (net48 ()) in
+        Alcotest.(check bool) "mode" true (RT.mode rt = RT.Cas);
+        Alcotest.(check int) "w" 4 (RT.input_width rt);
+        Alcotest.(check int) "t" 8 (RT.output_width rt));
+  ]
+
+let counters =
+  [
+    tc "central faa hands out 0.." (fun () ->
+        let c = SC.central_faa () in
+        let a = SC.next c ~pid:0 in
+        let b = SC.next c ~pid:1 in
+        let d = SC.next c ~pid:0 in
+        Alcotest.(check (list int)) "seq" [ 0; 1; 2 ] [ a; b; d ]);
+    tc "lock counter hands out 0.." (fun () ->
+        let c = SC.with_lock () in
+        let a = SC.next c ~pid:0 in
+        let b = SC.next c ~pid:5 in
+        let d = SC.next c ~pid:2 in
+        Alcotest.(check (list int)) "seq" [ 0; 1; 2 ] [ a; b; d ]);
+    tc "network counter values congruent to exit wire" (fun () ->
+        let c = SC.of_topology (net48 ()) in
+        for i = 0 to 15 do
+          let v = SC.next c ~pid:(i mod 3) in
+          Alcotest.(check bool) "in range" true (v >= 0 && v < 16 + 8)
+        done);
+    Util.raises_invalid "negative pid" (fun () ->
+        ignore (SC.next (SC.central_faa ()) ~pid:(-1)));
+    tc "names" (fun () ->
+        Alcotest.(check string) "net" "network" (SC.name (SC.of_topology (net48 ())));
+        Alcotest.(check string) "faa" "central-faa" (SC.name (SC.central_faa ()));
+        Alcotest.(check string) "lock" "lock" (SC.name (SC.with_lock ())));
+  ]
+
+let concurrent_case name make =
+  tc name (fun () ->
+      let vss = H.run_collect ~make ~domains:4 ~ops_per_domain:400 in
+      Alcotest.(check bool) "values form 0..m-1" true (H.values_are_a_range vss))
+
+let concurrent =
+  [
+    concurrent_case "network counter C(4,8), 4 domains" (fun () ->
+        SC.of_topology (net48 ()));
+    concurrent_case "network counter C(8,8) faa" (fun () ->
+        SC.of_topology (Cn_core.Counting.network ~w:8 ~t:8));
+    concurrent_case "network counter C(8,24) cas" (fun () ->
+        SC.of_topology ~mode:RT.Cas (Cn_core.Counting.network ~w:8 ~t:24));
+    concurrent_case "bitonic-backed counter" (fun () ->
+        SC.of_topology (Cn_baselines.Bitonic.network 8));
+    concurrent_case "periodic-backed counter" (fun () ->
+        SC.of_topology (Cn_baselines.Periodic.network 8));
+    concurrent_case "diffracting-backed counter" (fun () ->
+        SC.of_topology (Cn_baselines.Diffracting.network 8));
+    concurrent_case "central faa counter" (fun () -> SC.central_faa ());
+    concurrent_case "lock counter" (fun () -> SC.with_lock ());
+    tc "concurrent quiescent distribution is step" (fun () ->
+        let net = Cn_core.Counting.network ~w:8 ~t:16 in
+        let rt = RT.compile net in
+        let body pid () =
+          for i = 0 to 199 do
+            ignore (RT.traverse rt ~wire:((pid + (i * 0)) mod 8))
+          done
+        in
+        let handles = Array.init 4 (fun pid -> Domain.spawn (body pid)) in
+        Array.iter Domain.join handles;
+        Util.check_step (RT.exit_distribution rt);
+        Alcotest.(check int) "token total" 800 (S.sum (RT.exit_distribution rt)));
+    tc "throughput harness returns sane numbers" (fun () ->
+        let r =
+          H.throughput
+            ~make:(fun () -> SC.central_faa ())
+            ~domains:2 ~ops_per_domain:1000
+        in
+        Alcotest.(check int) "ops" 2000 r.H.total_ops;
+        Alcotest.(check bool) "positive time" true (r.H.seconds > 0.);
+        Alcotest.(check bool) "positive rate" true (r.H.ops_per_sec > 0.));
+    Util.raises_invalid "throughput rejects zero domains" (fun () ->
+        ignore
+          (H.throughput ~make:(fun () -> SC.central_faa ()) ~domains:0 ~ops_per_domain:1));
+    tc "values_are_a_range rejects duplicates" (fun () ->
+        Alcotest.(check bool) "dup" false (H.values_are_a_range [| [| 0; 1 |]; [| 1 |] |]));
+    tc "values_are_a_range rejects gaps" (fun () ->
+        Alcotest.(check bool) "gap" false (H.values_are_a_range [| [| 0; 3 |]; [| 1 |] |]));
+    tc "values_are_a_range accepts a shuffled range" (fun () ->
+        Alcotest.(check bool) "ok" true (H.values_are_a_range [| [| 2; 0 |]; [| 1; 3 |] |]));
+  ]
+
+let suite =
+  [
+    ("runtime.single", single_threaded);
+    ("runtime.counters", counters);
+    ("runtime.concurrent", concurrent);
+  ]

@@ -1,0 +1,200 @@
+(* Unit and property tests for Cn_sequence.Sequence: the step / k-smooth
+   algebra of Section 2.1, including the sequence lemmas 2.1-2.4. *)
+
+module S = Cn_sequence.Sequence
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let basics =
+  [
+    tc "length" (fun () -> check_int "len" 4 (S.length [| 1; 2; 3; 4 |]));
+    tc "sum" (fun () -> check_int "sum" 10 (S.sum [| 1; 2; 3; 4 |]));
+    tc "sum empty" (fun () -> check_int "sum" 0 (S.sum [||]));
+    tc "max_value" (fun () -> check_int "max" 9 (S.max_value [| 3; 9; 1 |]));
+    tc "min_value" (fun () -> check_int "min" 1 (S.min_value [| 3; 9; 1 |]));
+    tc "spread" (fun () -> check_int "spread" 8 (S.spread [| 3; 9; 1 |]));
+    tc "spread singleton" (fun () -> check_int "spread" 0 (S.spread [| 7 |]));
+    Util.raises_invalid "max_value empty" (fun () -> S.max_value [||]);
+    Util.raises_invalid "min_value empty" (fun () -> S.min_value [||]);
+    tc "equal" (fun () -> check_bool "eq" true (S.equal [| 1; 2 |] [| 1; 2 |]));
+    tc "not equal" (fun () -> check_bool "ne" false (S.equal [| 1; 2 |] [| 2; 1 |]));
+    tc "to_string" (fun () ->
+        Alcotest.(check string) "fmt" "[1; 2]" (S.to_string [| 1; 2 |]));
+  ]
+
+let step_property =
+  [
+    tc "constant is step" (fun () -> check_bool "step" true (S.is_step [| 4; 4; 4 |]));
+    tc "single drop is step" (fun () -> check_bool "step" true (S.is_step [| 5; 5; 4; 4 |]));
+    tc "drop at head is step" (fun () -> check_bool "step" true (S.is_step [| 5; 4; 4; 4 |]));
+    tc "drop at tail is step" (fun () -> check_bool "step" true (S.is_step [| 5; 5; 5; 4 |]));
+    tc "two drops is not step" (fun () -> check_bool "step" false (S.is_step [| 5; 4; 3 |]));
+    tc "increase is not step" (fun () -> check_bool "step" false (S.is_step [| 4; 5 |]));
+    tc "rebound is not step" (fun () -> check_bool "step" false (S.is_step [| 5; 4; 5 |]));
+    tc "drop by 2 is not step" (fun () -> check_bool "step" false (S.is_step [| 5; 3; 3 |]));
+    tc "empty is step" (fun () -> check_bool "step" true (S.is_step [||]));
+    tc "singleton is step" (fun () -> check_bool "step" true (S.is_step [| 0 |]));
+    tc "step implies 1-smooth" (fun () ->
+        check_bool "smooth" true (S.is_smooth 1 [| 5; 5; 4 |]));
+    tc "fig1 output is step" (fun () ->
+        (* The output distribution of Fig. 1's counting network. *)
+        check_bool "step" true (S.is_step [| 3; 2; 2; 2; 2; 2; 2; 2 |]));
+  ]
+
+let smooth_property =
+  [
+    tc "0-smooth constant" (fun () -> check_bool "smooth" true (S.is_smooth 0 [| 2; 2 |]));
+    tc "not 0-smooth" (fun () -> check_bool "smooth" false (S.is_smooth 0 [| 2; 3 |]));
+    tc "2-smooth" (fun () -> check_bool "smooth" true (S.is_smooth 2 [| 1; 3; 2 |]));
+    tc "not 2-smooth" (fun () -> check_bool "smooth" false (S.is_smooth 2 [| 1; 4 |]));
+    tc "empty smooth" (fun () -> check_bool "smooth" true (S.is_smooth 0 [||]));
+    tc "non-step can be smooth" (fun () ->
+        check_bool "smooth" true (S.is_smooth 1 [| 4; 5; 4 |]));
+  ]
+
+let step_points =
+  [
+    tc "all equal -> w" (fun () -> check_int "sp" 3 (S.step_point [| 2; 2; 2 |]));
+    tc "drop at 1" (fun () -> check_int "sp" 1 (S.step_point [| 3; 2; 2 |]));
+    tc "drop at 2" (fun () -> check_int "sp" 2 (S.step_point [| 3; 3; 2 |]));
+    tc "singleton -> 1" (fun () -> check_int "sp" 1 (S.step_point [| 5 |]));
+    Util.raises_invalid "step_point of non-step" (fun () -> S.step_point [| 1; 2 |]);
+    Util.raises_invalid "step_point of empty" (fun () -> S.step_point [||]);
+  ]
+
+let ceil_div =
+  [
+    tc "exact" (fun () -> check_int "cd" 3 (S.ceil_div 12 4));
+    tc "round up" (fun () -> check_int "cd" 4 (S.ceil_div 13 4));
+    tc "zero" (fun () -> check_int "cd" 0 (S.ceil_div 0 4));
+    tc "negative small" (fun () -> check_int "cd" 0 (S.ceil_div (-3) 4));
+    tc "negative exact" (fun () -> check_int "cd" (-1) (S.ceil_div (-4) 4));
+    tc "negative round" (fun () -> check_int "cd" (-1) (S.ceil_div (-5) 4));
+    Util.raises_invalid "zero divisor" (fun () -> S.ceil_div 1 0);
+    Util.raises_invalid "negative divisor" (fun () -> S.ceil_div 1 (-2));
+  ]
+
+let make_step_tests =
+  [
+    tc "total 10 width 4" (fun () ->
+        Alcotest.check Util.seq "seq" [| 3; 3; 2; 2 |] (S.make_step ~total:10 ~width:4));
+    tc "total 0" (fun () ->
+        Alcotest.check Util.seq "seq" [| 0; 0; 0 |] (S.make_step ~total:0 ~width:3));
+    tc "total < width" (fun () ->
+        Alcotest.check Util.seq "seq" [| 1; 1; 0; 0 |] (S.make_step ~total:2 ~width:4));
+    tc "eq (1) closed form" (fun () ->
+        (* Eq. (1): x_i = ceil((sum - i) / w). *)
+        let x = S.make_step ~total:17 ~width:5 in
+        Array.iteri
+          (fun i v -> check_int "elt" (S.step_element ~total:17 ~width:5 i) v)
+          x);
+    Util.raises_invalid "width 0" (fun () -> S.make_step ~total:3 ~width:0);
+    Util.raises_invalid "negative total" (fun () -> S.make_step ~total:(-1) ~width:2);
+    Util.raises_invalid "step_element out of range" (fun () ->
+        S.step_element ~total:3 ~width:2 2);
+  ]
+
+let slicing =
+  [
+    tc "even subsequence" (fun () ->
+        Alcotest.check Util.seq "even" [| 0; 2; 4 |] (S.even_subsequence [| 0; 1; 2; 3; 4 |]));
+    tc "odd subsequence" (fun () ->
+        Alcotest.check Util.seq "odd" [| 1; 3 |] (S.odd_subsequence [| 0; 1; 2; 3; 4 |]));
+    tc "halves" (fun () ->
+        let a, b = S.halves [| 1; 2; 3; 4 |] in
+        Alcotest.check Util.seq "first" [| 1; 2 |] a;
+        Alcotest.check Util.seq "second" [| 3; 4 |] b);
+    Util.raises_invalid "first_half odd length" (fun () -> S.first_half [| 1; 2; 3 |]);
+    tc "interleave" (fun () ->
+        Alcotest.check Util.seq "il" [| 0; 1; 2; 3 |] (S.interleave [| 0; 2 |] [| 1; 3 |]));
+    Util.raises_invalid "interleave mismatch" (fun () -> S.interleave [| 1 |] [| 1; 2 |]);
+    tc "interleave inverts even/odd" (fun () ->
+        let x = [| 9; 4; 7; 7; 2; 0 |] in
+        Alcotest.check Util.seq "roundtrip"
+          x
+          (S.interleave (S.even_subsequence x) (S.odd_subsequence x)));
+    tc "concat" (fun () ->
+        Alcotest.check Util.seq "cat" [| 1; 2; 3 |] (S.concat [| 1 |] [| 2; 3 |]));
+    tc "subsequence" (fun () ->
+        Alcotest.check Util.seq "sub" [| 10; 30 |] (S.subsequence [| 10; 20; 30 |] [| 0; 2 |]));
+    Util.raises_invalid "subsequence non-increasing" (fun () ->
+        S.subsequence [| 1; 2; 3 |] [| 2; 0 |]);
+    Util.raises_invalid "subsequence out of range" (fun () ->
+        S.subsequence [| 1; 2 |] [| 0; 5 |]);
+  ]
+
+(* Property tests: the sequence lemmas of Section 2. *)
+
+let gen_step =
+  (* A random step sequence of width 1..16. *)
+  QCheck2.Gen.(
+    bind (int_range 1 16) (fun w ->
+        map (fun total -> S.make_step ~total ~width:w) (int_range 0 200)))
+
+let gen_step_even_width =
+  QCheck2.Gen.(
+    bind (map (fun h -> 2 * h) (int_range 1 8)) (fun w ->
+        map (fun total -> S.make_step ~total ~width:w) (int_range 0 200)))
+
+let properties =
+  [
+    Util.qtest "make_step is step" gen_step (fun x -> S.is_step x);
+    Util.qtest "make_step sums to total" gen_step (fun x ->
+        S.equal x (S.make_step ~total:(S.sum x) ~width:(S.length x)));
+    Util.qtest "lemma 2.1: subsequences of step are step" gen_step (fun x ->
+        let w = S.length x in
+        (* Take a random-ish deterministic subsequence: every other
+           element starting at 0 and at 1. *)
+        S.is_step (S.even_subsequence x) && S.is_step (S.odd_subsequence x)
+        && S.is_step (S.subsequence x (Array.init ((w + 2) / 3) (fun i -> 3 * i))))
+    ;
+    Util.qtest "lemma 2.3: even minus odd in [0,1]" gen_step_even_width (fun x ->
+        let d = S.sum (S.even_subsequence x) - S.sum (S.odd_subsequence x) in
+        d = 0 || d = 1);
+    Util.qtest "lemma 2.2: max difference bound"
+      QCheck2.Gen.(
+        bind (map (fun h -> 2 * h) (int_range 1 8)) (fun w ->
+            bind (int_range 0 100) (fun sy ->
+                map
+                  (fun d -> (S.make_step ~total:(sy + d) ~width:w, S.make_step ~total:sy ~width:w, d))
+                  (int_range 0 40))))
+      (fun (x, y, d) ->
+        let a = S.max_value x and b = S.min_value y in
+        let diff = S.max_value x - S.max_value y in
+        ignore a;
+        ignore b;
+        0 <= diff && diff <= (d / S.length x) + 1);
+    Util.qtest "lemma 2.4: even/odd halves split the difference"
+      QCheck2.Gen.(
+        bind (map (fun h -> 2 * h) (int_range 1 8)) (fun w ->
+            bind (int_range 0 100) (fun sy ->
+                map
+                  (fun half_d ->
+                    let d = 2 * half_d in
+                    (S.make_step ~total:(sy + d) ~width:w, S.make_step ~total:sy ~width:w, d))
+                  (int_range 0 20))))
+      (fun (x, y, d) ->
+        let de = S.sum (S.even_subsequence x) - S.sum (S.even_subsequence y) in
+        let dd = S.sum (S.odd_subsequence x) - S.sum (S.odd_subsequence y) in
+        0 <= de && de <= d / 2 && 0 <= dd && dd <= d / 2);
+    Util.qtest "step point indexes the drop" gen_step (fun x ->
+        let k = S.step_point x in
+        let w = S.length x in
+        if k = w then S.spread x = 0
+        else x.(k) = x.(k - 1) - 1);
+  ]
+
+let suite =
+  [
+    ("sequence.basics", basics);
+    ("sequence.step", step_property);
+    ("sequence.smooth", smooth_property);
+    ("sequence.step_point", step_points);
+    ("sequence.ceil_div", ceil_div);
+    ("sequence.make_step", make_step_tests);
+    ("sequence.slicing", slicing);
+    ("sequence.lemmas", properties);
+  ]

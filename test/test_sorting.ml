@@ -1,0 +1,116 @@
+(* Tests for Cn_core.Sorting and Cn_baselines.Batcher: the Section 7
+   sorting byproduct. *)
+
+module Sorting = Cn_core.Sorting
+module C = Cn_core.Counting
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let extraction =
+  [
+    tc "width and depth preserved" (fun () ->
+        let net = C.network ~w:8 ~t:8 in
+        let s = Sorting.of_topology net in
+        Alcotest.(check int) "width" 8 (Sorting.width s);
+        Alcotest.(check int) "depth" (Cn_network.Topology.depth net) (Sorting.depth s);
+        Alcotest.(check int) "comparators" (Cn_network.Topology.size net)
+          (Sorting.comparator_count s));
+    Util.raises_invalid "irregular network rejected" (fun () ->
+        Sorting.of_topology (C.network ~w:4 ~t:8));
+    Util.raises_invalid "wrong input length" (fun () ->
+        let s = Sorting.of_topology (C.network ~w:4 ~t:4) in
+        ignore (Sorting.apply s [| 1; 2 |]));
+  ]
+
+let sortedness =
+  [
+    tc "section 7: C(4,4) sorts (0-1 exhaustive)" (fun () ->
+        Alcotest.(check bool) "sorts" true
+          (Sorting.sorts_zero_one (Sorting.of_topology (C.network ~w:4 ~t:4))));
+    tc "section 7: C(8,8) sorts (0-1 exhaustive)" (fun () ->
+        Alcotest.(check bool) "sorts" true
+          (Sorting.sorts_zero_one (Sorting.of_topology (C.network ~w:8 ~t:8))));
+    tc "section 7: C(16,16) sorts (0-1 exhaustive)" (fun () ->
+        Alcotest.(check bool) "sorts" true
+          (Sorting.sorts_zero_one (Sorting.of_topology (C.network ~w:16 ~t:16))));
+    tc "C(32,32) sorts (random)" (fun () ->
+        Alcotest.(check bool) "sorts" true
+          (Sorting.sorts_random ~trials:2000 (Sorting.of_topology (C.network ~w:32 ~t:32))));
+    tc "bitonic counting network sorts" (fun () ->
+        Alcotest.(check bool) "sorts" true
+          (Sorting.sorts_zero_one (Sorting.of_topology (Cn_baselines.Bitonic.network 8))));
+    tc "periodic counting network sorts" (fun () ->
+        Alcotest.(check bool) "sorts" true
+          (Sorting.sorts_zero_one (Sorting.of_topology (Cn_baselines.Periodic.network 8))));
+    tc "butterfly does not sort" (fun () ->
+        (* A butterfly is merely smoothing, hence its comparator network
+           must fail on some 0-1 input. *)
+        Alcotest.(check bool) "fails" false
+          (Sorting.sorts_zero_one (Sorting.of_topology (Cn_core.Butterfly.forward 8))));
+    Util.raises_invalid "exhaustive check caps width" (fun () ->
+        ignore (Sorting.sorts_zero_one (Sorting.of_topology (C.network ~w:32 ~t:32))));
+  ]
+
+let application =
+  [
+    tc "apply returns a permutation of the input" (fun () ->
+        let s = Sorting.of_topology (C.network ~w:8 ~t:8) in
+        let input = [| 5; 3; 8; 1; 9; 2; 7; 4 |] in
+        let out = Sorting.apply s input in
+        Alcotest.(check (list int)) "multiset"
+          (List.sort compare (Array.to_list input))
+          (List.sort compare (Array.to_list out)));
+    tc "apply is descending, apply_ascending ascending" (fun () ->
+        let s = Sorting.of_topology (C.network ~w:8 ~t:8) in
+        let input = [| 5; 3; 8; 1; 9; 2; 7; 4 |] in
+        Alcotest.(check bool) "desc" true (Sorting.is_sorted_descending (Sorting.apply s input));
+        Alcotest.(check (array int)) "asc" [| 1; 2; 3; 4; 5; 7; 8; 9 |]
+          (Sorting.apply_ascending s input));
+    tc "duplicates handled" (fun () ->
+        let s = Sorting.of_topology (C.network ~w:4 ~t:4) in
+        Alcotest.(check (array int)) "dups" [| 7; 7; 2; 2 |] (Sorting.apply s [| 2; 7; 2; 7 |]));
+    Util.qtest ~count:300 "random arrays sort"
+      QCheck2.Gen.(list_repeat 16 (int_range (-1000) 1000))
+      (fun l ->
+        let s = Sorting.of_topology (C.network ~w:16 ~t:16) in
+        Sorting.is_sorted_descending (Sorting.apply s (Array.of_list l)));
+  ]
+
+let batcher =
+  [
+    tc "batcher sorts (0-1 exhaustive, w=8)" (fun () ->
+        Alcotest.(check bool) "sorts" true
+          (Sorting.sorts_zero_one (Cn_baselines.Batcher.network 8)));
+    tc "batcher sorts (0-1 exhaustive, w=16)" (fun () ->
+        Alcotest.(check bool) "sorts" true
+          (Sorting.sorts_zero_one (Cn_baselines.Batcher.network 16)));
+    tc "batcher depth formula" (fun () ->
+        List.iter
+          (fun w ->
+            Alcotest.(check int) (Printf.sprintf "w=%d" w)
+              (Cn_baselines.Batcher.depth_formula ~w)
+              (Sorting.depth (Cn_baselines.Batcher.network w)))
+          [ 2; 4; 8; 16; 32 ]);
+    tc "batcher comparator count formula" (fun () ->
+        List.iter
+          (fun w ->
+            Alcotest.(check int) (Printf.sprintf "w=%d" w)
+              (Cn_baselines.Batcher.comparator_count_formula ~w)
+              (Sorting.comparator_count (Cn_baselines.Batcher.network w)))
+          [ 2; 4; 8; 16; 32 ]);
+    tc "C(w,w) sorter has same depth as batcher" (fun () ->
+        List.iter
+          (fun w ->
+            Alcotest.(check int) (Printf.sprintf "w=%d" w)
+              (Sorting.depth (Cn_baselines.Batcher.network w))
+              (Sorting.depth (Sorting.of_topology (C.network ~w ~t:w))))
+          [ 4; 8; 16 ]);
+  ]
+
+let suite =
+  [
+    ("sorting.extraction", extraction);
+    ("sorting.sortedness", sortedness);
+    ("sorting.application", application);
+    ("sorting.batcher", batcher);
+  ]

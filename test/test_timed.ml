@@ -1,0 +1,155 @@
+(* Tests for Cn_sim.Timed and Cn_sim.Event_heap: the latency model. *)
+
+module Ti = Cn_sim.Timed
+module H = Cn_sim.Event_heap
+module T = Cn_network.Topology
+
+let tc name f = Alcotest.test_case name `Quick f
+let close a b = abs_float (a -. b) < 1e-9
+
+let heap =
+  [
+    tc "pops in time order" (fun () ->
+        let h = H.create () in
+        H.push h ~time:3.0 "c";
+        H.push h ~time:1.0 "a";
+        H.push h ~time:2.0 "b";
+        let order = List.init 3 (fun _ -> match H.pop h with Some (_, v) -> v | None -> "?") in
+        Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] order);
+    tc "equal times pop FIFO" (fun () ->
+        let h = H.create () in
+        H.push h ~time:1.0 "first";
+        H.push h ~time:1.0 "second";
+        H.push h ~time:1.0 "third";
+        let order = List.init 3 (fun _ -> match H.pop h with Some (_, v) -> v | None -> "?") in
+        Alcotest.(check (list string)) "fifo" [ "first"; "second"; "third" ] order);
+    tc "empty pops None" (fun () ->
+        let h : unit H.t = H.create () in
+        Alcotest.(check bool) "none" true (H.pop h = None);
+        Alcotest.(check bool) "empty" true (H.is_empty h));
+    tc "size tracks pushes and pops" (fun () ->
+        let h = H.create () in
+        for i = 1 to 100 do
+          H.push h ~time:(float_of_int ((i * 37) mod 19)) i
+        done;
+        Alcotest.(check int) "size" 100 (H.size h);
+        let last = ref neg_infinity in
+        for _ = 1 to 100 do
+          match H.pop h with
+          | Some (t, _) ->
+              Alcotest.(check bool) "monotone" true (t >= !last);
+              last := t
+          | None -> Alcotest.fail "premature empty"
+        done);
+  ]
+
+let open_runs =
+  [
+    tc "single token latency equals depth" (fun () ->
+        List.iter
+          (fun net ->
+            let r = Ti.run net ~arrivals:[ (0, 0.0) ] in
+            Alcotest.(check bool) "latency" true
+              (close r.Ti.avg_latency (float_of_int (T.depth net))))
+          [
+            Cn_core.Counting.network ~w:8 ~t:8;
+            Cn_core.Counting.network ~w:8 ~t:24;
+            Cn_baselines.Bitonic.network 8;
+            Cn_baselines.Periodic.network 8;
+          ]);
+    tc "wire delay adds per hop" (fun () ->
+        let net = Cn_core.Counting.network ~w:4 ~t:4 in
+        let r = Ti.run ~wire_delay:0.5 net ~arrivals:[ (0, 0.0) ] in
+        (* depth hops of service 1 plus a trailing wire delay per hop *)
+        Alcotest.(check bool) "latency" true
+          (close r.Ti.avg_latency (float_of_int (T.depth net) *. 1.5)));
+    tc "two tokens on one wire queue at the first balancer" (fun () ->
+        let net = Cn_core.Ladder.network 2 in
+        let r = Ti.run net ~arrivals:[ (0, 0.0); (0, 0.0) ] in
+        Alcotest.(check bool) "avg wait 0.5" true (close r.Ti.avg_wait 0.5);
+        Alcotest.(check bool) "makespan 2" true (close r.Ti.makespan 2.0));
+    tc "custom service times honoured" (fun () ->
+        let net = Cn_core.Ladder.network 2 in
+        let r = Ti.run ~service:(fun _ -> 3.0) net ~arrivals:[ (0, 0.0) ] in
+        Alcotest.(check bool) "latency 3" true (close r.Ti.avg_latency 3.0));
+    Util.raises_invalid "negative arrival" (fun () ->
+        ignore (Ti.run (Cn_core.Ladder.network 2) ~arrivals:[ (0, -1.0) ]));
+    Util.raises_invalid "bad wire" (fun () ->
+        ignore (Ti.run (Cn_core.Ladder.network 2) ~arrivals:[ (5, 0.0) ]));
+    Util.raises_invalid "non-positive service" (fun () ->
+        ignore (Ti.run ~service:(fun _ -> 0.0) (Cn_core.Ladder.network 2) ~arrivals:[]));
+    tc "empty arrivals" (fun () ->
+        let r = Ti.run (Cn_core.Ladder.network 2) ~arrivals:[] in
+        Alcotest.(check int) "tokens" 0 r.Ti.tokens);
+  ]
+
+let closed_runs =
+  [
+    tc "closed loop completes all rounds" (fun () ->
+        let net = Cn_core.Counting.network ~w:8 ~t:8 in
+        let r = Ti.closed_loop net ~n:12 ~rounds:20 in
+        Alcotest.(check int) "tokens" 240 r.Ti.tokens);
+    tc "latency grows with concurrency" (fun () ->
+        let net = Cn_core.Counting.network ~w:8 ~t:8 in
+        let low = Ti.closed_loop net ~n:2 ~rounds:40 in
+        let high = Ti.closed_loop net ~n:64 ~rounds:40 in
+        Alcotest.(check bool) "monotone" true (high.Ti.avg_latency > low.Ti.avg_latency));
+    tc "saturation throughput approaches first-layer capacity" (fun () ->
+        (* w/2 unit-rate servers in the first layer cap throughput. *)
+        let net = Cn_core.Counting.network ~w:8 ~t:8 in
+        let r = Ti.closed_loop net ~n:128 ~rounds:50 in
+        Alcotest.(check bool) "close to 4" true (r.Ti.throughput > 3.5 && r.Ti.throughput <= 4.01));
+    tc "diffracting tree saturates at its root" (fun () ->
+        let r = Ti.closed_loop (Cn_baselines.Diffracting.network 8) ~n:64 ~rounds:50 in
+        Alcotest.(check bool) "capped at 1" true (r.Ti.throughput <= 1.01));
+    tc "deeper periodic network has higher unloaded latency" (fun () ->
+        let p = Ti.closed_loop (Cn_baselines.Periodic.network 16) ~n:1 ~rounds:30 in
+        let c = Ti.closed_loop (Cn_core.Counting.network ~w:16 ~t:16) ~n:1 ~rounds:30 in
+        Alcotest.(check bool) "16 > 10" true (p.Ti.avg_latency > c.Ti.avg_latency));
+    tc "think time lowers throughput pressure" (fun () ->
+        let net = Cn_core.Counting.network ~w:8 ~t:8 in
+        let busy = Ti.closed_loop net ~n:16 ~rounds:40 in
+        let idle = Ti.closed_loop ~think:10.0 net ~n:16 ~rounds:40 in
+        Alcotest.(check bool) "less waiting" true (idle.Ti.avg_wait < busy.Ti.avg_wait));
+    tc "jitter is reproducible per seed" (fun () ->
+        let net = Cn_core.Counting.network ~w:8 ~t:8 in
+        let a = Ti.closed_loop ~jitter:0.7 ~seed:5 net ~n:8 ~rounds:30 in
+        let b = Ti.closed_loop ~jitter:0.7 ~seed:5 net ~n:8 ~rounds:30 in
+        Alcotest.(check bool) "equal" true (a = b));
+    Util.raises_invalid "zero processes" (fun () ->
+        ignore (Ti.closed_loop (Cn_core.Ladder.network 2) ~n:0 ~rounds:1));
+    Util.raises_invalid "negative think" (fun () ->
+        ignore (Ti.closed_loop ~think:(-1.0) (Cn_core.Ladder.network 2) ~n:1 ~rounds:1));
+  ]
+
+let heap_properties =
+  [
+    Util.qtest ~count:200 "heap pops equal a stable sort"
+      QCheck2.Gen.(list_size (int_range 0 60) (int_range 0 20))
+      (fun times ->
+        let h = H.create () in
+        List.iteri (fun i t -> H.push h ~time:(float_of_int t) i) times;
+        let popped = ref [] in
+        let rec drain () =
+          match H.pop h with
+          | Some (t, v) ->
+              popped := (t, v) :: !popped;
+              drain ()
+          | None -> ()
+        in
+        drain ();
+        let got = List.rev !popped in
+        let expected =
+          List.mapi (fun i t -> (float_of_int t, i)) times
+          |> List.stable_sort (fun (a, _) (b, _) -> compare a b)
+        in
+        got = expected);
+  ]
+
+let suite =
+  [
+    ("timed.heap", heap);
+    ("timed.heap_properties", heap_properties);
+    ("timed.open", open_runs);
+    ("timed.closed", closed_runs);
+  ]
