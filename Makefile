@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench micro examples clean doc
+.PHONY: all build test bench micro bench-runtime bench-smoke examples clean doc
 
 all: build
 
@@ -15,6 +15,12 @@ bench:
 
 micro:
 	dune exec bench/main.exe -- micro
+
+bench-runtime:
+	dune exec bench/main.exe -- runtime
+
+bench-smoke:
+	dune exec bench/main.exe -- runtime --smoke
 
 examples:
 	for e in quickstart load_balancing barrier_sync id_server \

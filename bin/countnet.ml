@@ -285,12 +285,82 @@ let domains_arg =
 let ops_arg =
   Arg.(value & opt int 10_000 & info [ "ops" ] ~docv:"OPS" ~doc:"Increments per domain.")
 
+let mode_conv =
+  let parse = function
+    | "faa" -> Ok Cn_runtime.Network_runtime.Faa
+    | "cas" -> Ok Cn_runtime.Network_runtime.Cas
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %S (expected faa or cas)" s))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf
+      (match m with Cn_runtime.Network_runtime.Faa -> "faa" | Cn_runtime.Network_runtime.Cas -> "cas")
+  in
+  Arg.conv (parse, print)
+
+let mode_arg =
+  Arg.(
+    value
+    & opt mode_conv Cn_runtime.Network_runtime.Faa
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:"Balancer implementation: $(b,faa) (wait-free fetch-and-add) or $(b,cas) \
+              (instrumented compare-and-set with bounded backoff).")
+
+let layout_conv =
+  let parse = function
+    | "padded" | "padded-csr" | "csr" -> Ok Cn_runtime.Network_runtime.Padded_csr
+    | "unpadded" | "unpadded-nested" | "nested" -> Ok Cn_runtime.Network_runtime.Unpadded_nested
+    | s -> Error (`Msg (Printf.sprintf "unknown layout %S (expected padded or unpadded)" s))
+  in
+  let print ppf l =
+    Format.pp_print_string ppf
+      (match l with
+      | Cn_runtime.Network_runtime.Padded_csr -> "padded"
+      | Cn_runtime.Network_runtime.Unpadded_nested -> "unpadded")
+  in
+  Arg.conv (parse, print)
+
+let layout_arg =
+  Arg.(
+    value
+    & opt layout_conv Cn_runtime.Network_runtime.Padded_csr
+    & info [ "layout" ] ~docv:"LAYOUT"
+        ~doc:"Runtime memory layout: $(b,padded) (cache-line-padded balancer states, flat CSR \
+              wiring; default) or $(b,unpadded) (adjacent atomics, nested-array wiring; for \
+              comparison).")
+
+let batch_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "batch" ]
+        ~doc:"Use the batched traversal API ($(b,traverse_batch)) inside each domain instead of \
+              one $(b,traverse) call per increment.")
+
 let throughput_cmd =
-  let run net domains ops =
+  let run net domains ops mode layout batch =
     let r =
-      Cn_runtime.Harness.throughput
-        ~make:(fun () -> Cn_runtime.Shared_counter.of_topology net)
-        ~domains ~ops_per_domain:ops
+      if batch then begin
+        let rt = Cn_runtime.Network_runtime.compile ~mode ~layout net in
+        let w = Cn_runtime.Network_runtime.input_width rt in
+        let seconds =
+          Cn_runtime.Domain_pool.with_pool domains (fun pool ->
+              Cn_runtime.Domain_pool.run pool ~domains (fun pid ->
+                  Cn_runtime.Network_runtime.traverse_batch rt ~wire:(pid mod w) ~n:ops
+                    ~f:(fun _ _ -> ())))
+        in
+        {
+          Cn_runtime.Harness.counter = "network";
+          domains;
+          total_ops = domains * ops;
+          seconds;
+          ops_per_sec =
+            (if seconds <= 0. then 0. else float_of_int (domains * ops) /. seconds);
+        }
+      end
+      else
+        Cn_runtime.Harness.throughput
+          ~make:(fun () -> Cn_runtime.Shared_counter.of_topology ~mode ~layout net)
+          ~domains ~ops_per_domain:ops ()
     in
     Printf.printf "%s: %d domains x %d ops = %d ops in %.3fs -> %.0f ops/s\n"
       r.Cn_runtime.Harness.counter domains ops r.Cn_runtime.Harness.total_ops
@@ -299,7 +369,7 @@ let throughput_cmd =
   Cmd.v
     (Cmd.info "throughput"
        ~doc:"Measure Fetch&Increment throughput of the network-backed shared counter.")
-    Term.(const run $ network_term $ domains_arg $ ops_arg)
+    Term.(const run $ network_term $ domains_arg $ ops_arg $ mode_arg $ layout_arg $ batch_flag)
 
 (* ---------------------------------------------------------------- *)
 (* sort *)

@@ -13,7 +13,7 @@ module H = Cn_runtime.Harness
 
 let exercise name make =
   let domains = 5 and ops = 2_000 in
-  let values = H.run_collect ~make ~domains ~ops_per_domain:ops in
+  let values = H.run_collect ~make ~domains ~ops_per_domain:ops () in
   let ok = H.values_are_a_range values in
   Printf.printf "%-34s %d domains x %d ids: unique+dense = %b\n" name domains ops ok;
   ok

@@ -32,7 +32,7 @@ let () =
   let values =
     Cn_runtime.Harness.run_collect
       ~make:(fun () -> Cn_runtime.Shared_counter.of_topology net)
-      ~domains:4 ~ops_per_domain:1000
+      ~domains:4 ~ops_per_domain:1000 ()
   in
   Printf.printf "4 domains x 1000 increments: values form 0..3999 exactly: %b\n"
     (Cn_runtime.Harness.values_are_a_range values)

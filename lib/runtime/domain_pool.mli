@@ -1,0 +1,37 @@
+(** A reusable pool of worker domains for repeated timed runs.
+
+    [Domain.spawn] costs a fresh systhread, stack, and minor heap per
+    domain; a throughput sweep that spawns and joins for every
+    (counter, domain-count) cell pays that setup hundreds of times and
+    measures cold domains.  A pool spawns its workers once; each
+    {!run} reuses them, gated by a sense barrier so the timed region
+    covers concurrent execution only — the same discipline as
+    {!Harness}, minus the per-run spawn/join.
+
+    A pool is owned by the domain that created it; {!run} and
+    {!shutdown} must be called from that domain, one run at a time. *)
+
+type t
+(** A pool of spawned worker domains. *)
+
+val create : int -> t
+(** [create size] spawns [size] workers, idle until the first {!run}.
+    @raise Invalid_argument if [size <= 0]. *)
+
+val size : t -> int
+(** Number of workers in the pool. *)
+
+val run : t -> domains:int -> (int -> unit) -> float
+(** [run pool ~domains body] executes [body pid] on workers
+    [0 .. domains - 1] and returns the wall-clock seconds between the
+    instant all participants were released and the last one finishing.
+    Workers beyond [domains] sit the round out.
+    @raise Invalid_argument if [domains] is not in [1 .. size pool], or
+    if the pool has been shut down. *)
+
+val shutdown : t -> unit
+(** [shutdown pool] terminates and joins the workers.  Idempotent. *)
+
+val with_pool : int -> (t -> 'a) -> 'a
+(** [with_pool size f] runs [f] over a fresh pool and shuts it down
+    afterwards, whether [f] returns or raises. *)

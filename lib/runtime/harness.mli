@@ -4,7 +4,11 @@
     Note on this environment: on a single-core host OCaml domains
     timeshare rather than run in parallel, so absolute throughputs
     understate contention effects; relative per-implementation shapes
-    remain indicative, and correctness checks are unaffected. *)
+    remain indicative, and correctness checks are unaffected.
+
+    Repeated measurements should share a {!Domain_pool.t} via [?pool]:
+    the pool's warmed workers replace the per-run [Domain.spawn]/[join]
+    cycle, whose setup cost otherwise dominates short runs. *)
 
 type result = {
   counter : string;  (** implementation name *)
@@ -15,16 +19,27 @@ type result = {
 }
 
 val throughput :
-  make:(unit -> Shared_counter.t) -> domains:int -> ops_per_domain:int -> result
-(** [throughput ~make ~domains ~ops_per_domain] spawns [domains] domains
+  ?pool:Domain_pool.t ->
+  make:(unit -> Shared_counter.t) ->
+  domains:int ->
+  ops_per_domain:int ->
+  unit ->
+  result
+(** [throughput ~make ~domains ~ops_per_domain ()] runs [domains] domains
     over a fresh counter, each performing [ops_per_domain] increments,
     and reports aggregate throughput.  Uses a start barrier so all
-    domains race together.
+    domains race together.  With [?pool], the pool's workers are reused
+    instead of spawning (requires [domains <= Domain_pool.size pool]).
     @raise Invalid_argument if [domains <= 0] or [ops_per_domain < 0]. *)
 
 val run_collect :
-  make:(unit -> Shared_counter.t) -> domains:int -> ops_per_domain:int -> int array array
-(** [run_collect ~make ~domains ~ops_per_domain] performs the same run
+  ?pool:Domain_pool.t ->
+  make:(unit -> Shared_counter.t) ->
+  domains:int ->
+  ops_per_domain:int ->
+  unit ->
+  int array array
+(** [run_collect ~make ~domains ~ops_per_domain ()] performs the same run
     but returns the values each domain obtained, for correctness
     checks. *)
 

@@ -2,6 +2,7 @@ module Topology = Cn_network.Topology
 module Balancer = Cn_network.Balancer
 
 type mode = Faa | Cas
+type layout = Padded_csr | Unpadded_nested
 
 (* Destinations are encoded as ints: a non-negative value is a balancer
    id; a negative value [-(wire + 1)] is a network output wire. *)
@@ -11,111 +12,192 @@ let encode_dest = function
 
 type t = {
   mode : mode;
+  layout : layout;
   input_width : int;
   output_width : int;
-  states : int Atomic.t array; (* per balancer: monotone transition count *)
+  states : Padded_atomic.t; (* per balancer: monotone transition count *)
   init_states : int array;
+  offsets : int array; (* CSR row starts; length n+1, so row b spans
+                          [offsets.(b), offsets.(b+1)) and its width is
+                          balancer b's fan-out *)
+  next : int array; (* CSR: encoded destination of port p of balancer b
+                       at [offsets.(b) + p] *)
+  next_nested : int array array; (* seed layout: per balancer, per port *)
   fan_out : int array;
-  next : int array array; (* per balancer, per port: encoded destination *)
   entry : int array; (* per input wire: encoded destination *)
-  values : int Atomic.t array; (* per output wire: next value to hand out *)
-  failures : int Atomic.t;
+  values : Padded_atomic.t; (* per output wire: next value to hand out *)
+  failures : Padded_atomic.t; (* single slot, always padded *)
 }
 
-let compile ?(mode = Faa) net =
+let compile ?(mode = Faa) ?(layout = Padded_csr) net =
   let n = Topology.size net in
   let t = Topology.output_width net in
-  let init_states = Array.init n (fun b -> (Topology.balancer net b).Balancer.init_state) in
+  (* One topology query per balancer; every per-balancer field below is
+     derived from this pass. *)
+  let descriptors = Array.init n (Topology.balancer net) in
+  let init_states = Array.map (fun d -> d.Balancer.init_state) descriptors in
+  let fan_out = Array.map (fun d -> d.Balancer.fan_out) descriptors in
+  let offsets = Array.make (n + 1) 0 in
+  for b = 0 to n - 1 do
+    offsets.(b + 1) <- offsets.(b) + fan_out.(b)
+  done;
+  let next_nested =
+    Array.init n (fun b ->
+        Array.init fan_out.(b) (fun port ->
+            encode_dest (Topology.consumer net (Topology.Bal_output { bal = b; port }))))
+  in
+  let next = Array.make offsets.(n) 0 in
+  Array.iteri (fun b row -> Array.blit row 0 next offsets.(b) (Array.length row)) next_nested;
+  let padded = layout = Padded_csr in
   {
     mode;
+    layout;
     input_width = Topology.input_width net;
     output_width = t;
-    states = Array.init n (fun b -> Atomic.make init_states.(b));
+    states = Padded_atomic.make ~padded n ~init:(Array.get init_states);
     init_states;
-    fan_out = Array.init n (fun b -> (Topology.balancer net b).Balancer.fan_out);
-    next =
-      Array.init n (fun b ->
-          let q = (Topology.balancer net b).Balancer.fan_out in
-          Array.init q (fun port ->
-              encode_dest (Topology.consumer net (Topology.Bal_output { bal = b; port }))));
+    offsets;
+    next;
+    next_nested;
+    fan_out;
     entry =
       Array.init (Topology.input_width net) (fun i ->
           encode_dest (Topology.consumer net (Topology.Net_input i)));
-    values = Array.init t (fun i -> Atomic.make i);
-    failures = Atomic.make 0;
+    values = Padded_atomic.make ~padded t ~init:Fun.id;
+    failures = Padded_atomic.make 1 ~init:(fun _ -> 0);
   }
 
 let mode rt = rt.mode
+let layout rt = rt.layout
 let input_width rt = rt.input_width
 let output_width rt = rt.output_width
 
-let cross_faa rt b = Atomic.fetch_and_add rt.states.(b) 1
+(* Balancer crossings.  The CAS loop backs off exponentially (doubling
+   [cpu_relax] bursts, bounded) instead of hammering the contended line,
+   and a crossing that lost at least one CAS counts as ONE stall however
+   many retries it took: stalls witness contended crossings, not retry
+   storms amplified by the lack of backoff. *)
 
-let rec cross_cas rt b =
-  let s = Atomic.get rt.states.(b) in
-  if Atomic.compare_and_set rt.states.(b) s (s + 1) then s
-  else begin
-    (* A concurrent token won the balancer: that is a stall. *)
-    Atomic.incr rt.failures;
-    Domain.cpu_relax ();
-    cross_cas rt b
-  end
+let max_backoff = 64
 
-let traverse rt ~wire =
-  if wire < 0 || wire >= rt.input_width then invalid_arg "Network_runtime.traverse: wire out of range";
-  let cross = match rt.mode with Faa -> cross_faa | Cas -> cross_cas in
-  let rec walk dest =
-    if dest >= 0 then begin
-      let s = cross rt dest in
-      let q = rt.fan_out.(dest) in
-      (* States may be negative after antitoken decrements. *)
-      let port = (s mod q + q) mod q in
-      walk rt.next.(dest).(port)
+let cross_faa rt b = Padded_atomic.fetch_and_add rt.states b 1
+
+let cross_cas rt b =
+  let rec retry spins contended =
+    let s = Padded_atomic.get rt.states b in
+    if Padded_atomic.compare_and_set rt.states b s (s + 1) then begin
+      if contended then Padded_atomic.incr rt.failures 0;
+      s
     end
     else begin
-      let out = -dest - 1 in
-      Atomic.fetch_and_add rt.values.(out) rt.output_width
+      for _ = 1 to spins do
+        Domain.cpu_relax ()
+      done;
+      retry (if spins >= max_backoff then max_backoff else spins * 2) true
     end
   in
-  walk rt.entry.(wire)
+  retry 1 false
 
-let cross_dec_faa rt b = Atomic.fetch_and_add rt.states.(b) (-1) - 1
+let cross_dec_faa rt b = Padded_atomic.fetch_and_add rt.states b (-1) - 1
 
-let rec cross_dec_cas rt b =
-  let s = Atomic.get rt.states.(b) in
-  if Atomic.compare_and_set rt.states.(b) s (s - 1) then s - 1
-  else begin
-    Atomic.incr rt.failures;
-    Domain.cpu_relax ();
-    cross_dec_cas rt b
+let cross_dec_cas rt b =
+  let rec retry spins contended =
+    let s = Padded_atomic.get rt.states b in
+    if Padded_atomic.compare_and_set rt.states b s (s - 1) then begin
+      if contended then Padded_atomic.incr rt.failures 0;
+      s - 1
+    end
+    else begin
+      for _ = 1 to spins do
+        Domain.cpu_relax ()
+      done;
+      retry (if spins >= max_backoff then max_backoff else spins * 2) true
+    end
+  in
+  retry 1 false
+
+(* Walk loops, specialized per wiring layout.  In the CSR walk a token
+   crossing is two reads of [offsets] (consecutive entries, same cache
+   line), one read of [next], and the atomic transition — no nested
+   array to chase.  States may be negative after antitoken decrements,
+   hence the symmetric modulo; for the dominant power-of-two fan-outs
+   the mask form replaces both integer divisions (two's-complement
+   [land] is already the non-negative residue).  The unsafe reads are
+   sound: [Topology.create] validated the wiring, so every encoded
+   destination and every [offsets]/[next] index is in range. *)
+
+let[@inline] port_of s q = if q land (q - 1) = 0 then s land (q - 1) else (s mod q + q) mod q
+
+let rec walk_csr rt cross dest =
+  if dest >= 0 then begin
+    let s = cross rt dest in
+    let base = Array.unsafe_get rt.offsets dest in
+    let q = Array.unsafe_get rt.offsets (dest + 1) - base in
+    walk_csr rt cross (Array.unsafe_get rt.next (base + port_of s q))
   end
+  else dest
+
+let rec walk_nested rt cross dest =
+  if dest >= 0 then begin
+    let s = cross rt dest in
+    let q = rt.fan_out.(dest) in
+    let port = (s mod q + q) mod q in
+    walk_nested rt cross rt.next_nested.(dest).(port)
+  end
+  else dest
+
+let walk rt cross dest =
+  match rt.layout with
+  | Padded_csr -> walk_csr rt cross dest
+  | Unpadded_nested -> walk_nested rt cross dest
+
+let exit_increment rt dest =
+  let out = -dest - 1 in
+  Padded_atomic.fetch_and_add rt.values out rt.output_width
+
+let exit_decrement rt dest =
+  let out = -dest - 1 in
+  Padded_atomic.fetch_and_add rt.values out (-rt.output_width) - rt.output_width
+
+let traverse rt ~wire =
+  if wire < 0 || wire >= rt.input_width then
+    invalid_arg "Network_runtime.traverse: wire out of range";
+  let cross = match rt.mode with Faa -> cross_faa | Cas -> cross_cas in
+  exit_increment rt (walk rt cross rt.entry.(wire))
 
 let traverse_decrement rt ~wire =
   if wire < 0 || wire >= rt.input_width then
     invalid_arg "Network_runtime.traverse_decrement: wire out of range";
   let cross = match rt.mode with Faa -> cross_dec_faa | Cas -> cross_dec_cas in
-  let rec walk dest =
-    if dest >= 0 then begin
-      let s = cross rt dest in
-      let q = rt.fan_out.(dest) in
-      let port = (s mod q + q) mod q in
-      walk rt.next.(dest).(port)
-    end
-    else begin
-      let out = -dest - 1 in
-      Atomic.fetch_and_add rt.values.(out) (-rt.output_width) - rt.output_width
-    end
-  in
-  walk rt.entry.(wire)
+  exit_decrement rt (walk rt cross rt.entry.(wire))
+
+let traverse_batch rt ~wire ~n ~f =
+  if wire < 0 || wire >= rt.input_width then
+    invalid_arg "Network_runtime.traverse_batch: wire out of range";
+  if n < 0 then invalid_arg "Network_runtime.traverse_batch: negative batch size";
+  (* Bounds check and dispatch paid once for the whole batch. *)
+  let cross = match rt.mode with Faa -> cross_faa | Cas -> cross_cas in
+  let entry = rt.entry.(wire) in
+  (match rt.layout with
+  | Padded_csr ->
+      for i = 0 to n - 1 do
+        f i (exit_increment rt (walk_csr rt cross entry))
+      done
+  | Unpadded_nested ->
+      for i = 0 to n - 1 do
+        f i (exit_increment rt (walk_nested rt cross entry))
+      done)
 
 let exit_distribution rt =
   (* Output wire [i] hands out [i, i + t, ...]; its next value [v]
      encodes the number of exits as [(v - i) / t]. *)
-  Array.init rt.output_width (fun i -> (Atomic.get rt.values.(i) - i) / rt.output_width)
+  Array.init rt.output_width (fun i -> (Padded_atomic.get rt.values i - i) / rt.output_width)
 
-let cas_failures rt = Atomic.get rt.failures
+let cas_failures rt = Padded_atomic.get rt.failures 0
 
 let reset rt =
-  Array.iteri (fun b s -> Atomic.set rt.states.(b) s) rt.init_states;
-  Array.iteri (fun i c -> Atomic.set c i) rt.values;
-  Atomic.set rt.failures 0
+  Array.iteri (fun b s -> Padded_atomic.set rt.states b s) rt.init_states;
+  for i = 0 to rt.output_width - 1 do
+    Padded_atomic.set rt.values i i
+  done;
+  Padded_atomic.set rt.failures 0 0

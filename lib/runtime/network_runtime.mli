@@ -9,22 +9,44 @@
 
     Two balancer implementations are provided: [Faa] uses
     [Atomic.fetch_and_add] (wait-free, fastest) and [Cas] uses a
-    compare-and-set retry loop whose failures are counted — the runtime
-    analogue of the stall accounting in [Cn_sim]. *)
+    compare-and-set retry loop with bounded exponential backoff whose
+    contended crossings are counted — the runtime analogue of the stall
+    accounting in [Cn_sim].
+
+    {2 Memory layout}
+
+    The default [Padded_csr] layout is built for the hardware the
+    paper's contention bounds care about: balancer states and assignment
+    cells live in {!Padded_atomic} banks (one cache line per slot, no
+    false sharing between adjacent balancers), and the wiring is a flat
+    CSR-style jump table — crossing a balancer reads two adjacent
+    [offsets] entries and one [next] entry, with no nested-array pointer
+    chase.  The [Unpadded_nested] layout reproduces the original
+    adjacent-atomics, array-of-arrays representation and is kept so the
+    [runtime] bench suite can measure what the layout is worth. *)
 
 type mode = Faa | Cas
 (** Balancer implementation: atomic fetch-and-add, or an instrumented
     CAS retry loop. *)
 
+type layout = Padded_csr | Unpadded_nested
+(** Memory representation: cache-line-padded states with flat CSR
+    wiring (default), or the naive adjacent-atomics nested-array
+    layout, kept for benchmarking. *)
+
 type t
 (** A compiled network ready for concurrent traversals. *)
 
-val compile : ?mode:mode -> Cn_network.Topology.t -> t
-(** [compile net] builds the runtime representation (default mode
-    [Faa]). *)
+val compile : ?mode:mode -> ?layout:layout -> Cn_network.Topology.t -> t
+(** [compile net] builds the runtime representation (defaults: mode
+    [Faa], layout [Padded_csr]).  The topology is queried once per
+    balancer. *)
 
 val mode : t -> mode
 (** Implementation mode chosen at compile time. *)
+
+val layout : t -> layout
+(** Memory layout chosen at compile time. *)
 
 val input_width : t -> int
 (** Network input width [w]. *)
@@ -37,6 +59,14 @@ val traverse : t -> wire:int -> int
     through the network and returns the counter value assigned at its
     exit wire.  Thread-safe; called concurrently from many domains.
     @raise Invalid_argument if [wire] is out of range. *)
+
+val traverse_batch : t -> wire:int -> n:int -> f:(int -> int -> unit) -> unit
+(** [traverse_batch rt ~wire ~n ~f] shepherds [n] tokens from input
+    wire [wire], calling [f i value] with each token's index and
+    assigned counter value.  Equivalent to [n] calls to {!traverse},
+    but the bounds check and mode/layout dispatch are paid once for
+    the whole batch — the preferred shape for throughput loops.
+    @raise Invalid_argument if [wire] is out of range or [n < 0]. *)
 
 val traverse_decrement : t -> wire:int -> int
 (** [traverse_decrement rt ~wire] shepherds one *antitoken* from input
@@ -55,8 +85,9 @@ val exit_distribution : t -> Cn_sequence.Sequence.t
     sequence in any quiescent state of a counting network. *)
 
 val cas_failures : t -> int
-(** Total CAS retry failures so far ([0] in [Faa] mode) — a lower bound
-    on memory-contention events experienced by tokens. *)
+(** Total contended CAS crossings so far ([0] in [Faa] mode) — a lower
+    bound on memory-contention events experienced by tokens.  A crossing
+    that retries its CAS several times before winning counts once. *)
 
 val reset : t -> unit
 (** [reset rt] restores initial balancer states and assignment cells.

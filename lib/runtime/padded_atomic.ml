@@ -1,0 +1,37 @@
+(* Cache-line padding for atomics, in the style of multicore-magic's
+   [copy_as_padded]: re-allocate the one-word [Atomic.t] block with
+   enough trailing fields to fill a cache line.  The trailing fields are
+   ordinary immediate values, so the GC scans them harmlessly, and the
+   padding moves with the block under minor promotion — unlike inserting
+   dead filler allocations between atomics, which compacts away. *)
+
+(* 128 bytes: one cache line on most x86-64 parts plus the adjacent
+   line fetched by the spatial prefetcher. *)
+let cache_line_words = 16
+
+let copy_as_padded (type a) (x : a) : a =
+  let src = Obj.repr x in
+  let n = Obj.size src in
+  let dst = Obj.new_block (Obj.tag src) (n + cache_line_words) in
+  for i = 0 to n - 1 do
+    Obj.set_field dst i (Obj.field src i)
+  done;
+  Obj.obj dst
+
+type t = { slots : int Atomic.t array; padded : bool }
+
+let make ?(padded = true) n ~init =
+  if n < 0 then invalid_arg "Padded_atomic.make: negative size";
+  let slot i =
+    let a = Atomic.make (init i) in
+    if padded then copy_as_padded a else a
+  in
+  { slots = Array.init n slot; padded }
+
+let length bank = Array.length bank.slots
+let is_padded bank = bank.padded
+let get bank i = Atomic.get bank.slots.(i)
+let set bank i v = Atomic.set bank.slots.(i) v
+let fetch_and_add bank i d = Atomic.fetch_and_add bank.slots.(i) d
+let compare_and_set bank i seen v = Atomic.compare_and_set bank.slots.(i) seen v
+let incr bank i = Atomic.incr bank.slots.(i)

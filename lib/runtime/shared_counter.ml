@@ -5,7 +5,7 @@ type impl =
 
 type t = impl
 
-let of_topology ?mode net = Network (Network_runtime.compile ?mode net)
+let of_topology ?mode ?layout net = Network (Network_runtime.compile ?mode ?layout net)
 
 let central_faa () = Central (Atomic.make 0)
 

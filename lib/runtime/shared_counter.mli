@@ -15,9 +15,11 @@
 type t
 (** A shared counter handle, safe to use from any domain. *)
 
-val of_topology : ?mode:Network_runtime.mode -> Cn_network.Topology.t -> t
+val of_topology :
+  ?mode:Network_runtime.mode -> ?layout:Network_runtime.layout -> Cn_network.Topology.t -> t
 (** [of_topology net] is a counter backed by the counting network [net]:
-    the caller's token enters on wire [pid mod w]. *)
+    the caller's token enters on wire [pid mod w].  [?mode] and
+    [?layout] are passed through to {!Network_runtime.compile}. *)
 
 val central_faa : unit -> t
 (** A counter backed by one [Atomic.fetch_and_add] word. *)

@@ -5,8 +5,17 @@ type pstate = Waiting of int | Done
 
 type op = { pid : int; invoke : int; response : int; value : int; stalls : int }
 
+(* Wiring is precompiled once at [create] into flat jump tables — the
+   same CSR encoding as [Cn_runtime.Network_runtime] — so [fire] and
+   [inject], the simulation's hot path, never query the topology.
+   Destinations are encoded as ints: a non-negative value is a balancer
+   id; a negative value [-(wire + 1)] is a network output wire. *)
+
 type t = {
   net : Topology.t;
+  entry : int array; (* per input wire: encoded destination *)
+  next : int array; (* CSR: port p of balancer b at offsets.(b) + p *)
+  offsets : int array; (* CSR row starts; length (size net) + 1 *)
   bal_states : int array;
   queues : int Queue.t array; (* waiting processes per balancer, FIFO *)
   pstates : pstate array;
@@ -24,18 +33,23 @@ type t = {
   received : int array; (* stalls received by each process's current token *)
 }
 
+let encode_dest = function
+  | Topology.Bal_input { bal; port = _ } -> bal
+  | Topology.Net_output i -> -(i + 1)
+
 (* Entry point of process [p]: the consumer of network input wire
    [p mod w].  A bare wire (no balancer) means the token exits
    immediately. *)
 let rec inject s p =
   s.injected <- s.injected + 1;
   s.invoke_at.(p) <- s.clock;
-  let w = Topology.input_width s.net in
-  match Topology.consumer s.net (Topology.Net_input (p mod w)) with
-  | Topology.Bal_input { bal; port = _ } ->
-      Queue.add p s.queues.(bal);
-      s.pstates.(p) <- Waiting bal
-  | Topology.Net_output i -> exit_token s p i
+  let w = Array.length s.entry in
+  let dest = s.entry.(p mod w) in
+  if dest >= 0 then begin
+    Queue.add p s.queues.(dest);
+    s.pstates.(p) <- Waiting dest
+  end
+  else exit_token s p (-dest - 1)
 
 and exit_token s p wire =
   let value = wire + (s.out_counts.(wire) * Array.length s.out_counts) in
@@ -55,10 +69,28 @@ let create net ~concurrency ~tokens =
   if concurrency <= 0 then invalid_arg "Stall_model.create: concurrency must be positive";
   if tokens < 0 then invalid_arg "Stall_model.create: negative token count";
   let n = Topology.size net in
+  (* One topology pass: descriptors, then the flattened jump tables. *)
+  let descriptors = Array.init n (Topology.balancer net) in
+  let offsets = Array.make (n + 1) 0 in
+  for b = 0 to n - 1 do
+    offsets.(b + 1) <- offsets.(b) + descriptors.(b).Balancer.fan_out
+  done;
+  let next = Array.make offsets.(n) 0 in
+  for b = 0 to n - 1 do
+    for port = 0 to descriptors.(b).Balancer.fan_out - 1 do
+      next.(offsets.(b) + port) <-
+        encode_dest (Topology.consumer net (Topology.Bal_output { bal = b; port }))
+    done
+  done;
   let s =
     {
       net;
-      bal_states = Array.init n (fun b -> (Topology.balancer net b).Balancer.init_state);
+      entry =
+        Array.init (Topology.input_width net) (fun i ->
+            encode_dest (Topology.consumer net (Topology.Net_input i)));
+      next;
+      offsets;
+      bal_states = Array.map (fun d -> d.Balancer.init_state) descriptors;
       queues = Array.init n (fun _ -> Queue.create ());
       pstates = Array.make concurrency Done;
       quota = Array.make concurrency 0;
@@ -138,14 +170,16 @@ let fire s p =
       Queue.iter (fun x -> if x <> p then s.received.(x) <- s.received.(x) + 1) q;
       s.clock <- s.clock + 1;
       s.fired <- p :: s.fired;
-      let descriptor = Topology.balancer s.net b in
+      let base = s.offsets.(b) in
+      let fan_out = s.offsets.(b + 1) - base in
       let port = s.bal_states.(b) in
-      s.bal_states.(b) <- (port + 1) mod descriptor.Balancer.fan_out;
-      (match Topology.consumer s.net (Topology.Bal_output { bal = b; port }) with
-      | Topology.Bal_input { bal = next; port = _ } ->
-          Queue.add p s.queues.(next);
-          s.pstates.(p) <- Waiting next
-      | Topology.Net_output i -> exit_token s p i)
+      s.bal_states.(b) <- (port + 1) mod fan_out;
+      let dest = s.next.(base + port) in
+      if dest >= 0 then begin
+        Queue.add p s.queues.(dest);
+        s.pstates.(p) <- Waiting dest
+      end
+      else exit_token s p (-dest - 1)
 
 let total_stalls s = s.total_stalls
 let completed_tokens s = s.completed

@@ -3,6 +3,8 @@
 module RT = Cn_runtime.Network_runtime
 module SC = Cn_runtime.Shared_counter
 module H = Cn_runtime.Harness
+module DP = Cn_runtime.Domain_pool
+module PA = Cn_runtime.Padded_atomic
 module S = Cn_sequence.Sequence
 
 let tc name f = Alcotest.test_case name `Quick f
@@ -57,8 +59,104 @@ let single_threaded =
     tc "modes and widths exposed" (fun () ->
         let rt = RT.compile ~mode:RT.Cas (net48 ()) in
         Alcotest.(check bool) "mode" true (RT.mode rt = RT.Cas);
+        Alcotest.(check bool) "layout" true (RT.layout rt = RT.Padded_csr);
         Alcotest.(check int) "w" 4 (RT.input_width rt);
         Alcotest.(check int) "t" 8 (RT.output_width rt));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Memory layouts: the padded+CSR and seed layouts are observationally
+   identical; both agree with the combinatorial evaluator token for
+   token, including on randomly generated wiring. *)
+
+let drain rt ~tokens =
+  List.init tokens (fun i -> RT.traverse rt ~wire:(i mod RT.input_width rt))
+
+let layouts =
+  [
+    tc "unpadded-nested layout exposed" (fun () ->
+        let rt = RT.compile ~layout:RT.Unpadded_nested (net48 ()) in
+        Alcotest.(check bool) "layout" true (RT.layout rt = RT.Unpadded_nested));
+    tc "layouts agree token-for-token on C(8,16)" (fun () ->
+        let net = Cn_core.Counting.network ~w:8 ~t:16 in
+        let padded = RT.compile ~layout:RT.Padded_csr net in
+        let nested = RT.compile ~layout:RT.Unpadded_nested net in
+        Alcotest.(check (list int)) "same values" (drain padded ~tokens:64)
+          (drain nested ~tokens:64));
+    tc "csr runtime = Eval token run on C(4,8)" (fun () ->
+        let net = net48 () in
+        let rt = RT.compile net in
+        let entries = List.init 23 (fun i -> i mod 4) in
+        let expected = List.map snd (Cn_network.Eval.token_run net entries) in
+        let got = List.map (fun wire -> RT.traverse rt ~wire) entries in
+        Alcotest.(check (list int)) "values" expected got);
+    tc "csr runtime = Eval.quiescent on random layered nets" (fun () ->
+        List.iter
+          (fun seed ->
+            let net = Cn_network.Random_net.layered ~seed ~layers:5 8 in
+            let x = Array.init 8 (fun i -> (i * 7 * (seed + 1)) mod 11) in
+            List.iter
+              (fun layout ->
+                let rt = RT.compile ~layout net in
+                Array.iteri
+                  (fun wire count ->
+                    for _ = 1 to count do
+                      ignore (RT.traverse rt ~wire)
+                    done)
+                  x;
+                Alcotest.check Util.seq
+                  (Printf.sprintf "seed %d" seed)
+                  (Cn_network.Eval.quiescent net x)
+                  (RT.exit_distribution rt))
+              [ RT.Padded_csr; RT.Unpadded_nested ])
+          [ 0; 1; 2; 3; 4 ]);
+    tc "csr runtime = Eval.quiescent on random sparse nets" (fun () ->
+        List.iter
+          (fun seed ->
+            let net = Cn_network.Random_net.sparse ~seed ~layers:6 10 in
+            let x = Array.init 10 (fun i -> (i + (3 * seed)) mod 7) in
+            let rt = RT.compile net in
+            Array.iteri
+              (fun wire count ->
+                for _ = 1 to count do
+                  ignore (RT.traverse rt ~wire)
+                done)
+              x;
+            Alcotest.check Util.seq
+              (Printf.sprintf "seed %d" seed)
+              (Cn_network.Eval.quiescent net x)
+              (RT.exit_distribution rt))
+          [ 5; 6; 7 ]);
+    tc "traverse_batch equals repeated traverse" (fun () ->
+        let net = Cn_core.Counting.network ~w:8 ~t:8 in
+        let one = RT.compile net in
+        let batch = RT.compile net in
+        let singles = List.init 30 (fun _ -> RT.traverse one ~wire:3) in
+        let collected = Array.make 30 (-1) in
+        RT.traverse_batch batch ~wire:3 ~n:30 ~f:(fun i v -> collected.(i) <- v);
+        Alcotest.(check (list int)) "same values" singles (Array.to_list collected));
+    tc "traverse_batch validates arguments" (fun () ->
+        let rt = RT.compile (net48 ()) in
+        Alcotest.check_raises "wire" (Invalid_argument "Network_runtime.traverse_batch: wire out of range")
+          (fun () -> RT.traverse_batch rt ~wire:4 ~n:1 ~f:(fun _ _ -> ()));
+        Alcotest.check_raises "n" (Invalid_argument "Network_runtime.traverse_batch: negative batch size")
+          (fun () -> RT.traverse_batch rt ~wire:0 ~n:(-1) ~f:(fun _ _ -> ())));
+    tc "padded atomic bank semantics" (fun () ->
+        List.iter
+          (fun padded ->
+            let bank = PA.make ~padded 4 ~init:(fun i -> 10 * i) in
+            Alcotest.(check int) "length" 4 (PA.length bank);
+            Alcotest.(check bool) "padded" padded (PA.is_padded bank);
+            Alcotest.(check int) "init" 20 (PA.get bank 2);
+            Alcotest.(check int) "faa returns previous" 20 (PA.fetch_and_add bank 2 5);
+            Alcotest.(check int) "faa applied" 25 (PA.get bank 2);
+            Alcotest.(check bool) "cas hit" true (PA.compare_and_set bank 2 25 7);
+            Alcotest.(check bool) "cas miss" false (PA.compare_and_set bank 2 25 9);
+            PA.incr bank 0;
+            Alcotest.(check int) "incr" 1 (PA.get bank 0);
+            PA.set bank 3 (-4);
+            Alcotest.(check int) "set" (-4) (PA.get bank 3))
+          [ true; false ]);
   ]
 
 let counters =
@@ -91,7 +189,7 @@ let counters =
 
 let concurrent_case name make =
   tc name (fun () ->
-      let vss = H.run_collect ~make ~domains:4 ~ops_per_domain:400 in
+      let vss = H.run_collect ~make ~domains:4 ~ops_per_domain:400 () in
       Alcotest.(check bool) "values form 0..m-1" true (H.values_are_a_range vss))
 
 let concurrent =
@@ -102,6 +200,8 @@ let concurrent =
         SC.of_topology (Cn_core.Counting.network ~w:8 ~t:8));
     concurrent_case "network counter C(8,24) cas" (fun () ->
         SC.of_topology ~mode:RT.Cas (Cn_core.Counting.network ~w:8 ~t:24));
+    concurrent_case "network counter C(8,8) unpadded layout" (fun () ->
+        SC.of_topology ~layout:RT.Unpadded_nested (Cn_core.Counting.network ~w:8 ~t:8));
     concurrent_case "bitonic-backed counter" (fun () ->
         SC.of_topology (Cn_baselines.Bitonic.network 8));
     concurrent_case "periodic-backed counter" (fun () ->
@@ -126,14 +226,14 @@ let concurrent =
         let r =
           H.throughput
             ~make:(fun () -> SC.central_faa ())
-            ~domains:2 ~ops_per_domain:1000
+            ~domains:2 ~ops_per_domain:1000 ()
         in
         Alcotest.(check int) "ops" 2000 r.H.total_ops;
         Alcotest.(check bool) "positive time" true (r.H.seconds > 0.);
         Alcotest.(check bool) "positive rate" true (r.H.ops_per_sec > 0.));
     Util.raises_invalid "throughput rejects zero domains" (fun () ->
         ignore
-          (H.throughput ~make:(fun () -> SC.central_faa ()) ~domains:0 ~ops_per_domain:1));
+          (H.throughput ~make:(fun () -> SC.central_faa ()) ~domains:0 ~ops_per_domain:1 ()));
     tc "values_are_a_range rejects duplicates" (fun () ->
         Alcotest.(check bool) "dup" false (H.values_are_a_range [| [| 0; 1 |]; [| 1 |] |]));
     tc "values_are_a_range rejects gaps" (fun () ->
@@ -142,9 +242,85 @@ let concurrent =
         Alcotest.(check bool) "ok" true (H.values_are_a_range [| [| 2; 0 |]; [| 1; 3 |] |]));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Multi-domain sweeps: the Fetch&Increment contract must hold at 2, 4
+   and 8 domains in both balancer modes, on the paper's network and on
+   the bitonic baseline.  One warmed pool serves the whole sweep. *)
+
+let multi_domain =
+  [
+    tc "range contract at 2/4/8 domains, Faa and Cas, C(8,16) and bitonic" (fun () ->
+        DP.with_pool 8 (fun pool ->
+            List.iter
+              (fun (net_name, net) ->
+                List.iter
+                  (fun (mode_name, mode) ->
+                    List.iter
+                      (fun domains ->
+                        let vss =
+                          H.run_collect ~pool
+                            ~make:(fun () -> SC.of_topology ~mode net)
+                            ~domains ~ops_per_domain:(400 / domains) ()
+                        in
+                        Alcotest.(check bool)
+                          (Printf.sprintf "%s %s %dd" net_name mode_name domains)
+                          true (H.values_are_a_range vss))
+                      [ 2; 4; 8 ])
+                  [ ("faa", RT.Faa); ("cas", RT.Cas) ])
+              [
+                ("C(8,16)", Cn_core.Counting.network ~w:8 ~t:16);
+                ("bitonic-8", Cn_baselines.Bitonic.network 8);
+              ]));
+    tc "pool runs are reusable across counters and domain counts" (fun () ->
+        DP.with_pool 4 (fun pool ->
+            Alcotest.(check int) "size" 4 (DP.size pool);
+            let r1 =
+              H.throughput ~pool ~make:(fun () -> SC.central_faa ()) ~domains:4
+                ~ops_per_domain:200 ()
+            in
+            let r2 =
+              H.throughput ~pool
+                ~make:(fun () -> SC.of_topology (net48 ()))
+                ~domains:2 ~ops_per_domain:200 ()
+            in
+            Alcotest.(check int) "ops 1" 800 r1.H.total_ops;
+            Alcotest.(check int) "ops 2" 400 r2.H.total_ops;
+            Alcotest.(check bool) "rate 1" true (r1.H.ops_per_sec > 0.);
+            Alcotest.(check bool) "rate 2" true (r2.H.ops_per_sec > 0.)));
+    tc "pool rejects out-of-range rounds" (fun () ->
+        DP.with_pool 2 (fun pool ->
+            Alcotest.check_raises "too many"
+              (Invalid_argument "Domain_pool.run: domains out of range for this pool") (fun () ->
+                ignore (DP.run pool ~domains:3 ignore));
+            Alcotest.check_raises "zero"
+              (Invalid_argument "Domain_pool.run: domains out of range for this pool") (fun () ->
+                ignore (DP.run pool ~domains:0 ignore))));
+    tc "pool shutdown is idempotent and detected" (fun () ->
+        let pool = DP.create 2 in
+        ignore (DP.run pool ~domains:2 ignore);
+        DP.shutdown pool;
+        DP.shutdown pool;
+        Alcotest.check_raises "run after shutdown"
+          (Invalid_argument "Domain_pool.run: pool is shut down") (fun () ->
+            ignore (DP.run pool ~domains:1 ignore)));
+    tc "concurrent batch traversals keep the range contract" (fun () ->
+        let net = Cn_core.Counting.network ~w:8 ~t:16 in
+        let rt = RT.compile net in
+        let domains = 4 and n = 150 in
+        let values = Array.init domains (fun _ -> Array.make n (-1)) in
+        DP.with_pool domains (fun pool ->
+            ignore
+              (DP.run pool ~domains (fun pid ->
+                   RT.traverse_batch rt ~wire:pid ~n ~f:(fun i v -> values.(pid).(i) <- v))));
+        Alcotest.(check bool) "range" true (H.values_are_a_range values);
+        Util.check_step (RT.exit_distribution rt));
+  ]
+
 let suite =
   [
     ("runtime.single", single_threaded);
+    ("runtime.layouts", layouts);
     ("runtime.counters", counters);
     ("runtime.concurrent", concurrent);
+    ("runtime.multi_domain", multi_domain);
   ]
