@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench micro bench-runtime bench-smoke examples clean doc
+.PHONY: all build test bench micro bench-runtime bench-smoke check-metrics examples clean doc
 
 all: build
 
@@ -21,6 +21,12 @@ bench-runtime:
 
 bench-smoke:
 	dune exec bench/main.exe -- runtime --smoke
+
+# Quick end-to-end check of the observability layer: metrics JSON out,
+# quiescence validator strict.
+check-metrics:
+	dune exec bin/countnet.exe -- throughput -f counting -w 16 --domains 4 \
+	  --ops 2000 --mode cas --metrics --validate strict | grep '"schema_version"'
 
 examples:
 	for e in quickstart load_balancing barrier_sync id_server \

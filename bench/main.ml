@@ -546,6 +546,36 @@ let runtime ?(smoke = false) () =
       in
       line "%-12s %-16s %s" (Printf.sprintf "C(%d,%d)+batch" w w) "padded-csr"
         (String.concat " " batch_row));
+  (* Observability pass: one metrics-instrumented CAS run on C(16,16)
+     at 4 domains.  The validator runs Strict — any lost update or
+     broken step property fails the whole sweep — and the per-layer
+     stall profile (the empirical shape Theorem 6.7 bounds) is printed
+     and embedded in BENCH_runtime.json. *)
+  let metrics_json =
+    let rt = RT.compile ~mode:RT.Cas ~metrics:true c16 in
+    let domains = 4 in
+    let n = ops_total / domains in
+    Cn_runtime.Domain_pool.with_pool domains (fun pool ->
+        ignore
+          (Cn_runtime.Domain_pool.run pool ~domains (fun pid ->
+               RT.traverse_batch rt ~wire:(pid mod w) ~n ~f:(fun _ _ -> ()))));
+    Cn_runtime.Validator.enforce Cn_runtime.Validator.Strict
+      (Cn_runtime.Validator.quiescent_runtime rt);
+    let m = Option.get (RT.metrics rt) in
+    let snap = Cn_runtime.Metrics.snapshot m in
+    let layers = Array.init (T.size c16) (T.balancer_depth c16) in
+    let per_layer = Cn_runtime.Metrics.per_layer ~layers snap.Cn_runtime.Metrics.stalls in
+    line "metrics: C(16,16) cas, %d domains x %d ops — validator strict ok" domains n;
+    line "  per-layer stalls: %s"
+      (String.concat " " (Array.to_list (Array.map string_of_int per_layer)));
+    (match snap.Cn_runtime.Metrics.latency with
+    | Some l ->
+        line "  token latency (%s): p50 %.0f  p95 %.0f  p99 %.0f  (%d sampled)"
+          l.Cn_runtime.Metrics.time_unit l.Cn_runtime.Metrics.p50 l.Cn_runtime.Metrics.p95
+          l.Cn_runtime.Metrics.p99 l.Cn_runtime.Metrics.observed
+    | None -> line "  token latency: (none sampled)");
+    Cn_runtime.Metrics.to_json ~layers snap
+  in
   let oc = open_out "BENCH_runtime.json" in
   let entries =
     List.rev_map
@@ -556,10 +586,13 @@ let runtime ?(smoke = false) () =
           name layout_name domains total_ops seconds rate)
       !results
   in
-  Printf.fprintf oc "{\n  \"suite\": \"runtime\",\n  \"w\": %d,\n  \"results\": [\n%s\n  ]\n}\n" w
-    (String.concat ",\n" entries);
+  Printf.fprintf oc
+    "{\n  \"suite\": \"runtime\",\n  \"w\": %d,\n  \"results\": [\n%s\n  ],\n  \"metrics\": %s}\n"
+    w
+    (String.concat ",\n" entries)
+    metrics_json;
   close_out oc;
-  line "wrote BENCH_runtime.json (%d measurements)" (List.length !results)
+  line "wrote BENCH_runtime.json (%d measurements + metrics profile)" (List.length !results)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment family.      *)

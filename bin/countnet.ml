@@ -328,48 +328,123 @@ let layout_arg =
               wiring; default) or $(b,unpadded) (adjacent atomics, nested-array wiring; for \
               comparison).")
 
-let batch_flag =
+let batch_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some max_int) (some int) None
+    & info [ "batch" ] ~docv:"N"
+        ~doc:"Use the batched traversal API ($(b,traverse_batch)) inside each domain, in chunks \
+              of $(docv) tokens (bare $(b,--batch): one chunk covering all ops), instead of one \
+              $(b,traverse) call per increment.")
+
+let metrics_flag =
   Arg.(
     value
     & flag
-    & info [ "batch" ]
-        ~doc:"Use the batched traversal API ($(b,traverse_batch)) inside each domain instead of \
-              one $(b,traverse) call per increment.")
+    & info [ "metrics" ]
+        ~doc:"Compile the runtime with the observability layer and print the schema-versioned \
+              metrics JSON (per-balancer crossings/stalls, per-layer profile, per-wire tallies, \
+              latency percentiles) after the throughput line.")
+
+let policy_conv =
+  let parse s =
+    match Cn_runtime.Validator.policy_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown policy %S (expected strict, log or off)" s))
+  in
+  let print ppf p = Format.pp_print_string ppf (Cn_runtime.Validator.policy_to_string p) in
+  Arg.conv (parse, print)
+
+let validate_arg =
+  Arg.(
+    value
+    & opt policy_conv Cn_runtime.Validator.Log
+    & info [ "validate" ] ~docv:"POLICY"
+        ~doc:"Quiescence validation after the run: $(b,strict) (exit non-zero on violation), \
+              $(b,log) (warn on stderr; default) or $(b,off).")
 
 let throughput_cmd =
-  let run net domains ops mode layout batch =
+  let module RT = Cn_runtime.Network_runtime in
+  let module V = Cn_runtime.Validator in
+  let fail_usage msg =
+    prerr_endline ("countnet throughput: " ^ msg);
+    exit 2
+  in
+  (* Drive a compiled runtime from a pool, chunked through the batched
+     API; returns the timed seconds of the concurrent region. *)
+  let pool_round rt ~domains ~ops ~chunk =
+    let w = RT.input_width rt in
+    Cn_runtime.Domain_pool.with_pool domains (fun pool ->
+        Cn_runtime.Domain_pool.run pool ~domains (fun pid ->
+            let wire = pid mod w in
+            let remaining = ref ops in
+            while !remaining > 0 do
+              let n = min chunk !remaining in
+              RT.traverse_batch rt ~wire ~n ~f:(fun _ _ -> ());
+              remaining := !remaining - n
+            done))
+  in
+  let run net domains ops mode layout batch metrics policy =
+    if domains <= 0 then fail_usage (Printf.sprintf "--domains must be positive (got %d)" domains);
+    if ops <= 0 then fail_usage (Printf.sprintf "--ops must be positive (got %d)" ops);
+    (match batch with
+    | Some b when b <= 0 -> fail_usage (Printf.sprintf "--batch must be positive (got %d)" b)
+    | _ -> ());
+    let enforce_or_exit rt =
+      match V.enforce policy (V.quiescent_runtime rt) with
+      | () -> ()
+      | exception V.Invalid msg ->
+          prerr_endline ("countnet throughput: " ^ msg);
+          exit 1
+    in
+    let json = ref None in
     let r =
-      if batch then begin
-        let rt = Cn_runtime.Network_runtime.compile ~mode ~layout net in
-        let w = Cn_runtime.Network_runtime.input_width rt in
-        let seconds =
-          Cn_runtime.Domain_pool.with_pool domains (fun pool ->
-              Cn_runtime.Domain_pool.run pool ~domains (fun pid ->
-                  Cn_runtime.Network_runtime.traverse_batch rt ~wire:(pid mod w) ~n:ops
-                    ~f:(fun _ _ -> ())))
-        in
+      if metrics || batch <> None then begin
+        let rt = RT.compile ~mode ~layout ~metrics net in
+        let chunk = match batch with Some b -> min b ops | None -> 1 in
+        let seconds = pool_round rt ~domains ~ops ~chunk in
+        enforce_or_exit rt;
+        if metrics then begin
+          let m = Option.get (RT.metrics rt) in
+          let layers = Array.init (T.size net) (T.balancer_depth net) in
+          json := Some (Cn_runtime.Metrics.to_json ~layers (Cn_runtime.Metrics.snapshot m))
+        end;
         {
           Cn_runtime.Harness.counter = "network";
           domains;
           total_ops = domains * ops;
           seconds;
-          ops_per_sec =
-            (if seconds <= 0. then 0. else float_of_int (domains * ops) /. seconds);
+          ops_per_sec = float_of_int (domains * ops) /. Float.max seconds 1e-9;
         }
       end
-      else
-        Cn_runtime.Harness.throughput
-          ~make:(fun () -> Cn_runtime.Shared_counter.of_topology ~mode ~layout net)
-          ~domains ~ops_per_domain:ops ()
+      else begin
+        (* The harness builds its own counters (fresh per calibration
+           attempt); remember the one actually measured so the
+           validator can inspect its quiesced network. *)
+        let last = ref None in
+        let make () =
+          let c = Cn_runtime.Shared_counter.of_topology ~mode ~layout net in
+          last := Some c;
+          c
+        in
+        let r = Cn_runtime.Harness.throughput ~make ~domains ~ops_per_domain:ops () in
+        Option.iter
+          (fun c -> Option.iter enforce_or_exit (Cn_runtime.Shared_counter.runtime c))
+          !last;
+        r
+      end
     in
     Printf.printf "%s: %d domains x %d ops = %d ops in %.3fs -> %.0f ops/s\n"
       r.Cn_runtime.Harness.counter domains ops r.Cn_runtime.Harness.total_ops
-      r.Cn_runtime.Harness.seconds r.Cn_runtime.Harness.ops_per_sec
+      r.Cn_runtime.Harness.seconds r.Cn_runtime.Harness.ops_per_sec;
+    Option.iter print_endline !json
   in
   Cmd.v
     (Cmd.info "throughput"
        ~doc:"Measure Fetch&Increment throughput of the network-backed shared counter.")
-    Term.(const run $ network_term $ domains_arg $ ops_arg $ mode_arg $ layout_arg $ batch_flag)
+    Term.(
+      const run $ network_term $ domains_arg $ ops_arg $ mode_arg $ layout_arg $ batch_arg
+      $ metrics_flag $ validate_arg)
 
 (* ---------------------------------------------------------------- *)
 (* sort *)

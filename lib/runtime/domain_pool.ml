@@ -20,6 +20,7 @@ type t = {
   go : int Atomic.t;
   ready : int Atomic.t;
   finished : int Atomic.t;
+  failure : exn option Atomic.t; (* first exception raised by a job this round *)
   stop : bool Atomic.t;
   mutable workers : unit Domain.t array;
   mutable live : bool;
@@ -50,7 +51,11 @@ let worker pool pid () =
           Domain.cpu_relax ()
         done;
         if not (Atomic.get pool.stop) then begin
-          job pid;
+          (* A raising job must neither kill this worker nor leave the
+             owner waiting on [finished] forever: record the first
+             exception for [run] to re-raise and always check out. *)
+          (try job pid
+           with e -> ignore (Atomic.compare_and_set pool.failure None (Some e)));
           Atomic.incr pool.finished
         end
       end
@@ -68,6 +73,7 @@ let create pool_size =
       go = Atomic.make 0;
       ready = Atomic.make 0;
       finished = Atomic.make 0;
+      failure = Atomic.make None;
       stop = Atomic.make false;
       workers = [||];
       live = true;
@@ -86,6 +92,7 @@ let run pool ~domains body =
   pool.participants <- domains;
   Atomic.set pool.ready 0;
   Atomic.set pool.finished 0;
+  Atomic.set pool.failure None;
   let r = Atomic.get pool.round + 1 in
   Atomic.set pool.round r;
   wait_patiently (fun () -> Atomic.get pool.ready >= domains);
@@ -94,6 +101,13 @@ let run pool ~domains body =
   wait_patiently (fun () -> Atomic.get pool.finished >= domains);
   let t1 = Unix.gettimeofday () in
   pool.job <- ignore;
+  (match Atomic.get pool.failure with
+  | Some e ->
+      (* Every participant checked out, so the pool is clean and
+         reusable; the round itself failed. *)
+      Atomic.set pool.failure None;
+      raise e
+  | None -> ());
   t1 -. t0
 
 let shutdown pool =

@@ -26,6 +26,11 @@ val run : t -> domains:int -> (int -> unit) -> float
     [0 .. domains - 1] and returns the wall-clock seconds between the
     instant all participants were released and the last one finishing.
     Workers beyond [domains] sit the round out.
+
+    If a job raises, the round still completes (every participant
+    checks out), the first exception raised is re-raised here, and the
+    pool remains usable for further rounds — an exception poisons the
+    round, never the pool.
     @raise Invalid_argument if [domains] is not in [1 .. size pool], or
     if the pool has been shut down. *)
 

@@ -33,9 +33,11 @@ let timed_round ?pool ~domains body =
       Array.iter Domain.join handles;
       Unix.gettimeofday () -. t0
 
-let validate ~domains ~ops_per_domain =
+let check_args ~domains ~ops_per_domain =
   if domains <= 0 then invalid_arg "Harness: domains must be positive";
-  if ops_per_domain < 0 then invalid_arg "Harness: negative ops_per_domain"
+  if ops_per_domain < 0 then invalid_arg "Harness: negative ops_per_domain";
+  if ops_per_domain > 0 && domains > max_int / ops_per_domain then
+    invalid_arg "Harness: domains * ops_per_domain overflows"
 
 let spawn_all ?pool ~counter ~domains ~ops_per_domain ~record () =
   timed_round ?pool ~domains (fun pid ->
@@ -43,21 +45,40 @@ let spawn_all ?pool ~counter ~domains ~ops_per_domain ~record () =
         record pid i (Shared_counter.next counter ~pid)
       done)
 
-let throughput ?pool ~make ~domains ~ops_per_domain () =
-  validate ~domains ~ops_per_domain;
-  let counter = make () in
-  let seconds = spawn_all ?pool ~counter ~domains ~ops_per_domain ~record:(fun _ _ _ -> ()) () in
-  let total_ops = domains * ops_per_domain in
-  {
-    counter = Shared_counter.name counter;
-    domains;
-    total_ops;
-    seconds;
-    ops_per_sec = (if seconds <= 0. then 0. else float_of_int total_ops /. seconds);
-  }
+(* A round too short for the wall clock to resolve must not report a
+   throughput of zero (the old behaviour — a lie that poisons sweep
+   aggregates).  Double the per-domain ops until the timer registers;
+   the escalation is bounded, and a clock that never advances is a
+   broken environment worth failing loudly over. *)
+let max_calibration_ops = 1 lsl 24
 
-let run_collect ?pool ~make ~domains ~ops_per_domain () =
-  validate ~domains ~ops_per_domain;
+let throughput ?pool ~make ~domains ~ops_per_domain () =
+  check_args ~domains ~ops_per_domain;
+  let rec attempt ops_per_domain =
+    let counter = make () in
+    let seconds =
+      spawn_all ?pool ~counter ~domains ~ops_per_domain ~record:(fun _ _ _ -> ()) ()
+    in
+    let total_ops = domains * ops_per_domain in
+    if seconds > 0. && total_ops > 0 then
+      {
+        counter = Shared_counter.name counter;
+        domains;
+        total_ops;
+        seconds;
+        ops_per_sec = float_of_int total_ops /. seconds;
+      }
+    else if ops_per_domain < max_calibration_ops && domains <= max_int / (max 1 (ops_per_domain * 2))
+    then attempt (max 1 (ops_per_domain * 2))
+    else
+      failwith
+        (Printf.sprintf
+           "Harness.throughput: clock did not advance over %d ops; cannot measure" total_ops)
+  in
+  attempt ops_per_domain
+
+let run_collect ?pool ?(validate = Validator.Log) ~make ~domains ~ops_per_domain () =
+  check_args ~domains ~ops_per_domain;
   let counter = make () in
   let values = Array.init domains (fun _ -> Array.make ops_per_domain (-1)) in
   let _ =
@@ -65,14 +86,13 @@ let run_collect ?pool ~make ~domains ~ops_per_domain () =
       ~record:(fun pid i v -> values.(pid).(i) <- v)
       ()
   in
+  (match validate with
+  | Validator.Off -> ()
+  | policy ->
+      Validator.enforce policy (Validator.collected_values values);
+      Option.iter
+        (fun rt -> Validator.enforce policy (Validator.quiescent_runtime rt))
+        (Shared_counter.runtime counter));
   values
 
-let values_are_a_range vss =
-  let total = Array.fold_left (fun acc vs -> acc + Array.length vs) 0 vss in
-  let seen = Array.make total false in
-  let ok = ref true in
-  Array.iter
-    (Array.iter (fun v ->
-         if v < 0 || v >= total || seen.(v) then ok := false else seen.(v) <- true))
-    vss;
-  !ok && Array.for_all (fun b -> b) seen
+let values_are_a_range = Validator.values_form_a_range

@@ -30,10 +30,19 @@ val throughput :
     and reports aggregate throughput.  Uses a start barrier so all
     domains race together.  With [?pool], the pool's workers are reused
     instead of spawning (requires [domains <= Domain_pool.size pool]).
-    @raise Invalid_argument if [domains <= 0] or [ops_per_domain < 0]. *)
+
+    Rounds too short for the wall clock to resolve are re-run with the
+    per-domain op count doubled (fresh counter each attempt) until the
+    timer registers, so the reported [ops_per_sec] is always positive
+    and [total_ops] reflects the ops actually measured.
+    @raise Invalid_argument if [domains <= 0], [ops_per_domain < 0], or
+    [domains * ops_per_domain] overflows.
+    @raise Failure if the clock never advances even at the escalation
+    cap (a broken timing environment). *)
 
 val run_collect :
   ?pool:Domain_pool.t ->
+  ?validate:Validator.policy ->
   make:(unit -> Shared_counter.t) ->
   domains:int ->
   ops_per_domain:int ->
@@ -41,7 +50,12 @@ val run_collect :
   int array array
 (** [run_collect ~make ~domains ~ops_per_domain ()] performs the same run
     but returns the values each domain obtained, for correctness
-    checks. *)
+    checks.  After the run, [?validate] (default [Log]) applies
+    {!Validator.collected_values} to the values and — for
+    network-backed counters — {!Validator.quiescent_runtime} to the
+    quiesced network.
+    @raise Validator.Invalid under [~validate:Strict] when a check
+    fails. *)
 
 val values_are_a_range : int array array -> bool
 (** [values_are_a_range vss] holds iff the collected values are exactly

@@ -27,9 +27,10 @@ type t = {
   entry : int array; (* per input wire: encoded destination *)
   values : Padded_atomic.t; (* per output wire: next value to hand out *)
   failures : Padded_atomic.t; (* single slot, always padded *)
+  metrics : Metrics.t option;
 }
 
-let compile ?(mode = Faa) ?(layout = Padded_csr) net =
+let compile ?(mode = Faa) ?(layout = Padded_csr) ?(metrics = false) net =
   let n = Topology.size net in
   let t = Topology.output_width net in
   (* One topology query per balancer; every per-balancer field below is
@@ -65,12 +66,14 @@ let compile ?(mode = Faa) ?(layout = Padded_csr) net =
           encode_dest (Topology.consumer net (Topology.Net_input i)));
     values = Padded_atomic.make ~padded t ~init:Fun.id;
     failures = Padded_atomic.make 1 ~init:(fun _ -> 0);
+    metrics = (if metrics then Some (Metrics.create ~balancers:n ~wires:t ()) else None);
   }
 
 let mode rt = rt.mode
 let layout rt = rt.layout
 let input_width rt = rt.input_width
 let output_width rt = rt.output_width
+let metrics rt = rt.metrics
 
 (* Balancer crossings.  The CAS loop backs off exponentially (doubling
    [cpu_relax] bursts, bounded) instead of hammering the contended line,
@@ -116,6 +119,46 @@ let cross_dec_cas rt b =
   in
   retry 1 false
 
+(* Metered crossings: same transitions, plus per-balancer crossing and
+   stall recording into the calling domain's metrics sink.  These live
+   beside the bare versions rather than inside them so the metrics-off
+   hot path keeps its exact shape — the only cost of compiling without
+   metrics is one [match] per traverse (or per batch), outside the walk
+   loop. *)
+
+let metered_cas sk rt b step bias =
+  Metrics.crossing sk b;
+  let rec retry spins contended =
+    let s = Padded_atomic.get rt.states b in
+    if Padded_atomic.compare_and_set rt.states b s (s + step) then begin
+      if contended then begin
+        Padded_atomic.incr rt.failures 0;
+        Metrics.stall sk b
+      end;
+      s + bias
+    end
+    else begin
+      for _ = 1 to spins do
+        Domain.cpu_relax ()
+      done;
+      retry (if spins >= max_backoff then max_backoff else spins * 2) true
+    end
+  in
+  retry 1 false
+
+let metered_cross sk mode ~anti =
+  match (mode, anti) with
+  | Faa, false ->
+      fun rt b ->
+        Metrics.crossing sk b;
+        cross_faa rt b
+  | Faa, true ->
+      fun rt b ->
+        Metrics.crossing sk b;
+        cross_dec_faa rt b
+  | Cas, false -> fun rt b -> metered_cas sk rt b 1 0
+  | Cas, true -> fun rt b -> metered_cas sk rt b (-1) (-1)
+
 (* Walk loops, specialized per wiring layout.  In the CSR walk a token
    crossing is two reads of [offsets] (consecutive entries, same cache
    line), one read of [next], and the atomic transition — no nested
@@ -159,34 +202,63 @@ let exit_decrement rt dest =
   let out = -dest - 1 in
   Padded_atomic.fetch_and_add rt.values out (-rt.output_width) - rt.output_width
 
+(* One metered traversal: latency sampling brackets the walk, the exit
+   tally lands in the same sink as the crossings. *)
+let metered_one rt sk cross entry ~anti =
+  let t0 = Metrics.sample_begin sk in
+  let dest = walk rt cross entry in
+  let out = -dest - 1 in
+  let v = if anti then exit_decrement rt dest else exit_increment rt dest in
+  if anti then Metrics.antitoken_exit sk ~wire:out else Metrics.token_exit sk ~wire:out;
+  if t0 >= 0 then Metrics.sample_end sk t0;
+  v
+
+let traverse_metered rt m ~wire ~anti =
+  let sk = Metrics.sink m in
+  metered_one rt sk (metered_cross sk rt.mode ~anti) rt.entry.(wire) ~anti
+
 let traverse rt ~wire =
   if wire < 0 || wire >= rt.input_width then
     invalid_arg "Network_runtime.traverse: wire out of range";
-  let cross = match rt.mode with Faa -> cross_faa | Cas -> cross_cas in
-  exit_increment rt (walk rt cross rt.entry.(wire))
+  match rt.metrics with
+  | Some m -> traverse_metered rt m ~wire ~anti:false
+  | None ->
+      let cross = match rt.mode with Faa -> cross_faa | Cas -> cross_cas in
+      exit_increment rt (walk rt cross rt.entry.(wire))
 
 let traverse_decrement rt ~wire =
   if wire < 0 || wire >= rt.input_width then
     invalid_arg "Network_runtime.traverse_decrement: wire out of range";
-  let cross = match rt.mode with Faa -> cross_dec_faa | Cas -> cross_dec_cas in
-  exit_decrement rt (walk rt cross rt.entry.(wire))
+  match rt.metrics with
+  | Some m -> traverse_metered rt m ~wire ~anti:true
+  | None ->
+      let cross = match rt.mode with Faa -> cross_dec_faa | Cas -> cross_dec_cas in
+      exit_decrement rt (walk rt cross rt.entry.(wire))
 
 let traverse_batch rt ~wire ~n ~f =
   if wire < 0 || wire >= rt.input_width then
     invalid_arg "Network_runtime.traverse_batch: wire out of range";
   if n < 0 then invalid_arg "Network_runtime.traverse_batch: negative batch size";
   (* Bounds check and dispatch paid once for the whole batch. *)
-  let cross = match rt.mode with Faa -> cross_faa | Cas -> cross_cas in
   let entry = rt.entry.(wire) in
-  (match rt.layout with
-  | Padded_csr ->
+  match rt.metrics with
+  | Some m ->
+      let sk = Metrics.sink m in
+      let cross = metered_cross sk rt.mode ~anti:false in
       for i = 0 to n - 1 do
-        f i (exit_increment rt (walk_csr rt cross entry))
+        f i (metered_one rt sk cross entry ~anti:false)
       done
-  | Unpadded_nested ->
-      for i = 0 to n - 1 do
-        f i (exit_increment rt (walk_nested rt cross entry))
-      done)
+  | None -> (
+      let cross = match rt.mode with Faa -> cross_faa | Cas -> cross_cas in
+      match rt.layout with
+      | Padded_csr ->
+          for i = 0 to n - 1 do
+            f i (exit_increment rt (walk_csr rt cross entry))
+          done
+      | Unpadded_nested ->
+          for i = 0 to n - 1 do
+            f i (exit_increment rt (walk_nested rt cross entry))
+          done)
 
 let exit_distribution rt =
   (* Output wire [i] hands out [i, i + t, ...]; its next value [v]
@@ -200,4 +272,5 @@ let reset rt =
   for i = 0 to rt.output_width - 1 do
     Padded_atomic.set rt.values i i
   done;
-  Padded_atomic.set rt.failures 0 0
+  Padded_atomic.set rt.failures 0 0;
+  Option.iter Metrics.reset rt.metrics

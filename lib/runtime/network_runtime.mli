@@ -37,13 +37,22 @@ type layout = Padded_csr | Unpadded_nested
 type t
 (** A compiled network ready for concurrent traversals. *)
 
-val compile : ?mode:mode -> ?layout:layout -> Cn_network.Topology.t -> t
+val compile : ?mode:mode -> ?layout:layout -> ?metrics:bool -> Cn_network.Topology.t -> t
 (** [compile net] builds the runtime representation (defaults: mode
     [Faa], layout [Padded_csr]).  The topology is queried once per
-    balancer. *)
+    balancer.  With [~metrics:true] the runtime carries a {!Metrics}
+    recorder (per-balancer crossing/stall counters, per-wire tallies,
+    sampled token latency) reachable through {!metrics}; without it
+    (the default) the traversal paths are exactly the uninstrumented
+    ones. *)
 
 val mode : t -> mode
 (** Implementation mode chosen at compile time. *)
+
+val metrics : t -> Metrics.t option
+(** The observability recorder, when compiled with [~metrics:true].
+    Take a {!Metrics.snapshot} at quiescence; [Validator.quiescent_runtime]
+    cross-checks it against the assignment cells. *)
 
 val layout : t -> layout
 (** Memory layout chosen at compile time. *)

@@ -5,7 +5,10 @@ type impl =
 
 type t = impl
 
-let of_topology ?mode ?layout net = Network (Network_runtime.compile ?mode ?layout net)
+let of_topology ?mode ?layout ?metrics net =
+  Network (Network_runtime.compile ?mode ?layout ?metrics net)
+
+let runtime = function Network rt -> Some rt | Central _ | Lock _ -> None
 
 let central_faa () = Central (Atomic.make 0)
 

@@ -16,10 +16,19 @@ type t
 (** A shared counter handle, safe to use from any domain. *)
 
 val of_topology :
-  ?mode:Network_runtime.mode -> ?layout:Network_runtime.layout -> Cn_network.Topology.t -> t
+  ?mode:Network_runtime.mode ->
+  ?layout:Network_runtime.layout ->
+  ?metrics:bool ->
+  Cn_network.Topology.t ->
+  t
 (** [of_topology net] is a counter backed by the counting network [net]:
-    the caller's token enters on wire [pid mod w].  [?mode] and
-    [?layout] are passed through to {!Network_runtime.compile}. *)
+    the caller's token enters on wire [pid mod w].  [?mode], [?layout]
+    and [?metrics] are passed through to {!Network_runtime.compile}. *)
+
+val runtime : t -> Network_runtime.t option
+(** The compiled network behind a {!of_topology} counter ([None] for
+    the other implementations) — the hook {!Harness} and the validator
+    use to check quiescent invariants after a run. *)
 
 val central_faa : unit -> t
 (** A counter backed by one [Atomic.fetch_and_add] word. *)

@@ -1,0 +1,111 @@
+module Sequence = Cn_sequence.Sequence
+
+type policy = Strict | Log | Off
+
+let policy_to_string = function Strict -> "strict" | Log -> "log" | Off -> "off"
+
+let policy_of_string = function
+  | "strict" -> Some Strict
+  | "log" -> Some Log
+  | "off" -> Some Off
+  | _ -> None
+
+type check = { name : string; ok : bool; detail : string }
+type report = { subject : string; checks : check list }
+
+exception Invalid of string
+
+let check name ok detail = { name; ok; detail }
+let passed r = List.for_all (fun c -> c.ok) r.checks
+let failures r = List.filter (fun c -> not c.ok) r.checks
+
+let summary r =
+  if passed r then Printf.sprintf "%s: ok (%d checks)" r.subject (List.length r.checks)
+  else
+    Printf.sprintf "%s: FAILED %s" r.subject
+      (String.concat "; "
+         (List.map (fun c -> Printf.sprintf "%s (%s)" c.name c.detail) (failures r)))
+
+let enforce policy report =
+  match policy with
+  | Off -> ()
+  | Log -> if not (passed report) then Printf.eprintf "[validator] %s\n%!" (summary report)
+  | Strict -> if not (passed report) then raise (Invalid (summary report))
+
+(* ------------------------------------------------------------------ *)
+(* The checks. *)
+
+let sum = Array.fold_left ( + ) 0
+
+(* Moved here from Harness so both layers share one implementation:
+   the values handed out by m quiesced Fetch&Increments must be exactly
+   {0, ..., m-1}, no duplicates, no gaps. *)
+let values_form_a_range vss =
+  let total = Array.fold_left (fun acc vs -> acc + Array.length vs) 0 vss in
+  let seen = Array.make total false in
+  let ok = ref true in
+  Array.iter
+    (Array.iter (fun v ->
+         if v < 0 || v >= total || seen.(v) then ok := false else seen.(v) <- true))
+    vss;
+  !ok && Array.for_all (fun b -> b) seen
+
+let collected_values vss =
+  let total = Array.fold_left (fun acc vs -> acc + Array.length vs) 0 vss in
+  {
+    subject = "collected values";
+    checks =
+      [
+        check "fetch-increment-range" (values_form_a_range vss)
+          (Printf.sprintf "%d values must form 0..%d without duplicates" total (total - 1));
+      ];
+  }
+
+let step_check dist =
+  check "step-property" (Sequence.is_step dist)
+    (Printf.sprintf "exit distribution %s" (Sequence.to_string dist))
+
+let conservation_check ~exited ~tokens ~antitokens =
+  check "token-conservation"
+    (exited = tokens - antitokens)
+    (Printf.sprintf "sum of outputs %d must equal tokens %d - antitokens %d" exited tokens
+       antitokens)
+
+let quiescent_runtime rt =
+  let dist = Network_runtime.exit_distribution rt in
+  let base = [ step_check dist ] in
+  let checks =
+    match Network_runtime.metrics rt with
+    | None -> base
+    | Some m ->
+        let s = Metrics.snapshot m in
+        base
+        @ [
+            conservation_check ~exited:(sum dist) ~tokens:s.Metrics.tokens
+              ~antitokens:s.Metrics.antitokens;
+            (* The sharded tallies and the assignment cells are updated
+               independently on the hot path; disagreement at quiescence
+               witnesses a lost update or an unquiesced snapshot. *)
+            check "tally-agreement"
+              (s.Metrics.exits = dist)
+              (Printf.sprintf "metrics tally %s vs derived %s"
+                 (Sequence.to_string s.Metrics.exits)
+                 (Sequence.to_string dist));
+          ]
+  in
+  { subject = "runtime quiescence"; checks }
+
+let snapshot_invariants (s : Metrics.snapshot) =
+  {
+    subject = Printf.sprintf "%s snapshot" s.Metrics.source;
+    checks =
+      [
+        step_check s.Metrics.exits;
+        conservation_check ~exited:(sum s.Metrics.exits) ~tokens:s.Metrics.tokens
+          ~antitokens:s.Metrics.antitokens;
+        check "non-negative-counters"
+          (Array.for_all (fun c -> c >= 0) s.Metrics.crossings
+          && Array.for_all (fun c -> c >= 0) s.Metrics.stalls)
+          "per-balancer crossing and stall counters must be non-negative";
+      ];
+  }

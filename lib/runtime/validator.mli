@@ -1,0 +1,60 @@
+(** Online quiescence validation for the runtime.
+
+    A counting network that has gone quiescent must satisfy two global
+    invariants: the exit distribution is a {e step sequence}
+    ([Sequence.is_step]), and tokens are conserved (the sum of the
+    per-wire outputs equals tokens minus antitokens).  This module
+    checks them — on a compiled {!Network_runtime.t}, on a
+    {!Metrics.snapshot} (from the runtime or the simulator), or on the
+    values collected by {!Harness.run_collect} — and applies a policy:
+    raise ([Strict]), warn on stderr ([Log]), or do nothing ([Off]).
+
+    Wired into [Harness.run_collect], the multi-domain tests, and the
+    [runtime] bench sweep, so every future perf change to the hot path
+    gets correctness checking for free. *)
+
+type policy = Strict | Log | Off
+(** What to do when a report has a failing check: [Strict] raises
+    {!Invalid}, [Log] prints the summary to stderr, [Off] skips
+    enforcement (callers may skip the checks entirely). *)
+
+val policy_to_string : policy -> string
+val policy_of_string : string -> policy option
+
+type check = { name : string; ok : bool; detail : string }
+type report = { subject : string; checks : check list }
+
+exception Invalid of string
+(** Raised by {!enforce} under [Strict] with the failing summary. *)
+
+val passed : report -> bool
+(** All checks hold. *)
+
+val failures : report -> check list
+(** The failing checks, if any. *)
+
+val summary : report -> string
+(** One-line human summary of a report. *)
+
+val enforce : policy -> report -> unit
+(** Apply a policy to a report.
+    @raise Invalid under [Strict] when the report has a failing check. *)
+
+val values_form_a_range : int array array -> bool
+(** [values_form_a_range vss] holds iff the collected values are exactly
+    [{0, ..., total - 1}] with no duplicates — the [Fetch&Increment]
+    contract of a quiesced counting network. *)
+
+val collected_values : int array array -> report
+(** Range check over per-domain collected values, as a report. *)
+
+val quiescent_runtime : Network_runtime.t -> report
+(** [quiescent_runtime rt] checks the step property on the derived exit
+    distribution and — when [rt] was compiled with [~metrics:true] —
+    token conservation plus agreement between the sharded metrics
+    tallies and the assignment cells.  Only meaningful at quiescence
+    (no traversal in flight). *)
+
+val snapshot_invariants : Metrics.snapshot -> report
+(** Invariants of a quiescent snapshot, wherever it came from: step
+    property of the exits, token conservation, counter sanity. *)

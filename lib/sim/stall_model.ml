@@ -25,6 +25,7 @@ type t = {
   mutable injected : int;
   tokens : int;
   stalls_at : int array;
+  crossings_at : int array; (* balancer transitions, the sim's "crossings" *)
   out_counts : int array;
   mutable clock : int; (* logical time: one tick per balancer transition *)
   invoke_at : int array; (* per process: injection time of in-flight token *)
@@ -99,6 +100,7 @@ let create net ~concurrency ~tokens =
       injected = 0;
       tokens;
       stalls_at = Array.make n 0;
+      crossings_at = Array.make n 0;
       out_counts = Array.make (Topology.output_width net) 0;
       clock = 0;
       invoke_at = Array.make concurrency 0;
@@ -166,6 +168,7 @@ let fire s p =
       Queue.transfer keep q;
       s.total_stalls <- s.total_stalls + others;
       s.stalls_at.(b) <- s.stalls_at.(b) + others;
+      s.crossings_at.(b) <- s.crossings_at.(b) + 1;
       (* Charge one stall to every other token waiting at [b]. *)
       Queue.iter (fun x -> if x <> p then s.received.(x) <- s.received.(x) + 1) q;
       s.clock <- s.clock + 1;
@@ -185,6 +188,7 @@ let total_stalls s = s.total_stalls
 let completed_tokens s = s.completed
 let injected_tokens s = s.injected
 let stalls_at_balancer s b = s.stalls_at.(b)
+let crossings_at_balancer s b = s.crossings_at.(b)
 
 let stalls_per_layer s =
   let d = Topology.depth s.net in
@@ -201,3 +205,25 @@ let output_counts s = Array.copy s.out_counts
 let history s = Array.of_list (List.rev s.history)
 
 let fire_trace s = Array.of_list (List.rev s.fired)
+
+(* The simulator's view in the runtime's snapshot type: logical-time
+   latencies (response - invoke, in balancer-transition ticks) over the
+   complete history rather than a sampled reservoir.  The sim has no
+   antitokens, so the net exits are just the output counts. *)
+let snapshot s =
+  let module M = Cn_runtime.Metrics in
+  let lats =
+    Array.map (fun (op : op) -> float_of_int (op.response - op.invoke)) (history s)
+  in
+  {
+    M.version = M.schema_version;
+    source = "sim";
+    balancers = Topology.size s.net;
+    wires = Array.length s.out_counts;
+    tokens = s.completed;
+    antitokens = 0;
+    crossings = Array.copy s.crossings_at;
+    stalls = Array.copy s.stalls_at;
+    exits = Array.copy s.out_counts;
+    latency = M.percentiles ~time_unit:"ticks" lats;
+  }

@@ -85,6 +85,11 @@ val injected_tokens : t -> int
 val stalls_at_balancer : t -> int -> int
 (** Stalls charged at a given balancer so far. *)
 
+val crossings_at_balancer : t -> int -> int
+(** Balancer transitions fired at a given balancer so far — the
+    simulator's analogue of the runtime's per-balancer crossing
+    counter. *)
+
 val stalls_per_layer : t -> int array
 (** Stalls aggregated by balancer depth (index 0 = layer 1). *)
 
@@ -103,3 +108,12 @@ val history : t -> op array
     the standard output-wire scheme assigns (wire [i] hands out
     [i, i + t, ...]).  Feed to {!Linearizability} to study consistency
     (paper, Section 1.4.2). *)
+
+val snapshot : t -> Cn_runtime.Metrics.snapshot
+(** [snapshot s] renders the execution state in the runtime's snapshot
+    type ([source = "sim"]): per-balancer crossings and stalls, net
+    exits, and latency percentiles over {e all} completed tokens in
+    logical ticks ([response - invoke]).  At a finished execution of a
+    counting network it satisfies
+    [Cn_runtime.Validator.snapshot_invariants], making simulated and
+    measured contention profiles directly comparable. *)

@@ -98,3 +98,31 @@ Invalid parameters are rejected with a clear message:
   $ countnet depth -f counting -w 6 -t 6
   countnet: Counting.network: invalid parameters w=6 t=6
   [124]
+
+Throughput arguments are validated before any domain is spawned:
+
+  $ countnet throughput -f counting -w 4 --domains 0
+  countnet throughput: --domains must be positive (got 0)
+  [2]
+
+  $ countnet throughput -f counting -w 4 --domains 2 --ops=-5
+  countnet throughput: --ops must be positive (got -5)
+  [2]
+
+  $ countnet throughput -f counting -w 4 --domains 2 --ops 100 --batch 0
+  countnet throughput: --batch must be positive (got 0)
+  [2]
+
+  $ countnet throughput -f counting -w 4 --validate frobnicate 2>&1 \
+  >   | grep -c 'unknown policy "frobnicate"'
+  1
+
+The observability layer emits schema-versioned JSON (strict validation on):
+
+  $ countnet throughput -f counting -w 16 --domains 4 --ops 500 --mode cas \
+  >   --metrics --validate strict | grep -o '"schema_version": 1'
+  "schema_version": 1
+
+  $ countnet throughput -f counting -w 16 --domains 4 --ops 500 --metrics \
+  >   | grep -c 'per_layer_stalls\|per_wire_exits\|latency'
+  3

@@ -1,0 +1,208 @@
+(* Tests for the runtime observability layer: Cn_runtime.Metrics and
+   Cn_runtime.Validator, plus the simulator's shared snapshot type. *)
+
+module RT = Cn_runtime.Network_runtime
+module M = Cn_runtime.Metrics
+module V = Cn_runtime.Validator
+module DP = Cn_runtime.Domain_pool
+module S = Cn_sequence.Sequence
+module T = Cn_network.Topology
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let net48 () = Cn_core.Counting.network ~w:4 ~t:8
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let recording =
+  [
+    tc "sequential tallies agree with the exit distribution" (fun () ->
+        let rt = RT.compile ~metrics:true (net48 ()) in
+        for i = 0 to 19 do
+          ignore (RT.traverse rt ~wire:(i mod 4))
+        done;
+        let snap = M.snapshot (Option.get (RT.metrics rt)) in
+        Alcotest.(check int) "version" M.schema_version snap.M.version;
+        Alcotest.(check string) "source" "runtime" snap.M.source;
+        Alcotest.(check int) "tokens" 20 snap.M.tokens;
+        Alcotest.(check int) "antitokens" 0 snap.M.antitokens;
+        Alcotest.check Util.seq "exits" (RT.exit_distribution rt) snap.M.exits;
+        Alcotest.(check bool) "crossings recorded" true
+          (Array.fold_left ( + ) 0 snap.M.crossings >= 20);
+        Alcotest.(check bool) "no stalls sequentially" true
+          (Array.for_all (( = ) 0) snap.M.stalls));
+    tc "antitoken exits are net decrements" (fun () ->
+        let rt = RT.compile ~metrics:true (net48 ()) in
+        ignore (RT.traverse rt ~wire:0);
+        ignore (RT.traverse rt ~wire:1);
+        ignore (RT.traverse_decrement rt ~wire:1);
+        let snap = M.snapshot (Option.get (RT.metrics rt)) in
+        Alcotest.(check int) "tokens" 2 snap.M.tokens;
+        Alcotest.(check int) "antitokens" 1 snap.M.antitokens;
+        Alcotest.(check int) "net exits" 1 (S.sum snap.M.exits);
+        Alcotest.check Util.seq "tally agreement" (RT.exit_distribution rt) snap.M.exits);
+    tc "compiling without metrics yields none" (fun () ->
+        Alcotest.(check bool) "none" true (RT.metrics (RT.compile (net48 ())) = None));
+    tc "reset clears the recorder" (fun () ->
+        let rt = RT.compile ~metrics:true (net48 ()) in
+        for _ = 1 to 8 do
+          ignore (RT.traverse rt ~wire:0)
+        done;
+        RT.reset rt;
+        let snap = M.snapshot (Option.get (RT.metrics rt)) in
+        Alcotest.(check int) "tokens" 0 snap.M.tokens;
+        Alcotest.(check int) "crossings" 0 (Array.fold_left ( + ) 0 snap.M.crossings);
+        Alcotest.(check bool) "latency" true (snap.M.latency = None));
+    tc "latency sampling produces ordered percentiles" (fun () ->
+        let rt = RT.compile ~metrics:true (net48 ()) in
+        (* The first token on a sink is always sampled (tick 0). *)
+        for i = 0 to 99 do
+          ignore (RT.traverse rt ~wire:(i mod 4))
+        done;
+        match (M.snapshot (Option.get (RT.metrics rt))).M.latency with
+        | None -> Alcotest.fail "expected sampled latencies"
+        | Some l ->
+            Alcotest.(check string) "unit" "ns" l.M.time_unit;
+            Alcotest.(check bool) "observed" true (l.M.observed >= 1);
+            Alcotest.(check bool) "kept <= observed" true (l.M.kept <= l.M.observed);
+            Alcotest.(check bool) "ordered" true
+              (0. <= l.M.p50 && l.M.p50 <= l.M.p95 && l.M.p95 <= l.M.p99
+             && l.M.p99 <= l.M.max));
+  ]
+
+let json =
+  [
+    tc "snapshot JSON carries the schema fields" (fun () ->
+        let rt = RT.compile ~metrics:true (net48 ()) in
+        for i = 0 to 15 do
+          ignore (RT.traverse rt ~wire:(i mod 4))
+        done;
+        let s = M.to_json (M.snapshot (Option.get (RT.metrics rt))) in
+        List.iter
+          (fun field -> Alcotest.(check bool) field true (contains s field))
+          [
+            "\"schema_version\": 1"; "\"source\": \"runtime\""; "\"per_balancer_crossings\"";
+            "\"per_balancer_stalls\""; "\"per_wire_exits\""; "\"latency\"";
+          ];
+        Alcotest.(check bool) "no per-layer without layers" false
+          (contains s "per_layer_stalls"));
+    tc "per-layer aggregates appear with ~layers" (fun () ->
+        let net = net48 () in
+        let rt = RT.compile ~metrics:true net in
+        for i = 0 to 15 do
+          ignore (RT.traverse rt ~wire:(i mod 4))
+        done;
+        let layers = Array.init (T.size net) (T.balancer_depth net) in
+        let s = M.to_json ~layers (M.snapshot (Option.get (RT.metrics rt))) in
+        Alcotest.(check bool) "crossings" true (contains s "per_layer_crossings");
+        Alcotest.(check bool) "stalls" true (contains s "per_layer_stalls"));
+    tc "per_layer sums by balancer depth" (fun () ->
+        let got = M.per_layer ~layers:[| 1; 2; 2; 3 |] [| 5; 1; 2; 7 |] in
+        Alcotest.check Util.seq "sums" [| 5; 3; 7 |] got);
+  ]
+
+let validator =
+  [
+    tc "policy round trip" (fun () ->
+        List.iter
+          (fun p ->
+            Alcotest.(check bool) "round trip" true
+              (V.policy_of_string (V.policy_to_string p) = Some p))
+          [ V.Strict; V.Log; V.Off ];
+        Alcotest.(check bool) "unknown" true (V.policy_of_string "frobnicate" = None));
+    tc "strict passes on quiesced Faa and Cas C(16,16) at 4 domains" (fun () ->
+        let net = Cn_core.Counting.network ~w:16 ~t:16 in
+        List.iter
+          (fun mode ->
+            let rt = RT.compile ~mode ~metrics:true net in
+            DP.with_pool 4 (fun pool ->
+                ignore
+                  (DP.run pool ~domains:4 (fun pid ->
+                       RT.traverse_batch rt ~wire:pid ~n:250 ~f:(fun _ _ -> ()))));
+            let report = V.quiescent_runtime rt in
+            Alcotest.(check bool) "passes" true (V.passed report);
+            V.enforce V.Strict report)
+          [ RT.Faa; RT.Cas ]);
+    tc "corrupted snapshot fails conservation and strict raises" (fun () ->
+        let rt = RT.compile ~metrics:true (net48 ()) in
+        for i = 0 to 11 do
+          ignore (RT.traverse rt ~wire:(i mod 4))
+        done;
+        let snap = M.snapshot (Option.get (RT.metrics rt)) in
+        Alcotest.(check bool) "intact passes" true (V.passed (V.snapshot_invariants snap));
+        let exits = Array.copy snap.M.exits in
+        exits.(0) <- exits.(0) + 1;
+        let corrupted = { snap with M.exits } in
+        let report = V.snapshot_invariants corrupted in
+        Alcotest.(check bool) "fails" false (V.passed report);
+        Alcotest.(check bool) "names the check" true
+          (List.exists (fun (c : V.check) -> c.V.name = "token-conservation") (V.failures report));
+        (match V.enforce V.Strict report with
+        | () -> Alcotest.fail "expected Validator.Invalid"
+        | exception V.Invalid _ -> ());
+        (* Log and Off must not raise. *)
+        V.enforce V.Off report);
+    tc "non-counting network fails the step check" (fun () ->
+        (* Butterfly D(4) on input wires 1 and 3 exits as [1;0;1;0]. *)
+        let rt = RT.compile ~metrics:true (Cn_core.Butterfly.forward 4) in
+        ignore (RT.traverse rt ~wire:1);
+        ignore (RT.traverse rt ~wire:3);
+        let report = V.quiescent_runtime rt in
+        Alcotest.(check bool) "fails" false (V.passed report);
+        Alcotest.(check bool) "step check named" true
+          (List.exists (fun (c : V.check) -> c.V.name = "step-property") (V.failures report)));
+    tc "collected values report mirrors the range check" (fun () ->
+        Alcotest.(check bool) "good" true
+          (V.passed (V.collected_values [| [| 2; 0 |]; [| 1; 3 |] |]));
+        Alcotest.(check bool) "dup" false (V.passed (V.collected_values [| [| 0; 0 |] |])));
+    tc "summary names the subject" (fun () ->
+        let report = V.collected_values [| [| 0; 1 |] |] in
+        Alcotest.(check bool) "subject" true (contains (V.summary report) "collected values"));
+  ]
+
+let simulator =
+  [
+    tc "simulator snapshot satisfies the invariants" (fun () ->
+        let net = Cn_core.Counting.network ~w:4 ~t:4 in
+        let s = Cn_sim.Stall_model.create net ~concurrency:6 ~tokens:60 in
+        Cn_sim.Scheduler.run s Cn_sim.Scheduler.Round_robin;
+        let snap = Cn_sim.Stall_model.snapshot s in
+        Alcotest.(check string) "source" "sim" snap.M.source;
+        Alcotest.(check int) "tokens" 60 snap.M.tokens;
+        Alcotest.(check bool) "invariants" true (V.passed (V.snapshot_invariants snap));
+        (match snap.M.latency with
+        | None -> Alcotest.fail "expected tick latencies"
+        | Some l ->
+            Alcotest.(check string) "unit" "ticks" l.M.time_unit;
+            Alcotest.(check int) "all tokens observed" 60 l.M.observed);
+        (* Crossings: every completed token crossed depth-many balancers
+           on the regular C(4,4). *)
+        Alcotest.(check int) "crossings"
+          (60 * T.depth net)
+          (Array.fold_left ( + ) 0 snap.M.crossings));
+    tc "simulator per-balancer stalls match the accessors" (fun () ->
+        let net = Cn_core.Counting.network ~w:4 ~t:4 in
+        let s = Cn_sim.Stall_model.create net ~concurrency:8 ~tokens:40 in
+        Cn_sim.Scheduler.run s (Cn_sim.Scheduler.Herd 1);
+        let snap = Cn_sim.Stall_model.snapshot s in
+        Alcotest.(check int) "total stalls" (Cn_sim.Stall_model.total_stalls s)
+          (Array.fold_left ( + ) 0 snap.M.stalls);
+        Array.iteri
+          (fun b c ->
+            Alcotest.(check int)
+              (Printf.sprintf "crossings at %d" b)
+              (Cn_sim.Stall_model.crossings_at_balancer s b)
+              c)
+          snap.M.crossings);
+  ]
+
+let suite =
+  [
+    ("metrics.recording", recording);
+    ("metrics.json", json);
+    ("metrics.validator", validator);
+    ("metrics.simulator", simulator);
+  ]

@@ -234,6 +234,23 @@ let concurrent =
     Util.raises_invalid "throughput rejects zero domains" (fun () ->
         ignore
           (H.throughput ~make:(fun () -> SC.central_faa ()) ~domains:0 ~ops_per_domain:1 ()));
+    Util.raises_invalid "throughput rejects overflowing totals" (fun () ->
+        ignore
+          (H.throughput
+             ~make:(fun () -> SC.central_faa ())
+             ~domains:4
+             ~ops_per_domain:(max_int / 2)
+             ()));
+    tc "throughput calibrates instead of reporting zero rate" (fun () ->
+        (* ops_per_domain:0 used to yield seconds = 0 and a reported
+           throughput of 0 ops/s; the harness must escalate until the
+           clock resolves. *)
+        let r =
+          H.throughput ~make:(fun () -> SC.central_faa ()) ~domains:1 ~ops_per_domain:0 ()
+        in
+        Alcotest.(check bool) "ops ran" true (r.H.total_ops > 0);
+        Alcotest.(check bool) "time measured" true (r.H.seconds > 0.);
+        Alcotest.(check bool) "positive rate" true (r.H.ops_per_sec > 0.));
     tc "values_are_a_range rejects duplicates" (fun () ->
         Alcotest.(check bool) "dup" false (H.values_are_a_range [| [| 0; 1 |]; [| 1 |] |]));
     tc "values_are_a_range rejects gaps" (fun () ->
@@ -258,8 +275,8 @@ let multi_domain =
                     List.iter
                       (fun domains ->
                         let vss =
-                          H.run_collect ~pool
-                            ~make:(fun () -> SC.of_topology ~mode net)
+                          H.run_collect ~pool ~validate:Cn_runtime.Validator.Strict
+                            ~make:(fun () -> SC.of_topology ~mode ~metrics:true net)
                             ~domains ~ops_per_domain:(400 / domains) ()
                         in
                         Alcotest.(check bool)
@@ -295,6 +312,22 @@ let multi_domain =
             Alcotest.check_raises "zero"
               (Invalid_argument "Domain_pool.run: domains out of range for this pool") (fun () ->
                 ignore (DP.run pool ~domains:0 ignore))));
+    tc "a raising job poisons the round, not the pool" (fun () ->
+        DP.with_pool 2 (fun pool ->
+            Alcotest.check_raises "exception propagates" (Failure "boom") (fun () ->
+                ignore (DP.run pool ~domains:2 (fun pid -> if pid = 1 then failwith "boom")));
+            (* The failed round checked out cleanly; later rounds must
+               run on all workers, including the one that raised. *)
+            let count = Atomic.make 0 in
+            ignore (DP.run pool ~domains:2 (fun _ -> Atomic.incr count));
+            Alcotest.(check int) "pool reusable" 2 (Atomic.get count);
+            Alcotest.check_raises "fails again when jobs fail again" (Failure "boom2")
+              (fun () -> ignore (DP.run pool ~domains:1 (fun _ -> failwith "boom2")));
+            let r =
+              H.throughput ~pool ~make:(fun () -> SC.central_faa ()) ~domains:2
+                ~ops_per_domain:100 ()
+            in
+            Alcotest.(check bool) "harness still works" true (r.H.ops_per_sec > 0.)));
     tc "pool shutdown is idempotent and detected" (fun () ->
         let pool = DP.create 2 in
         ignore (DP.run pool ~domains:2 ignore);

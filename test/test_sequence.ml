@@ -187,6 +187,53 @@ let properties =
         else x.(k) = x.(k - 1) - 1);
   ]
 
+(* The step property, checked against its definition: 0 <= xi - xj <= 1
+   for ALL i < j, not just adjacent pairs.  The generator mixes arbitrary
+   small arrays with step sequences perturbed at one position, so both
+   verdicts are exercised. *)
+
+let brute_force_is_step x =
+  let n = Array.length x in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let d = x.(i) - x.(j) in
+      if d < 0 || d > 1 then ok := false
+    done
+  done;
+  !ok
+
+let gen_near_step =
+  QCheck2.Gen.(
+    oneof
+      [
+        array_size (int_range 0 12) (int_range 0 4);
+        map2
+          (fun x (pos, delta) ->
+            let y = Array.copy x in
+            let i = pos mod Array.length y in
+            y.(i) <- y.(i) + delta - 1;
+            y)
+          gen_step
+          (pair (int_range 0 15) (int_range 0 2));
+      ])
+
+let step_definition =
+  [
+    Util.qtest ~count:500 "is_step equals the all-pairs definition" gen_near_step (fun x ->
+        S.is_step x = brute_force_is_step x);
+    Util.qtest "make_step round-trips a step sequence" gen_step (fun x ->
+        S.equal x (S.make_step ~total:(S.sum x) ~width:(S.length x)));
+    Util.qtest "step_point closed form: sum mod width" gen_step (fun x ->
+        let m = S.sum x and w = S.length x in
+        S.step_point x = (if m mod w = 0 then w else m mod w));
+    Util.qtest "step_point reconstructs the sequence" gen_step (fun x ->
+        (* A step sequence is determined by its head and its step point:
+           x.(0) up to (excluding) the drop, one less after. *)
+        let k = S.step_point x in
+        S.equal x (Array.init (S.length x) (fun i -> if i < k then x.(0) else x.(0) - 1)));
+  ]
+
 let suite =
   [
     ("sequence.basics", basics);
@@ -197,4 +244,5 @@ let suite =
     ("sequence.make_step", make_step_tests);
     ("sequence.slicing", slicing);
     ("sequence.lemmas", properties);
+    ("sequence.step_definition", step_definition);
   ]
