@@ -1,6 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench micro bench-runtime bench-smoke check-metrics examples clean doc
+.PHONY: all build test bench micro bench-runtime bench-smoke bench-service \
+        bench-service-smoke check-metrics examples clean doc
 
 all: build
 
@@ -21,6 +22,14 @@ bench-runtime:
 
 bench-smoke:
 	dune exec bench/main.exe -- runtime --smoke
+
+# Combining/elimination front-end vs the naive per-op baseline; appends
+# a "service" section to BENCH_runtime.json.
+bench-service:
+	dune exec bench/main.exe -- service
+
+bench-service-smoke:
+	dune exec bench/main.exe -- service --smoke
 
 # Quick end-to-end check of the observability layer: metrics JSON out,
 # quiescence validator strict.

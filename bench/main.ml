@@ -595,6 +595,233 @@ let runtime ?(smoke = false) () =
   line "wrote BENCH_runtime.json (%d measurements + metrics profile)" (List.length !results)
 
 (* ------------------------------------------------------------------ *)
+(* service: the Cn_service combining front-end against naive per-op
+   traversals, pure-increment and 50/50 inc/dec, at 8 domains on
+   C(16,16).  Each service domain pipelines K async submissions per
+   round so the elected combiner serves them as one batch — the
+   batching the per-op caller cannot express — and the mixed rows let
+   elimination pair tokens with antitokens before they reach the
+   network.  Appends a "service" section to BENCH_runtime.json.         *)
+
+let service ?(smoke = false) () =
+  header "service  combining front-end vs naive per-op traverse (appends to BENCH_runtime.json)";
+  line "(host note: single-core container -> domains timeshare; relative shapes only)";
+  let module RT = Cn_runtime.Network_runtime in
+  let module DP = Cn_runtime.Domain_pool in
+  let module V = Cn_runtime.Validator in
+  let module Svc = Cn_service.Service in
+  let module W = Cn_service.Workload in
+  let w = 16 in
+  let c16 = C.network ~w ~t:w in
+  let domains = 8 in
+  let k = 32 in
+  (* per-domain ops; divisible by the pipeline width [k] *)
+  let ops = if smoke then 512 else 16_000 in
+  let repeats = if smoke then 2 else 5 in
+  let rows = ref [] in
+  let record name mix rate seconds (st : Svc.stats option) =
+    let mean_batch, elim, elim_rate, rejected =
+      match st with
+      | Some st ->
+          (st.Svc.mean_batch, st.Svc.total_eliminated_pairs, st.Svc.elimination_rate,
+           st.Svc.total_rejected)
+      | None -> (1., 0, 0., 0)
+    in
+    rows := (name, mix, domains * ops, seconds, rate, mean_batch, elim, elim_rate, rejected) :: !rows;
+    line "%-22s %-6s %11.0f ops/s   mean batch %6.2f   eliminated %6d   rejected %d"
+      name mix rate mean_batch elim rejected
+  in
+  let find_rate name mix =
+    let rec go = function
+      | [] -> 0.
+      | (n, m, _, _, r, _, _, _, _) :: _ when n = name && m = mix -> r
+      | _ :: tl -> go tl
+    in
+    go !rows
+  in
+  let mixed_elims = ref 0 in
+  let report_json = ref "null" in
+  DP.with_pool domains (fun pool ->
+      (* Naive baselines: one traverse (or traverse/traverse_decrement
+         alternation) per op, strict-validated at quiescence. *)
+      let naive name ~mixed =
+        let rt = RT.compile c16 in
+        let best = ref 0. and secs = ref 0. in
+        for _ = 1 to repeats do
+          RT.reset rt;
+          let s =
+            DP.run pool ~domains (fun pid ->
+                let wire = pid mod w in
+                if mixed then
+                  for i = 0 to ops - 1 do
+                    if i land 1 = 0 then ignore (RT.traverse rt ~wire)
+                    else ignore (RT.traverse_decrement rt ~wire)
+                  done
+                else
+                  for _ = 1 to ops do
+                    ignore (RT.traverse rt ~wire)
+                  done)
+          in
+          let rate = if s <= 0. then 0. else float_of_int (domains * ops) /. s in
+          if rate > !best then begin
+            best := rate;
+            secs := s
+          end
+        done;
+        V.enforce V.Strict (V.quiescent_runtime rt);
+        record name (if mixed then "50/50" else "inc") !best !secs None
+      in
+      (* Service driver: each domain owns [k] sessions pinned to its
+         wire and pipelines one submit per session before awaiting, so
+         every round is served as one combined batch. *)
+      let serve name ~mixed ~elim =
+        let best = ref 0. and secs = ref 0. and best_stats = ref None in
+        for _ = 1 to repeats do
+          let svc = Svc.create ~max_batch:k ~elim c16 in
+          let sessions =
+            Array.init domains (fun pid ->
+                Array.init k (fun _ -> Svc.session ~wire:(pid mod w) svc))
+          in
+          let submit s op =
+            let rec go () =
+              match Svc.submit s op with
+              | Ok () -> ()
+              | Error Svc.Overloaded ->
+                  Domain.cpu_relax ();
+                  go ()
+              | Error Svc.Closed -> failwith "service closed mid-bench"
+            in
+            go ()
+          in
+          let s =
+            DP.run pool ~domains (fun pid ->
+                let ss = sessions.(pid) in
+                for _ = 1 to ops / k do
+                  if mixed then begin
+                    for j = 0 to (k / 2) - 1 do
+                      submit ss.(j) Svc.Inc
+                    done;
+                    for j = k / 2 to k - 1 do
+                      submit ss.(j) Svc.Dec
+                    done
+                  end
+                  else
+                    for j = 0 to k - 1 do
+                      submit ss.(j) Svc.Inc
+                    done;
+                  for j = 0 to k - 1 do
+                    ignore (Svc.await ss.(j))
+                  done
+                done)
+          in
+          ignore (Svc.drain ~policy:V.Strict svc);
+          let rate = if s <= 0. then 0. else float_of_int (domains * ops) /. s in
+          if rate > !best then begin
+            best := rate;
+            secs := s;
+            best_stats := Some (Svc.stats svc)
+          end
+        done;
+        (match !best_stats with
+        | Some st when mixed && elim -> mixed_elims := st.Svc.total_eliminated_pairs
+        | _ -> ());
+        record name (if mixed then "50/50" else "inc") !best !secs !best_stats
+      in
+      line "%-22s %-6s %d domains x %d ops on C(%d,%d), pipeline width %d" "counter" "mix"
+        domains ops w w k;
+      naive "naive-traverse" ~mixed:false;
+      naive "naive-traverse" ~mixed:true;
+      serve "service-batched" ~mixed:false ~elim:true;
+      serve "service-batched" ~mixed:true ~elim:true;
+      serve "service-noelim" ~mixed:true ~elim:false;
+      (* Closed-loop workload coverage on the same pool: blocking
+         increments/decrements under Zipf skew, metrics-instrumented,
+         strict-drained; its combined service+network snapshot is
+         embedded in the JSON. *)
+      let svc = Svc.create ~metrics:true ~max_batch:k c16 in
+      let spec =
+        {
+          W.default with
+          W.domains;
+          ops_per_domain = ops / 4;
+          sessions_per_domain = 4;
+          dec_ratio = 0.5;
+          skew = W.Zipf 1.1;
+        }
+      in
+      let wst = W.run ~pool svc spec in
+      ignore (Svc.drain ~policy:V.Strict svc);
+      record "service-workload" "50/50"
+        (float_of_int (domains * ops / 4)
+        /. Float.max wst.W.seconds 1e-9)
+        wst.W.seconds
+        (Some (Svc.stats svc));
+      report_json := Svc.report_json svc);
+  (* Acceptance gates: the mixed service run must actually eliminate,
+     and batched-service throughput must beat the matched naive
+     baseline. *)
+  if !mixed_elims <= 0 then begin
+    prerr_endline "service bench: expected > 0 eliminated pairs in the mixed run";
+    exit 1
+  end;
+  let speedup_inc =
+    find_rate "service-batched" "inc"
+    /. Float.max (find_rate "naive-traverse" "inc") 1e-9
+  in
+  let speedup_mixed =
+    find_rate "service-batched" "50/50"
+    /. Float.max (find_rate "naive-traverse" "50/50") 1e-9
+  in
+  line "speedup vs naive: mixed 50/50 %.2fx (elimination), pure-inc rows recorded" speedup_mixed;
+  if speedup_mixed < 1. then
+    if smoke then
+      (* Smoke regions are ~1 ms on this host — too short to gate on. *)
+      line "note: smoke timing too short to gate on; full run enforces the comparison"
+    else begin
+      prerr_endline "service bench: mixed service run did not beat the naive baseline";
+      exit 1
+    end;
+  let entries =
+    List.rev_map
+      (fun (name, mix, total_ops, seconds, rate, mean_batch, elim, elim_rate, rejected) ->
+        Printf.sprintf
+          "      { \"counter\": %S, \"mix\": %S, \"domains\": %d, \"total_ops\": %d, \
+           \"seconds\": %.6f, \"ops_per_sec\": %.1f, \"mean_batch\": %.3f, \
+           \"eliminated_pairs\": %d, \"elimination_rate\": %.4f, \"rejected\": %d }"
+          name mix domains total_ops seconds rate mean_batch elim elim_rate rejected)
+      !rows
+  in
+  let section =
+    Printf.sprintf
+      "{\n    \"net\": \"C(%d,%d)\",\n    \"domains\": %d,\n    \"pipeline\": %d,\n    \
+       \"results\": [\n%s\n    ],\n    \"speedup_mixed_vs_naive\": %.3f,\n    \
+       \"speedup_inc_vs_naive\": %.3f,\n    \"report\": %s\n  }"
+      w w domains k
+      (String.concat ",\n" entries)
+      speedup_mixed speedup_inc (String.trim !report_json)
+  in
+  let path = "BENCH_runtime.json" in
+  let fresh () =
+    let oc = open_out path in
+    Printf.fprintf oc "{\n  \"suite\": \"service\",\n  \"service\": %s\n}\n" section;
+    close_out oc
+  in
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let content = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match String.rindex_opt content '}' with
+    | Some i ->
+        let oc = open_out path in
+        output_string oc (String.sub content 0 i);
+        Printf.fprintf oc ",\n  \"service\": %s\n}\n" section;
+        close_out oc
+    | None -> fresh ()
+  end
+  else fresh ();
+  line "appended service section to BENCH_runtime.json (%d rows)" (List.length !rows)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment family.      *)
 
 let micro () =
@@ -716,6 +943,8 @@ let () =
   | [| _; "micro" |] -> micro ()
   | [| _; "runtime" |] -> runtime ()
   | [| _; "runtime"; "--smoke" |] -> runtime ~smoke:true ()
+  | [| _; "service" |] -> service ()
+  | [| _; "service"; "--smoke" |] -> service ~smoke:true ()
   | _ ->
-      prerr_endline "usage: main.exe [e1|...|e14|micro|runtime [--smoke]]";
+      prerr_endline "usage: main.exe [e1|...|e14|micro|runtime [--smoke]|service [--smoke]]";
       exit 2

@@ -363,9 +363,68 @@ let validate_arg =
         ~doc:"Quiescence validation after the run: $(b,strict) (exit non-zero on violation), \
               $(b,log) (warn on stderr; default) or $(b,off).")
 
+let service_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "service" ]
+        ~doc:"Drive the network through the $(b,Cn_service) combining front-end (sessions \
+              pinned to wires, flat-combining batches, inc/dec elimination, backpressure) \
+              instead of raw per-domain traversals.")
+
+let elim_arg =
+  Arg.(
+    value
+    & opt (some bool) None
+    & info [ "elim" ] ~docv:"BOOL"
+        ~doc:"Enable or disable inc/dec elimination in the service (default $(b,true)). \
+              Requires $(b,--service).")
+
+let max_batch_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-batch" ] ~docv:"N"
+        ~doc:"Largest operation count one combined service batch may serve (default 64). \
+              Requires $(b,--service).")
+
+let sessions_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "sessions" ] ~docv:"K"
+        ~doc:"Service sessions per client domain (default 2). Requires $(b,--service).")
+
+let dec_ratio_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "dec-ratio" ] ~docv:"R"
+        ~doc:"Probability in [0, 1] that a workload operation is a Fetch&Decrement \
+              (default 0; prefixes stay non-negative). Requires $(b,--service).")
+
+let skew_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "skew" ] ~docv:"SKEW"
+        ~doc:"Session-popularity skew: $(b,uniform) or $(b,zipf:ALPHA) (ALPHA > 0). \
+              Requires $(b,--service).")
+
+let arrival_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "arrival" ] ~docv:"ARRIVAL"
+        ~doc:"Arrival process: $(b,closed) (back to back), $(b,closed:THINK) (think seconds \
+              between ops) or $(b,burst:N:PAUSE) (N back-to-back ops, then PAUSE seconds). \
+              Requires $(b,--service).")
+
 let throughput_cmd =
   let module RT = Cn_runtime.Network_runtime in
   let module V = Cn_runtime.Validator in
+  let module Svc = Cn_service.Service in
+  let module W = Cn_service.Workload in
   let fail_usage msg =
     prerr_endline ("countnet throughput: " ^ msg);
     exit 2
@@ -384,12 +443,95 @@ let throughput_cmd =
               remaining := !remaining - n
             done))
   in
-  let run net domains ops mode layout batch metrics policy =
+  let parse_skew s =
+    match String.split_on_char ':' s with
+    | [ "uniform" ] -> W.Uniform
+    | [ "zipf"; a ] -> (
+        match float_of_string_opt a with
+        | Some alpha when alpha > 0. -> W.Zipf alpha
+        | _ -> fail_usage (Printf.sprintf "--skew zipf exponent must be positive (got %S)" a))
+    | _ -> fail_usage (Printf.sprintf "unknown skew %S (expected uniform or zipf:ALPHA)" s)
+  in
+  let parse_arrival s =
+    match String.split_on_char ':' s with
+    | [ "closed" ] -> W.Closed 0.
+    | [ "closed"; t ] -> (
+        match float_of_string_opt t with
+        | Some think when think >= 0. -> W.Closed think
+        | _ -> fail_usage (Printf.sprintf "--arrival closed think time must be >= 0 (got %S)" t))
+    | [ "burst"; n; p ] -> (
+        match (int_of_string_opt n, float_of_string_opt p) with
+        | Some burst, Some pause when burst >= 1 && pause >= 0. -> W.Bursty { burst; pause }
+        | _ ->
+            fail_usage
+              (Printf.sprintf "--arrival burst needs N >= 1 and PAUSE >= 0 (got %S)" s))
+    | _ ->
+        fail_usage
+          (Printf.sprintf "unknown arrival %S (expected closed[:THINK] or burst:N:PAUSE)" s)
+  in
+  let run net domains ops mode layout batch metrics policy service elim max_batch sessions
+      dec_ratio skew arrival =
     if domains <= 0 then fail_usage (Printf.sprintf "--domains must be positive (got %d)" domains);
     if ops <= 0 then fail_usage (Printf.sprintf "--ops must be positive (got %d)" ops);
     (match batch with
     | Some b when b <= 0 -> fail_usage (Printf.sprintf "--batch must be positive (got %d)" b)
     | _ -> ());
+    if not service then begin
+      let require_service (name, set) =
+        if set then fail_usage (name ^ " requires --service")
+      in
+      List.iter require_service
+        [
+          ("--elim", elim <> None);
+          ("--max-batch", max_batch <> None);
+          ("--sessions", sessions <> None);
+          ("--dec-ratio", dec_ratio <> None);
+          ("--skew", skew <> None);
+          ("--arrival", arrival <> None);
+        ]
+    end;
+    if service && batch <> None then
+      fail_usage "--batch and --service are mutually exclusive (the service batches internally)";
+    (match max_batch with
+    | Some b when b <= 0 -> fail_usage (Printf.sprintf "--max-batch must be positive (got %d)" b)
+    | _ -> ());
+    (match sessions with
+    | Some k when k <= 0 -> fail_usage (Printf.sprintf "--sessions must be positive (got %d)" k)
+    | _ -> ());
+    (match dec_ratio with
+    | Some r when r < 0. || r > 1. ->
+        fail_usage (Printf.sprintf "--dec-ratio must be in [0, 1] (got %g)" r)
+    | _ -> ());
+    let skew = Option.map parse_skew skew in
+    let arrival = Option.map parse_arrival arrival in
+    if service then begin
+      let svc = Svc.create ~mode ~layout ~metrics ?max_batch ?elim ~validate:policy net in
+      let spec =
+        {
+          W.default with
+          W.domains;
+          ops_per_domain = ops;
+          sessions_per_domain = Option.value sessions ~default:W.default.W.sessions_per_domain;
+          dec_ratio = Option.value dec_ratio ~default:0.;
+          skew = Option.value skew ~default:W.Uniform;
+          arrival = Option.value arrival ~default:(W.Closed 0.);
+        }
+      in
+      let stats = W.run svc spec in
+      (match Svc.drain svc with
+      | _report -> ()
+      | exception V.Invalid msg ->
+          prerr_endline ("countnet throughput: " ^ msg);
+          exit 1);
+      let sst = Svc.stats svc in
+      Printf.printf "service: %d domains x %d ops = %d completed (%d rejected) in %.3fs -> %.0f ops/s\n"
+        domains ops stats.W.completed stats.W.rejected stats.W.seconds stats.W.ops_per_sec;
+      Printf.printf "combining: %d batches, mean batch %.2f, %d pairs eliminated (rate %.3f)\n"
+        sst.Svc.total_batches sst.Svc.mean_batch sst.Svc.total_eliminated_pairs
+        sst.Svc.elimination_rate;
+      if metrics then print_endline (Svc.report_json svc);
+      exit 0
+    end;
     let enforce_or_exit rt =
       match V.enforce policy (V.quiescent_runtime rt) with
       | () -> ()
@@ -444,7 +586,8 @@ let throughput_cmd =
        ~doc:"Measure Fetch&Increment throughput of the network-backed shared counter.")
     Term.(
       const run $ network_term $ domains_arg $ ops_arg $ mode_arg $ layout_arg $ batch_arg
-      $ metrics_flag $ validate_arg)
+      $ metrics_flag $ validate_arg $ service_flag $ elim_arg $ max_batch_arg $ sessions_arg
+      $ dec_ratio_arg $ skew_arg $ arrival_arg)
 
 (* ---------------------------------------------------------------- *)
 (* sort *)

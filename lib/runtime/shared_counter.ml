@@ -1,23 +1,38 @@
+type custom = {
+  cname : string;
+  cruntime : Network_runtime.t option;
+  cnext : pid:int -> int;
+  cprev : pid:int -> int;
+}
+
 type impl =
   | Network of Network_runtime.t
   | Central of int Atomic.t
   | Lock of Mutex.t * int ref
+  | Custom of custom
 
 type t = impl
 
 let of_topology ?mode ?layout ?metrics net =
   Network (Network_runtime.compile ?mode ?layout ?metrics net)
 
-let runtime = function Network rt -> Some rt | Central _ | Lock _ -> None
+let runtime = function
+  | Network rt -> Some rt
+  | Custom c -> c.cruntime
+  | Central _ | Lock _ -> None
 
 let central_faa () = Central (Atomic.make 0)
 
 let with_lock () = Lock (Mutex.create (), ref 0)
 
+let custom ~name ?runtime ~next ~prev () =
+  Custom { cname = name; cruntime = runtime; cnext = next; cprev = prev }
+
 let next c ~pid =
   if pid < 0 then invalid_arg "Shared_counter.next: negative pid";
   match c with
   | Network rt -> Network_runtime.traverse rt ~wire:(pid mod Network_runtime.input_width rt)
+  | Custom c -> c.cnext ~pid
   | Central a -> Atomic.fetch_and_add a 1
   | Lock (m, r) ->
       Mutex.lock m;
@@ -31,6 +46,7 @@ let prev c ~pid =
   match c with
   | Network rt ->
       Network_runtime.traverse_decrement rt ~wire:(pid mod Network_runtime.input_width rt)
+  | Custom c -> c.cprev ~pid
   | Central a -> Atomic.fetch_and_add a (-1) - 1
   | Lock (m, r) ->
       Mutex.lock m;
@@ -43,3 +59,4 @@ let name = function
   | Network _ -> "network"
   | Central _ -> "central-faa"
   | Lock _ -> "lock"
+  | Custom c -> c.cname

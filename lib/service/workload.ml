@@ -1,0 +1,157 @@
+module DP = Cn_runtime.Domain_pool
+
+type skew = Uniform | Zipf of float
+type arrival = Closed of float | Bursty of { burst : int; pause : float }
+
+type spec = {
+  domains : int;
+  ops_per_domain : int;
+  sessions_per_domain : int;
+  dec_ratio : float;
+  skew : skew;
+  arrival : arrival;
+  seed : int;
+}
+
+let default =
+  {
+    domains = 4;
+    ops_per_domain = 1000;
+    sessions_per_domain = 2;
+    dec_ratio = 0.;
+    skew = Uniform;
+    arrival = Closed 0.;
+    seed = 42;
+  }
+
+type stats = {
+  completed : int;
+  increments : int;
+  decrements : int;
+  rejected : int;
+  seconds : float;
+  ops_per_sec : float;
+}
+
+let check spec =
+  if spec.domains < 1 then invalid_arg "Workload: domains must be positive";
+  if spec.ops_per_domain < 0 then
+    invalid_arg "Workload: negative ops_per_domain";
+  if spec.sessions_per_domain < 1 then
+    invalid_arg "Workload: sessions_per_domain must be positive";
+  if spec.dec_ratio < 0. || spec.dec_ratio > 1. then
+    invalid_arg "Workload: dec_ratio must be in [0, 1]";
+  (match spec.skew with
+  | Uniform -> ()
+  | Zipf alpha ->
+      if alpha <= 0. then invalid_arg "Workload: Zipf exponent must be positive");
+  match spec.arrival with
+  | Closed think ->
+      if think < 0. then invalid_arg "Workload: negative think time"
+  | Bursty { burst; pause } ->
+      if burst < 1 then invalid_arg "Workload: burst must be positive";
+      if pause < 0. then invalid_arg "Workload: negative pause"
+
+(* Cumulative distribution over session popularity.  Uniform is the
+   identity CDF; Zipf weights session i+1 as 1/(i+1)^alpha. *)
+let session_cdf skew n =
+  match skew with
+  | Uniform -> Array.init n (fun i -> float_of_int (i + 1) /. float_of_int n)
+  | Zipf alpha ->
+      let w = Array.init n (fun i -> (1. /. float_of_int (i + 1)) ** alpha) in
+      let total = Array.fold_left ( +. ) 0. w in
+      let acc = ref 0. in
+      Array.map
+        (fun x ->
+          acc := !acc +. (x /. total);
+          !acc)
+        w
+
+let pick rng cdf =
+  let u = Random.State.float rng 1.0 in
+  let n = Array.length cdf in
+  let i = ref 0 in
+  while !i < n - 1 && cdf.(!i) <= u do
+    incr i
+  done;
+  !i
+
+(* Same barrier discipline as Harness.timed_round: all participants
+   released together, seconds cover the concurrent region only. *)
+let timed_round ?pool ~domains body =
+  match pool with
+  | Some pool -> DP.run pool ~domains body
+  | None ->
+      let ready = Atomic.make 0 in
+      let go = Atomic.make false in
+      let gated pid () =
+        Atomic.incr ready;
+        while not (Atomic.get go) do
+          Domain.cpu_relax ()
+        done;
+        body pid
+      in
+      let handles = Array.init domains (fun pid -> Domain.spawn (gated pid)) in
+      while Atomic.get ready < domains do
+        Domain.cpu_relax ()
+      done;
+      let t0 = Unix.gettimeofday () in
+      Atomic.set go true;
+      Array.iter Domain.join handles;
+      Unix.gettimeofday () -. t0
+
+let run ?pool svc spec =
+  check spec;
+  let spd = spec.sessions_per_domain in
+  (* Domain-major registration so session wires follow the service's
+     round-robin: domain d, local session j sits on wire
+     (d * spd + j) mod w. *)
+  let sessions =
+    Array.init spec.domains (fun _ ->
+        Array.init spd (fun _ -> Service.session svc))
+  in
+  let completed = Array.make spec.domains 0 in
+  let increments = Array.make spec.domains 0 in
+  let decrements = Array.make spec.domains 0 in
+  let rejected = Array.make spec.domains 0 in
+  let body pid =
+    let rng = Random.State.make [| spec.seed; pid |] in
+    let cdf = session_cdf spec.skew spd in
+    let mine = sessions.(pid) in
+    let balance = ref 0 in
+    for k = 0 to spec.ops_per_domain - 1 do
+      (match spec.arrival with
+      | Closed think -> if think > 0. then Unix.sleepf think
+      | Bursty { burst; pause } ->
+          if k > 0 && k mod burst = 0 then Unix.sleepf pause);
+      let s = mine.(pick rng cdf) in
+      (* Prefix non-negativity: a client never hands back more than it
+         has taken, keeping the global token count legal. *)
+      let dec =
+        !balance > 0 && Random.State.float rng 1.0 < spec.dec_ratio
+      in
+      match (if dec then Service.decrement s else Service.increment s) with
+      | Ok _ ->
+          completed.(pid) <- completed.(pid) + 1;
+          if dec then begin
+            decrements.(pid) <- decrements.(pid) + 1;
+            decr balance
+          end
+          else begin
+            increments.(pid) <- increments.(pid) + 1;
+            incr balance
+          end
+      | Error _ -> rejected.(pid) <- rejected.(pid) + 1
+    done
+  in
+  let seconds = timed_round ?pool ~domains:spec.domains body in
+  let sum a = Array.fold_left ( + ) 0 a in
+  let completed = sum completed in
+  {
+    completed;
+    increments = sum increments;
+    decrements = sum decrements;
+    rejected = sum rejected;
+    seconds;
+    ops_per_sec = (if seconds > 0. then float_of_int completed /. seconds else 0.);
+  }

@@ -1,0 +1,71 @@
+(** Synthetic client populations for driving a {!Service.t} — the
+    knobs experiments care about when reproducing the paper's
+    high-contention regime ([n] processes ≫ [w] wires).
+
+    A workload spawns [domains] clients; each owns
+    [sessions_per_domain] service sessions and performs
+    [ops_per_domain] operations, choosing a session per operation
+    according to [skew] and pacing itself according to [arrival].
+    [dec_ratio] is the probability an operation is a
+    [Fetch&Decrement]; the generator never lets a client's decrements
+    outnumber its increments (every prefix is non-negative), so the
+    network-wide token count stays legal for the step property.
+
+    [Overloaded] rejections are counted and the operation dropped —
+    the open-loop "shed on backpressure" discipline; [Closed] is also
+    counted under [rejected]. *)
+
+type skew =
+  | Uniform  (** every session equally likely *)
+  | Zipf of float
+      (** Zipf-distributed session popularity with the given exponent
+          [alpha > 0]; larger skews traffic onto fewer wires, raising
+          combining and elimination opportunities *)
+
+type arrival =
+  | Closed of float
+      (** closed loop: think for the given seconds ([0.] = back to
+          back) between an operation's completion and the next
+          submission *)
+  | Bursty of { burst : int; pause : float }
+      (** open-loop bursts: [burst] back-to-back operations, then a
+          pause of [pause] seconds *)
+
+type spec = {
+  domains : int;
+  ops_per_domain : int;
+  sessions_per_domain : int;
+  dec_ratio : float;  (** in [[0, 1]] *)
+  skew : skew;
+  arrival : arrival;
+  seed : int;
+}
+
+val default : spec
+(** [{ domains = 4; ops_per_domain = 1000; sessions_per_domain = 2;
+      dec_ratio = 0.; skew = Uniform; arrival = Closed 0.; seed = 42 }] *)
+
+type stats = {
+  completed : int;  (** operations that returned a value *)
+  increments : int;
+  decrements : int;
+  rejected : int;  (** operations shed on [Overloaded]/[Closed] *)
+  seconds : float;  (** wall-clock time of the concurrent phase *)
+  ops_per_sec : float;  (** [completed /. seconds] *)
+}
+
+val run : ?pool:Cn_runtime.Domain_pool.t -> Service.t -> spec -> stats
+(** [run svc spec] drives [svc] with the population described by
+    [spec] and reports what happened.  Sessions are registered up
+    front (round-robin over the wires, in domain-major order) and each
+    domain's random stream is derived from [spec.seed] and its id, so
+    a run is reproducible up to scheduling.  With [?pool] the pool's
+    warmed workers are used instead of spawning
+    (requires [spec.domains <= Domain_pool.size pool]).
+
+    The service is {e not} drained here; callers decide when to
+    {!Service.drain} and with which policy.
+    @raise Invalid_argument on a malformed spec ([domains < 1],
+    [ops_per_domain < 0], [sessions_per_domain < 1], [dec_ratio]
+    outside [[0, 1]], [Zipf] exponent [<= 0.], [burst < 1], negative
+    pause/think time). *)

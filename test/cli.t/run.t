@@ -126,3 +126,58 @@ The observability layer emits schema-versioned JSON (strict validation on):
   $ countnet throughput -f counting -w 16 --domains 4 --ops 500 --metrics \
   >   | grep -c 'per_layer_stalls\|per_wire_exits\|latency'
   3
+
+The combining service front-end: sessions, batching stats, strict drain:
+
+  $ countnet throughput -f counting -w 8 --service --domains 2 --ops 300 \
+  >   --validate strict | grep -c '^service: \|^combining: '
+  2
+
+With --metrics the report carries the service stats and the network snapshot:
+
+  $ countnet throughput -f counting -w 8 --service --domains 2 --ops 200 \
+  >   --dec-ratio 0.5 --skew zipf:1.2 --metrics --validate strict \
+  >   | grep -c '"elimination_rate"\|"schema_version"'
+  2
+
+Service flags are validated before anything runs:
+
+  $ countnet throughput -f counting -w 4 --service --domains 2 --ops 10 --max-batch 0
+  countnet throughput: --max-batch must be positive (got 0)
+  [2]
+
+  $ countnet throughput -f counting -w 4 --domains 2 --ops 10 --max-batch 8
+  countnet throughput: --max-batch requires --service
+  [2]
+
+  $ countnet throughput -f counting -w 4 --domains 2 --ops 10 --dec-ratio 0.5
+  countnet throughput: --dec-ratio requires --service
+  [2]
+
+  $ countnet throughput -f counting -w 4 --service --domains 2 --ops 10 --dec-ratio 1.5
+  countnet throughput: --dec-ratio must be in [0, 1] (got 1.5)
+  [2]
+
+  $ countnet throughput -f counting -w 4 --service --domains 2 --ops 10 --skew zipf:0
+  countnet throughput: --skew zipf exponent must be positive (got "0")
+  [2]
+
+  $ countnet throughput -f counting -w 4 --service --domains 2 --ops 10 --skew frob
+  countnet throughput: unknown skew "frob" (expected uniform or zipf:ALPHA)
+  [2]
+
+  $ countnet throughput -f counting -w 4 --service --domains 2 --ops 10 --arrival burst:0:0.1
+  countnet throughput: --arrival burst needs N >= 1 and PAUSE >= 0 (got "burst:0:0.1")
+  [2]
+
+  $ countnet throughput -f counting -w 4 --service --domains 2 --ops 10 --arrival sometimes
+  countnet throughput: unknown arrival "sometimes" (expected closed[:THINK] or burst:N:PAUSE)
+  [2]
+
+  $ countnet throughput -f counting -w 4 --service --domains 2 --ops 10 --batch 4
+  countnet throughput: --batch and --service are mutually exclusive (the service batches internally)
+  [2]
+
+  $ countnet throughput -f counting -w 4 --service --domains 2 --ops 10 --sessions 0
+  countnet throughput: --sessions must be positive (got 0)
+  [2]

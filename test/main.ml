@@ -23,6 +23,7 @@ let () =
          Test_metrics.suite;
          Test_analysis.suite;
          Test_antitokens.suite;
+         Test_service.suite;
          Test_extensions.suite;
          Test_fuzz.suite;
          Test_timed.suite;

@@ -188,6 +188,54 @@ let runtime_level =
         let handles = Array.init 4 (fun pid -> Domain.spawn (body pid)) in
         Array.iter Domain.join handles;
         Alcotest.(check int) "net zero" 0 (S.sum (RT.exit_distribution rt)));
+    tc "concurrent mixed traffic holds step + conservation (C(4,4), C(8,8))"
+      (fun () ->
+        (* Multi-domain interleavings of traverse / traverse_decrement,
+           validated under Strict at quiescence: with metrics compiled
+           in, quiescent_runtime checks the step property AND token
+           conservation AND tally agreement (satellite of ISSUE 3). *)
+        List.iter
+          (fun (w, t) ->
+            let rt =
+              RT.compile ~metrics:true (Cn_core.Counting.network ~w ~t)
+            in
+            let domains = 4 and ops = 300 in
+            let body pid () =
+              (* Randomized mix with non-negative prefixes: a domain
+                 never retires more than it has issued. *)
+              let rng = Random.State.make [| 97; w; pid |] in
+              let balance = ref 0 in
+              for k = 0 to ops - 1 do
+                let wire = (pid + k) mod w in
+                if !balance > 0 && Random.State.bool rng then begin
+                  ignore (RT.traverse_decrement rt ~wire);
+                  decr balance
+                end
+                else begin
+                  ignore (RT.traverse rt ~wire);
+                  incr balance
+                end
+              done
+            in
+            let handles =
+              Array.init domains (fun pid -> Domain.spawn (body pid))
+            in
+            Array.iter Domain.join handles;
+            let report = Cn_runtime.Validator.quiescent_runtime rt in
+            Cn_runtime.Validator.enforce Cn_runtime.Validator.Strict report;
+            let snap =
+              Cn_runtime.Metrics.snapshot (Option.get (RT.metrics rt))
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "C(%d,%d) antitokens flowed" w t)
+              true
+              (snap.Cn_runtime.Metrics.antitokens > 0);
+            Alcotest.(check int)
+              (Printf.sprintf "C(%d,%d) conservation" w t)
+              (snap.Cn_runtime.Metrics.tokens
+              - snap.Cn_runtime.Metrics.antitokens)
+              (S.sum (RT.exit_distribution rt)))
+          [ (4, 4); (8, 8) ]);
     Util.raises_invalid "decrement wire out of range" (fun () ->
         ignore
           (RT.traverse_decrement (RT.compile (Cn_core.Ladder.network 2)) ~wire:5));

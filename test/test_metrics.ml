@@ -56,6 +56,25 @@ let recording =
         Alcotest.(check int) "tokens" 0 snap.M.tokens;
         Alcotest.(check int) "crossings" 0 (Array.fold_left ( + ) 0 snap.M.crossings);
         Alcotest.(check bool) "latency" true (snap.M.latency = None));
+    tc "reset regression: post-reset snapshots count only the new run" (fun () ->
+        (* A reset that left the recorder (or cas_failures) dirty would
+           make the second run's snapshot double-count the first and
+           fail quiescence validation. *)
+        let rt = RT.compile ~mode:RT.Cas ~metrics:true (net48 ()) in
+        for i = 0 to 19 do
+          ignore (RT.traverse rt ~wire:(i mod 4))
+        done;
+        RT.reset rt;
+        Alcotest.(check int) "cas_failures cleared" 0 (RT.cas_failures rt);
+        for i = 0 to 7 do
+          ignore (RT.traverse rt ~wire:(i mod 4))
+        done;
+        let snap = M.snapshot (Option.get (RT.metrics rt)) in
+        Alcotest.(check int) "tokens count the new run only" 8 snap.M.tokens;
+        Alcotest.(check int) "net exits" 8 (S.sum snap.M.exits);
+        Alcotest.check Util.seq "tally agreement survives reset"
+          (RT.exit_distribution rt) snap.M.exits;
+        V.enforce V.Strict (V.quiescent_runtime rt));
     tc "latency sampling produces ordered percentiles" (fun () ->
         let rt = RT.compile ~metrics:true (net48 ()) in
         (* The first token on a sink is always sampled (tick 0). *)

@@ -257,6 +257,21 @@ let concurrent =
         Alcotest.(check bool) "gap" false (H.values_are_a_range [| [| 0; 3 |]; [| 1 |] |]));
     tc "values_are_a_range accepts a shuffled range" (fun () ->
         Alcotest.(check bool) "ok" true (H.values_are_a_range [| [| 2; 0 |]; [| 1; 3 |] |]));
+    tc "values_are_a_range edge cases" (fun () ->
+        (* Zero domains, domains that collected nothing, single values,
+           and duplicates split across domains. *)
+        Alcotest.(check bool) "no domains" true (H.values_are_a_range [||]);
+        Alcotest.(check bool) "empty domains" true
+          (H.values_are_a_range [| [||]; [||] |]);
+        Alcotest.(check bool) "single zero" true (H.values_are_a_range [| [| 0 |] |]);
+        Alcotest.(check bool) "single nonzero" false
+          (H.values_are_a_range [| [| 1 |] |]);
+        Alcotest.(check bool) "single negative" false
+          (H.values_are_a_range [| [| -1 |] |]);
+        Alcotest.(check bool) "duplicate across domains" false
+          (H.values_are_a_range [| [| 0 |]; [| 0 |] |]);
+        Alcotest.(check bool) "range split across empty and full domains" true
+          (H.values_are_a_range [| [||]; [| 1; 0 |]; [||] |]));
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -1,0 +1,296 @@
+(* Tests for the Cn_service combining front-end: sessions, flat
+   combining, inc/dec elimination (paper, Section 1.4.2), backpressure
+   and lifecycle. *)
+
+module Svc = Cn_service.Service
+module W = Cn_service.Workload
+module RT = Cn_runtime.Network_runtime
+module SC = Cn_runtime.Shared_counter
+module H = Cn_runtime.Harness
+module V = Cn_runtime.Validator
+module S = Cn_sequence.Sequence
+
+let tc name f = Alcotest.test_case name `Quick f
+let net48 () = Cn_core.Counting.network ~w:4 ~t:8
+let net816 () = Cn_core.Counting.network ~w:8 ~t:16
+
+let check_ok label = function
+  | Ok v -> v
+  | Error Svc.Overloaded -> Alcotest.failf "%s: unexpected Overloaded" label
+  | Error Svc.Closed -> Alcotest.failf "%s: unexpected Closed" label
+
+let sessions =
+  [
+    tc "sessions are pinned round-robin over input wires" (fun () ->
+        let svc = Svc.create (net48 ()) in
+        let wires =
+          List.init 6 (fun _ -> Svc.session_wire (Svc.session svc))
+        in
+        Alcotest.(check (list int)) "round robin" [ 0; 1; 2; 3; 0; 1 ] wires);
+    tc "explicit wire pinning" (fun () ->
+        let svc = Svc.create (net48 ()) in
+        Alcotest.(check int) "pinned" 2 (Svc.session_wire (Svc.session ~wire:2 svc)));
+    Util.raises_invalid "session wire out of range" (fun () ->
+        ignore (Svc.session ~wire:4 (Svc.create (net48 ()))));
+    Util.raises_invalid "create rejects max_batch 0" (fun () ->
+        ignore (Svc.create ~max_batch:0 (net48 ())));
+    Util.raises_invalid "create rejects queue 0" (fun () ->
+        ignore (Svc.create ~queue:0 (net48 ())));
+    Util.raises_invalid "shared_counter rejects sessions 0" (fun () ->
+        ignore (Svc.shared_counter ~sessions:0 (Svc.create (net48 ()))));
+  ]
+
+let sequential =
+  [
+    tc "sequential increments hand out 0.." (fun () ->
+        let svc = Svc.create (net48 ()) in
+        let s = Svc.session svc in
+        for expect = 0 to 19 do
+          Alcotest.(check int)
+            (Printf.sprintf "value %d" expect)
+            expect
+            (check_ok "inc" (Svc.increment s))
+        done;
+        let st = Svc.stats svc in
+        Alcotest.(check int) "all ops served" 20 st.Svc.total_ops);
+    tc "increment/decrement round trip matches the raw runtime" (fun () ->
+        let svc = Svc.create (net48 ()) in
+        let s0 = Svc.session ~wire:0 svc and s1 = Svc.session ~wire:1 svc in
+        Alcotest.(check int) "a" 0 (check_ok "a" (Svc.increment s0));
+        Alcotest.(check int) "b" 1 (check_ok "b" (Svc.increment s1));
+        Alcotest.(check int) "reclaim" 1 (check_ok "r" (Svc.decrement s1));
+        Alcotest.(check int) "reissue" 1 (check_ok "b'" (Svc.increment s1)));
+    tc "drain validates and the service stays usable" (fun () ->
+        let svc = Svc.create ~metrics:true (net48 ()) in
+        let s = Svc.session svc in
+        ignore (check_ok "inc" (Svc.increment s));
+        let report = Svc.drain svc in
+        Alcotest.(check bool) "drain passed" true (V.passed report);
+        Alcotest.(check int) "usable after drain" 1
+          (check_ok "inc" (Svc.increment s)));
+    tc "shutdown closes the service, idempotently" (fun () ->
+        let svc = Svc.create (net48 ()) in
+        let s = Svc.session svc in
+        ignore (check_ok "inc" (Svc.increment s));
+        ignore (Svc.shutdown svc);
+        ignore (Svc.shutdown svc);
+        (match Svc.increment s with
+        | Error Svc.Closed -> ()
+        | Ok _ | Error Svc.Overloaded -> Alcotest.fail "expected Closed");
+        (match Svc.submit s Svc.Inc with
+        | Error Svc.Closed -> ()
+        | Ok _ | Error Svc.Overloaded -> Alcotest.fail "expected Closed");
+        (* Drain on a stopped service validates but does not re-open. *)
+        ignore (Svc.drain svc);
+        match Svc.increment s with
+        | Error Svc.Closed -> ()
+        | Ok _ | Error Svc.Overloaded -> Alcotest.fail "still closed");
+  ]
+
+let elimination =
+  [
+    tc "matched batch eliminates all but an anchor pair" (fun () ->
+        (* Park 2 decrements and 2 increments on one wire, then combine:
+           one inc/dec pair stays real (the anchor traverses and its
+           antitoken reclaims the same value), the other pair eliminates
+           locally.  Every operation returns the anchor value 0. *)
+        let svc = Svc.create ~metrics:true (net48 ()) in
+        let ss = Array.init 4 (fun _ -> Svc.session ~wire:0 svc) in
+        let ops = [| Svc.Dec; Svc.Dec; Svc.Inc; Svc.Inc |] in
+        Array.iteri
+          (fun i op ->
+            match Svc.submit ss.(i) op with
+            | Ok () -> ()
+            | Error _ -> Alcotest.fail "submit failed")
+          ops;
+        let values = Array.map Svc.await ss in
+        Alcotest.check Util.seq "all borrow the anchor value" [| 0; 0; 0; 0 |]
+          values;
+        let st = Svc.stats svc in
+        Alcotest.(check int) "one pair eliminated" 1 st.Svc.total_eliminated_pairs;
+        Alcotest.(check int) "one batch" 1 st.Svc.total_batches;
+        Alcotest.(check int) "four ops served" 4 st.Svc.total_ops;
+        Alcotest.(check int) "net zero" 0 (S.sum (RT.exit_distribution (Svc.runtime svc)));
+        V.enforce V.Strict (V.quiescent_runtime (Svc.runtime svc)));
+    tc "unbalanced batch eliminates min(incs, decs)" (fun () ->
+        let svc = Svc.create ~metrics:true (net48 ()) in
+        let ss = Array.init 4 (fun _ -> Svc.session ~wire:1 svc) in
+        let ops = [| Svc.Inc; Svc.Inc; Svc.Inc; Svc.Dec |] in
+        Array.iteri (fun i op -> ignore (Svc.submit ss.(i) op)) ops;
+        let _values = Array.map Svc.await ss in
+        let st = Svc.stats svc in
+        Alcotest.(check int) "one pair eliminated" 1 st.Svc.total_eliminated_pairs;
+        Alcotest.(check int) "net two" 2 (S.sum (RT.exit_distribution (Svc.runtime svc)));
+        V.enforce V.Strict (V.quiescent_runtime (Svc.runtime svc)));
+    tc "elim:false sends everything through the network" (fun () ->
+        let svc = Svc.create ~metrics:true ~elim:false (net48 ()) in
+        let ss = Array.init 4 (fun _ -> Svc.session ~wire:0 svc) in
+        let ops = [| Svc.Dec; Svc.Dec; Svc.Inc; Svc.Inc |] in
+        Array.iteri (fun i op -> ignore (Svc.submit ss.(i) op)) ops;
+        ignore (Array.map Svc.await ss);
+        let st = Svc.stats svc in
+        Alcotest.(check int) "nothing eliminated" 0 st.Svc.total_eliminated_pairs;
+        (* All four ops really traversed: 2 tokens + 2 antitokens. *)
+        let m = Option.get (RT.metrics (Svc.runtime svc)) in
+        let snap = Cn_runtime.Metrics.snapshot m in
+        Alcotest.(check int) "tokens" 2 snap.Cn_runtime.Metrics.tokens;
+        Alcotest.(check int) "antitokens" 2 snap.Cn_runtime.Metrics.antitokens;
+        V.enforce V.Strict (V.quiescent_runtime (Svc.runtime svc)));
+    tc "eliminated ops never reach the network" (fun () ->
+        let svc = Svc.create ~metrics:true (net48 ()) in
+        let ss = Array.init 4 (fun _ -> Svc.session ~wire:0 svc) in
+        let ops = [| Svc.Dec; Svc.Dec; Svc.Inc; Svc.Inc |] in
+        Array.iteri (fun i op -> ignore (Svc.submit ss.(i) op)) ops;
+        ignore (Array.map Svc.await ss);
+        let m = Option.get (RT.metrics (Svc.runtime svc)) in
+        let snap = Cn_runtime.Metrics.snapshot m in
+        (* Only the anchor pair traversed. *)
+        Alcotest.(check int) "tokens" 1 snap.Cn_runtime.Metrics.tokens;
+        Alcotest.(check int) "antitokens" 1 snap.Cn_runtime.Metrics.antitokens);
+    Util.raises_invalid "double submit on one session" (fun () ->
+        let svc = Svc.create (net48 ()) in
+        let s = Svc.session svc in
+        ignore (Svc.submit s Svc.Inc);
+        ignore (Svc.submit s Svc.Inc));
+    Util.raises_invalid "await without submit" (fun () ->
+        ignore (Svc.await (Svc.session (Svc.create (net48 ())))));
+  ]
+
+let backpressure =
+  [
+    tc "full lane rejects with Overloaded and recovers" (fun () ->
+        let svc = Svc.create ~max_batch:8 ~queue:2 (net48 ()) in
+        let s1 = Svc.session ~wire:0 svc
+        and s2 = Svc.session ~wire:0 svc
+        and s3 = Svc.session ~wire:0 svc in
+        Alcotest.(check bool) "s1 parked" true (Svc.submit s1 Svc.Inc = Ok ());
+        Alcotest.(check bool) "s2 parked" true (Svc.submit s2 Svc.Inc = Ok ());
+        (match Svc.submit s3 Svc.Inc with
+        | Error Svc.Overloaded -> ()
+        | Ok () | Error Svc.Closed -> Alcotest.fail "expected Overloaded");
+        let st = Svc.stats svc in
+        Alcotest.(check int) "rejection counted" 1 st.Svc.total_rejected;
+        (* Completing the parked ops frees the lane. *)
+        let v1 = Svc.await s1 and v2 = Svc.await s2 in
+        Alcotest.(check bool) "distinct values" true (v1 <> v2);
+        Alcotest.(check bool) "s3 retries fine" true (Svc.submit s3 Svc.Inc = Ok ());
+        Alcotest.(check int) "third value" 2 (Svc.await s3);
+        ignore (Svc.drain svc));
+    tc "rejections appear in the JSON report" (fun () ->
+        let svc = Svc.create ~queue:1 (net48 ()) in
+        let s1 = Svc.session ~wire:0 svc and s2 = Svc.session ~wire:0 svc in
+        ignore (Svc.submit s1 Svc.Inc);
+        ignore (Svc.submit s2 Svc.Inc);
+        ignore (Svc.await s1);
+        let json = Svc.stats_json svc in
+        let contains hay needle =
+          let lh = String.length hay and ln = String.length needle in
+          let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "rejected field" true (contains json "\"rejected\": 1");
+        Alcotest.(check bool) "elimination_rate field" true
+          (contains json "\"elimination_rate\""));
+  ]
+
+let concurrent =
+  [
+    tc "range contract through the service (4 domains)" (fun () ->
+        let svc = Svc.create ~metrics:true (net816 ()) in
+        let counter = Svc.shared_counter ~sessions:8 svc in
+        let values =
+          H.run_collect ~validate:V.Strict
+            ~make:(fun () -> counter)
+            ~domains:4 ~ops_per_domain:200 ()
+        in
+        Alcotest.(check bool) "range" true (H.values_are_a_range values);
+        let report = Svc.drain svc in
+        Alcotest.(check bool) "quiescent after drain" true (V.passed report));
+    tc "concurrent mixed inc/dec drains clean under Strict" (fun () ->
+        let svc = Svc.create ~metrics:true (net48 ()) in
+        (* Two domains per wire so inc/dec traffic can pair off. *)
+        let ss = Array.init 4 (fun pid -> Svc.session ~wire:(pid mod 2) svc) in
+        let ops = 200 in
+        let body pid () =
+          let s = ss.(pid) in
+          for k = 0 to ops - 1 do
+            let r = if k land 1 = 0 then Svc.increment s else Svc.decrement s in
+            ignore (check_ok "op" r)
+          done
+        in
+        let handles = Array.init 4 (fun pid -> Domain.spawn (body pid)) in
+        Array.iter Domain.join handles;
+        let report = Svc.drain svc in
+        Alcotest.(check bool) "strict drain" true (V.passed report);
+        let st = Svc.stats svc in
+        Alcotest.(check int) "every op served exactly once" (4 * ops)
+          st.Svc.total_ops;
+        Alcotest.(check int) "net zero" 0
+          (S.sum (RT.exit_distribution (Svc.runtime svc))));
+    tc "workload: closed loop, mixed, zipf-skewed" (fun () ->
+        let svc = Svc.create ~metrics:true (net48 ()) in
+        let spec =
+          {
+            W.default with
+            W.domains = 4;
+            ops_per_domain = 300;
+            sessions_per_domain = 2;
+            dec_ratio = 0.5;
+            skew = W.Zipf 1.2;
+          }
+        in
+        let st = W.run svc spec in
+        Alcotest.(check int) "nothing lost" (4 * 300)
+          (st.W.completed + st.W.rejected);
+        let report = Svc.drain svc in
+        Alcotest.(check bool) "strict drain" true (V.passed report);
+        Alcotest.(check int) "net flow matches workload accounting"
+          (st.W.increments - st.W.decrements)
+          (S.sum (RT.exit_distribution (Svc.runtime svc))));
+    tc "workload: bursty arrivals complete" (fun () ->
+        let svc = Svc.create (net48 ()) in
+        let spec =
+          {
+            W.default with
+            W.domains = 2;
+            ops_per_domain = 64;
+            arrival = W.Bursty { burst = 16; pause = 0.0005 };
+          }
+        in
+        let st = W.run svc spec in
+        Alcotest.(check int) "all completed or shed" 128
+          (st.W.completed + st.W.rejected);
+        ignore (Svc.drain svc));
+  ]
+
+let workload_spec =
+  [
+    Util.raises_invalid "workload rejects dec_ratio > 1" (fun () ->
+        ignore
+          (W.run (Svc.create (net48 ())) { W.default with W.dec_ratio = 1.5 }));
+    Util.raises_invalid "workload rejects zipf alpha 0" (fun () ->
+        ignore
+          (W.run (Svc.create (net48 ())) { W.default with W.skew = W.Zipf 0. }));
+    Util.raises_invalid "workload rejects burst 0" (fun () ->
+        ignore
+          (W.run
+             (Svc.create (net48 ()))
+             { W.default with W.arrival = W.Bursty { burst = 0; pause = 0. } }));
+    Util.raises_invalid "workload rejects domains 0" (fun () ->
+        ignore (W.run (Svc.create (net48 ())) { W.default with W.domains = 0 }));
+    Util.raises_invalid "workload rejects negative think time" (fun () ->
+        ignore
+          (W.run
+             (Svc.create (net48 ()))
+             { W.default with W.arrival = W.Closed (-1.) }));
+  ]
+
+let suite =
+  [
+    ("service.sessions", sessions);
+    ("service.sequential", sequential);
+    ("service.elimination", elimination);
+    ("service.backpressure", backpressure);
+    ("service.concurrent", concurrent);
+    ("service.workload", workload_spec);
+  ]
