@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test bench micro bench-runtime bench-smoke bench-service \
-        bench-service-smoke check-metrics examples clean doc
+        bench-service-smoke check-metrics check-races examples clean doc
 
 all: build
 
@@ -30,6 +30,12 @@ bench-service:
 
 bench-service-smoke:
 	dune exec bench/main.exe -- service --smoke
+
+# Deterministic race check of the service layer: every scenario explored
+# to a preemption bound of 3, plus the checker's own selftest against
+# the deliberately buggy pre-fix models.  Seconds, not minutes.
+check-races:
+	dune exec bin/countnet.exe -- check -p 3 --selftest
 
 # Quick end-to-end check of the observability layer: metrics JSON out,
 # quiescence validator strict.

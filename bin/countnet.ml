@@ -743,6 +743,121 @@ let latency_cmd =
     Term.(const run $ network_term $ concurrency_arg $ rounds_arg $ think_arg)
 
 (* ---------------------------------------------------------------- *)
+(* check *)
+
+let check_cmd =
+  let module Engine = Cn_check.Engine in
+  let preemptions_arg =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "p"; "preemptions" ] ~docv:"P"
+          ~doc:"Preemption bound: forced context switches per schedule.")
+  in
+  let scenario_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"NAME" ~doc:"Run only the named scenario.")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"SCHEDULE"
+          ~doc:
+            "Replay one pinned schedule (semicolon-separated fiber indices) \
+             against $(b,--scenario) instead of exploring.")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List scenarios and exit.")
+  in
+  let selftest_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "selftest" ]
+          ~doc:
+            "Also run the checker against the deliberately buggy pre-fix \
+             models; both must fail, and their pinned schedules must replay.")
+  in
+  let run preemptions scenario replay list selftest =
+    let scenarios =
+      match scenario with
+      | None -> Cn_check.Scenarios.all
+      | Some name -> (
+          match List.assoc_opt name Cn_check.Scenarios.all with
+          | Some mk -> [ (name, mk) ]
+          | None ->
+              Printf.eprintf "unknown scenario %s (try --list)\n" name;
+              exit 1)
+    in
+    if list then
+      List.iter (fun (name, _) -> print_endline name) Cn_check.Scenarios.all
+    else begin
+      let failed = ref false in
+      (match replay with
+      | Some sched ->
+          let sched = Engine.schedule_of_string sched in
+          List.iter
+            (fun (name, mk) ->
+              match Engine.replay mk sched with
+              | None -> Printf.printf "%-24s replay pass\n" name
+              | Some f ->
+                  failed := true;
+                  Printf.printf "%-24s replay FAIL: %s\n" name f.Engine.reason)
+            scenarios
+      | None ->
+          List.iter
+            (fun (name, mk) ->
+              let t0 = Unix.gettimeofday () in
+              let o = Engine.explore ~preemptions mk in
+              let s = o.Engine.stats in
+              match o.Engine.failure with
+              | None ->
+                  Printf.printf
+                    "%-24s pass  %6d interleavings, %d pruned%s (%.1fs)\n" name
+                    s.Engine.interleavings s.Engine.prunes
+                    (if s.Engine.complete then "" else ", budget exhausted")
+                    (Unix.gettimeofday () -. t0)
+              | Some f ->
+                  failed := true;
+                  Printf.printf "%-24s FAIL  %s\n  replay with: [%s]\n" name
+                    f.Engine.reason
+                    (Engine.schedule_to_string f.Engine.schedule))
+            scenarios);
+      if selftest then begin
+        let expect_fail name mk pinned =
+          (match (Engine.explore ~preemptions mk).Engine.failure with
+          | Some f ->
+              Printf.printf "%-24s found: %s\n" name f.Engine.reason
+          | None ->
+              failed := true;
+              Printf.printf "%-24s MISSED the planted bug\n" name);
+          match Engine.replay mk pinned with
+          | Some _ -> Printf.printf "%-24s pinned schedule reproduces\n" name
+          | None ->
+              failed := true;
+              Printf.printf "%-24s pinned schedule no longer fails\n" name
+        in
+        expect_fail "selftest-lifecycle" Cn_check.Selftest.lifecycle_race
+          Cn_check.Selftest.lifecycle_schedule;
+        expect_fail "selftest-admission" Cn_check.Selftest.admission_race
+          Cn_check.Selftest.admission_schedule
+      end;
+      if !failed then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Model-check the service layer: explore bounded-preemption \
+          interleavings of drain/shutdown/submit races deterministically.")
+    Term.(
+      const run $ preemptions_arg $ scenario_arg $ replay_arg $ list_arg
+      $ selftest_arg)
+
+(* ---------------------------------------------------------------- *)
 
 let main_cmd =
   let doc = "counting networks: build, inspect, verify, simulate, and run them" in
@@ -750,7 +865,7 @@ let main_cmd =
     (Cmd.info "countnet" ~version:"1.0.0" ~doc)
     [
       draw_cmd; depth_cmd; verify_cmd; simulate_cmd; throughput_cmd; sort_cmd; count_cmd;
-      iso_cmd; save_cmd; load_cmd; feasible_cmd; latency_cmd;
+      iso_cmd; save_cmd; load_cmd; feasible_cmd; latency_cmd; check_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,334 @@
+(* The controller: effect-based fibers over instrumented atomics, plus
+   a bounded-preemption DFS over schedules with re-execution and a state
+   memo.  Everything runs on one OS thread; "domains" are fibers, and
+   the only nondeterminism is the controller's choice of which fiber
+   performs its next atomic access. *)
+
+type _ Effect.t += Yield : bool -> unit Effect.t
+
+(* ---- controller state (one execution at a time) ---- *)
+
+let active = ref false
+let cur = ref (-1) (* running fiber, -1 in setup / oracle *)
+let write_clock = ref 0
+let ids = ref 0
+let encoders : (unit -> int) list ref = ref [] (* reversed creation order *)
+let read_hash = ref [||]
+
+let fresh_id () =
+  incr ids;
+  !ids
+
+let register enc = if !active then encoders := enc :: !encoders
+
+(* Immediates encode exactly (tagged so they cannot collide with a block
+   hash); blocks go through the structural hash — instrumented atoms
+   carry a creation-order id precisely so two distinct cells hash apart. *)
+let enc_obj (o : Obj.t) =
+  if Obj.is_int o then ((Obj.obj o : int) lsl 1) lor 1
+  else (Hashtbl.hash o land 0x3FFFFFFF) lsl 1
+
+let yield ~blocking = if !active && !cur >= 0 then Effect.perform (Yield blocking)
+
+let observe o =
+  let c = !cur in
+  if !active && c >= 0 then begin
+    let rh = !read_hash in
+    rh.(c) <- (rh.(c) * 131) + enc_obj o + 1
+  end
+
+let own_writes = ref [||]
+
+let wrote () =
+  if !active then begin
+    incr write_clock;
+    let c = !cur in
+    if c >= 0 then begin
+      let ow = !own_writes in
+      ow.(c) <- ow.(c) + 1
+    end
+  end
+
+(* ---- scenarios and results ---- *)
+
+type scenario = {
+  name : string;
+  fibers : (unit -> unit) array;
+  finish : unit -> string option;
+}
+
+type failure = { schedule : int list; reason : string }
+
+type stats = {
+  interleavings : int;
+  cutoffs : int;
+  prunes : int;
+  complete : bool;
+}
+
+type outcome = { failure : failure option; stats : stats }
+
+(* ---- fibers ---- *)
+
+type fstatus =
+  | Done_
+  | Raised of exn
+  | Paused of bool * (unit, fstatus) Effect.Deep.continuation
+
+type fst =
+  | Fresh of (unit -> unit)
+  | Runnable of (unit, fstatus) Effect.Deep.continuation
+  | RelaxRunnable of (unit, fstatus) Effect.Deep.continuation
+      (* paused at a relax/nap, but a write landed inside the current
+         spin window, so the next observation round may see fresh state *)
+  | Blocked of (unit, fstatus) Effect.Deep.continuation * int
+      (* write_clock at the blocking yield: runnable again after any write *)
+  | Finished
+
+let run_segment = function
+  | Fresh f ->
+      Effect.Deep.match_with
+        (fun () ->
+          f ();
+          Done_)
+        ()
+        {
+          retc = Fun.id;
+          exnc = (fun e -> Raised e);
+          effc =
+            (fun (type c) (eff : c Effect.t) ->
+              match eff with
+              | Yield blocking ->
+                  Some
+                    (fun (k : (c, fstatus) Effect.Deep.continuation) ->
+                      Paused (blocking, k))
+              | _ -> None);
+        }
+  | Runnable k | RelaxRunnable k | Blocked (k, _) -> Effect.Deep.continue k ()
+  | Finished -> assert false
+
+(* ---- memo ---- *)
+
+(* Key equality is exact list equality, so hash quality only affects
+   speed — fold the whole key (the polymorphic hash would stop after a
+   few elements and overfill buckets). *)
+module Key = struct
+  type t = int list
+
+  let equal = List.equal Int.equal
+  let hash l = List.fold_left (fun h x -> (h * 131) + x + 1) 17 l land max_int
+end
+
+module Memo = Hashtbl.Make (Key)
+
+(* ---- one (re-)execution ---- *)
+
+type segment_end =
+  | Branch of int list * int list (* schedule so far, enabled choices *)
+  | Ended of int list * string option
+  | Cutoff of int list
+  | Pruned
+
+let exec mk ~forced ~budget ~max_steps ~memo ~follow =
+  active := true;
+  cur := -1;
+  write_clock := 0;
+  encoders := [];
+  ids := 0;
+  Fun.protect ~finally:(fun () ->
+      active := false;
+      cur := -1)
+  @@ fun () ->
+  let sc = mk () in
+  let n = Array.length sc.fibers in
+  read_hash := Array.make n 0;
+  let fib = Array.map (fun f -> ref (Fresh f)) sc.fibers in
+  (* Spin-window base: the write clock (and the fiber's own-write count)
+     when the fiber last returned from a relax (or started).  A relax
+     whose window contains no write by ANOTHER fiber is certain to
+     re-observe identical state — the fiber's own writes inside one spin
+     iteration are election/release pairs that restore what it will
+     re-read — so blocking it until the next write is sound; a relax
+     with an interleaved foreign write stays runnable because the next
+     observation round might see the change. *)
+  own_writes := Array.make n 0;
+  let ow = !own_writes in
+  let spin_base = Array.make n 0 in
+  let spin_own = Array.make n 0 in
+  let window_dirty i = !write_clock - spin_base.(i) > ow.(i) - spin_own.(i) in
+  let enabled i =
+    match !(fib.(i)) with
+    | Fresh _ | Runnable _ | RelaxRunnable _ -> true
+    | Blocked (_, c) -> c < !write_clock
+    | Finished -> false
+  in
+  let sched = ref [] (* reversed *) in
+  let last = ref (-1) in
+  let budget = ref budget in
+  let forced = ref forced in
+  let steps = ref 0 in
+  let state_key () =
+    (* Atom values in creation order, then per-fiber (status, read-hash):
+       everything the continuation of the execution can depend on. *)
+    let atoms = List.rev_map (fun e -> e ()) !encoders in
+    let rh = !read_hash in
+    let rec per i acc =
+      if i < 0 then acc
+      else
+        let code =
+          match !(fib.(i)) with
+          | Finished -> 0
+          | Fresh _ -> 1
+          | Runnable _ -> 2
+          | Blocked (_, c) -> if c < !write_clock then 3 else 4
+          | RelaxRunnable _ -> 5
+        in
+        let dirty = if window_dirty i then 1 else 0 in
+        per (i - 1) (code :: dirty :: rh.(i) :: acc)
+    in
+    !last :: per (n - 1) atoms
+  in
+  let take c =
+    (* A switch away from a still-runnable fiber is a preemption. *)
+    if !last >= 0 && c <> !last && enabled !last then decr budget;
+    sched := c :: !sched;
+    last := c;
+    cur := c;
+    (* Scheduling a fiber out of a relax opens a fresh spin window. *)
+    (match !(fib.(c)) with
+    | RelaxRunnable _ | Blocked _ | Fresh _ ->
+        spin_base.(c) <- !write_clock;
+        spin_own.(c) <- ow.(c)
+    | _ -> ());
+    let st = run_segment !(fib.(c)) in
+    cur := -1;
+    match st with
+    | Done_ ->
+        fib.(c) := Finished;
+        Ok ()
+    | Raised e ->
+        fib.(c) := Finished;
+        Error (Printf.sprintf "fiber %d raised %s" c (Printexc.to_string e))
+    | Paused (false, k) ->
+        fib.(c) := Runnable k;
+        Ok ()
+    | Paused (true, k) ->
+        fib.(c) :=
+          (if window_dirty c then RelaxRunnable k
+           else Blocked (k, !write_clock));
+        Ok ()
+  in
+  let ended reason = Ended (List.rev !sched, reason) in
+  let rec loop () =
+    let en = List.filter enabled (List.init n Fun.id) in
+    match en with
+    | [] ->
+        let alive =
+          List.filter
+            (fun i -> match !(fib.(i)) with Finished -> false | _ -> true)
+            (List.init n Fun.id)
+        in
+        if alive = [] then
+          ended
+            (match sc.finish () with
+            | r -> r
+            | exception e ->
+                Some ("oracle raised " ^ Printexc.to_string e))
+        else
+          ended
+            (Some
+               (Printf.sprintf "deadlock: fiber(s) %s blocked forever"
+                  (String.concat ", " (List.map string_of_int alive))))
+    | _ -> (
+        incr steps;
+        if !steps > max_steps then Cutoff (List.rev !sched)
+        else
+          let step c =
+            match take c with Ok () -> loop () | Error r -> ended (Some r)
+          in
+          match !forced with
+          | c :: rest ->
+              forced := rest;
+              step (if List.mem c en then c else List.hd en)
+          | [] ->
+              if follow then step (if List.mem !last en then !last else List.hd en)
+              else
+                let options =
+                  if !budget > 0 then en
+                  else if List.mem !last en then [ !last ]
+                  else en
+                in
+                (match options with
+                | [ c ] -> step c
+                | _ -> (
+                    match memo with
+                    | Some tbl -> (
+                        let k = state_key () in
+                        match Memo.find_opt tbl k with
+                        | Some b when b >= !budget -> Pruned
+                        | _ ->
+                            Memo.replace tbl k !budget;
+                            Branch (List.rev !sched, options))
+                    | None -> Branch (List.rev !sched, options))))
+  in
+  loop ()
+
+(* ---- the explorer ---- *)
+
+exception Found of failure
+
+let explore ?(preemptions = 2) ?(max_steps = 10_000) ?(max_execs = 1_000_000)
+    ?(memo = true) mk =
+  let tbl = if memo then Some (Memo.create 4096) else None in
+  let interleavings = ref 0
+  and cutoffs = ref 0
+  and prunes = ref 0
+  and execs = ref 0
+  and complete = ref true in
+  let rec dfs prefix =
+    if !execs >= max_execs then complete := false
+    else begin
+      incr execs;
+      match
+        exec mk ~forced:prefix ~budget:preemptions ~max_steps ~memo:tbl
+          ~follow:false
+      with
+      | Branch (sched, options) -> List.iter (fun c -> dfs (sched @ [ c ])) options
+      | Ended (sched, Some reason) -> raise (Found { schedule = sched; reason })
+      | Ended (_, None) -> incr interleavings
+      | Cutoff _ -> incr cutoffs
+      | Pruned -> incr prunes
+    end
+  in
+  let failure =
+    match dfs [] with () -> None | exception Found f -> Some f
+  in
+  {
+    failure;
+    stats =
+      {
+        interleavings = !interleavings;
+        cutoffs = !cutoffs;
+        prunes = !prunes;
+        complete = !complete;
+      };
+  }
+
+let replay mk schedule =
+  match
+    exec mk ~forced:schedule ~budget:max_int ~max_steps:1_000_000 ~memo:None
+      ~follow:true
+  with
+  | Ended (_, None) -> None
+  | Ended (sched, Some reason) -> Some { schedule = sched; reason }
+  | Cutoff sched ->
+      Some { schedule = sched; reason = "replay exceeded the step bound" }
+  | Branch _ | Pruned -> assert false
+
+let schedule_to_string s = String.concat ";" (List.map string_of_int s)
+
+let schedule_of_string s =
+  if String.trim s = "" then []
+  else
+    String.split_on_char ';' s
+    |> List.map (fun x -> int_of_string (String.trim x))

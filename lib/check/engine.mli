@@ -1,0 +1,107 @@
+(** A deterministic schedule explorer for the service protocol — the
+    controller half of the race checker.
+
+    A {!scenario} is a handful of {e model domains} (plain thunks run as
+    effect-based fibers on one OS thread) driving code written against
+    {!Cn_runtime.Atomics.S}, instantiated with {!Instrumented} atomics.
+    Every atomic access yields to this controller, which decides which
+    fiber runs next; a whole multi-domain execution is therefore a pure
+    function of the schedule, and a schedule is just a list of fiber
+    indices — printable, checkable into a test, and replayable.
+
+    {!explore} enumerates schedules by iterative re-execution: depth-first
+    over the scheduling tree, bounded by a {e preemption budget} (a
+    context switch away from a still-runnable fiber costs one unit;
+    switches at blocking points are free), with a state memo that prunes
+    re-reached states.  {!replay} runs one pinned schedule — the
+    deterministic reproducer format used by the regression tests.
+
+    Two soundness notes, in exchange for tractability:
+
+    - [relax]/[nap] deschedule the yielding fiber until another fiber
+      performs an atomic write — counting foreign writes that already
+      landed inside the current spin window (since the fiber's previous
+      relax), which may have invalidated what the spin observed.  A
+      retry whose whole observation window saw no foreign write is
+      guaranteed to fail again — the fiber's own writes inside one
+      iteration are election/release pairs that restore what it re-reads
+      — so no interleaving of the protocols under test is lost.  Code
+      whose spin exit depends on non-atomic state, or on its own
+      non-restoring writes, would be mis-modelled.
+    - The memo keys states by the values of every registered atom plus a
+      fold of each fiber's read history; non-immediate values enter the
+      key through a structural hash, so distinct states can in principle
+      collide.  Ids baked into every instrumented atom make this
+      vanishingly unlikely; pass [~memo:false] for the slow exact
+      search. *)
+
+type scenario = {
+  name : string;
+  fibers : (unit -> unit) array;
+      (** The model domains.  A fiber that raises fails the run. *)
+  finish : unit -> string option;
+      (** Oracle, run after every fiber returned: [Some reason] fails the
+          schedule.  Runs unscheduled — its atomic accesses are silent. *)
+}
+
+type failure = {
+  schedule : int list;
+      (** The fiber index chosen at every step — feed to {!replay}. *)
+  reason : string;
+}
+
+type stats = {
+  interleavings : int;  (** complete schedules that ran to the oracle *)
+  cutoffs : int;  (** schedules abandoned at the step bound *)
+  prunes : int;  (** schedules abandoned at a memoized state *)
+  complete : bool;  (** false iff the [max_execs] budget ran out *)
+}
+
+type outcome = { failure : failure option; stats : stats }
+
+val explore :
+  ?preemptions:int ->
+  ?max_steps:int ->
+  ?max_execs:int ->
+  ?memo:bool ->
+  (unit -> scenario) ->
+  outcome
+(** [explore mk] re-executes [mk ()] under every schedule with at most
+    [?preemptions] (default [2]) forced context switches, stopping at
+    the first oracle violation, deadlock, or fiber exception.
+    [?max_steps] (default [10_000]) bounds one schedule's length;
+    [?max_execs] (default [1_000_000]) bounds the total number of
+    (re-)executions.  The scenario constructor must be deterministic:
+    it is called afresh for every execution. *)
+
+val replay : (unit -> scenario) -> int list -> failure option
+(** [replay mk schedule] runs exactly one execution, following
+    [schedule] step by step (a scheduled fiber that is blocked or
+    finished falls back to the first runnable one, so schedules stay
+    usable across small protocol edits), then continues cooperatively
+    until every fiber returns.  [None] means the oracle passed. *)
+
+val schedule_to_string : int list -> string
+val schedule_of_string : string -> int list
+
+(** {2 Controller hooks}
+
+    Used by {!Instrumented}; not meant for scenario code. *)
+
+val fresh_id : unit -> int
+(** Deterministic per-execution id for a new atom. *)
+
+val register : (unit -> int) -> unit
+(** Add an atom's state encoder to the memo key (creation order). *)
+
+val enc_obj : Obj.t -> int
+(** Encode an observed value: immediates exactly, blocks hashed. *)
+
+val yield : blocking:bool -> unit
+(** Scheduler decision point; [blocking] deschedules until a write. *)
+
+val observe : Obj.t -> unit
+(** Fold a value read by the running fiber into its history hash. *)
+
+val wrote : unit -> unit
+(** Note an atomic write (wakes blocked fibers). *)

@@ -1,0 +1,10 @@
+(** {!Cn_runtime.Atomics.S} over the {!Engine} controller: every access
+    to a [make] atom is a scheduler decision point, its value is part of
+    the explored state, and [relax]/[nap] deschedule the model domain
+    until another domain writes.  [make_stat] counters stay silent and
+    out of the state key, exactly as the signature licenses.
+
+    Outside an engine execution the operations degrade to plain mutable
+    cells, so oracle code can read the final state without scheduling. *)
+
+include Cn_runtime.Atomics.S

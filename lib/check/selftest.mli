@@ -1,0 +1,37 @@
+(** The checker checking itself: a miniature of the {e pre-fix} service
+    protocol with both original bugs deliberately preserved, so the test
+    suite can prove the explorer still finds them.
+
+    The model is one combining lane in front of a single shared counter
+    (the "network"), built over {!Instrumented} atomics:
+
+    - {b lifecycle bug}: [drain_to] grabs the state with an exchange and
+      decides the final state from what it read {e before} sweeping — a
+      drain whose exchange caught a concurrent shutdown's [st_draining]
+      re-opens the service after the shutdown stopped it (the race the
+      CAS-elected transitions + sticky stop intent in
+      {!Cn_service.Service_core} fix);
+    - {b admission bug}: [publish] CASes its cell into a slot, raises the
+      parked count only {e afterwards}, and never re-checks the service
+      state — a publisher that passed the admission check can park after
+      the sweep saw the lane empty, handing its traversal to a helper
+      past the validated quiescence point (the parked-before-probe +
+      re-check-and-withdraw fix).
+
+    Exploring either scenario must produce a failure; the pinned
+    schedules are minimal reproducers found by the explorer, checked in
+    as engine regression tests. *)
+
+val lifecycle_race : unit -> Engine.scenario
+(** A [drain] racing a [shutdown] on the buggy lifecycle. *)
+
+val admission_race : unit -> Engine.scenario
+(** Two increments racing a [shutdown] through the buggy publish. *)
+
+val lifecycle_schedule : int list
+(** A pinned schedule on which {!lifecycle_race} resurrects the stopped
+    service. *)
+
+val admission_schedule : int list
+(** A pinned schedule on which {!admission_race} mutates the counter
+    after the validated quiescence point. *)

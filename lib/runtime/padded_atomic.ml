@@ -9,7 +9,7 @@
    line fetched by the spatial prefetcher. *)
 let cache_line_words = 16
 
-let copy_as_padded (type a) (x : a) : a =
+let pad (type a) (x : a) : a =
   let src = Obj.repr x in
   let n = Obj.size src in
   let dst = Obj.new_block (Obj.tag src) (n + cache_line_words) in
@@ -24,7 +24,7 @@ let make ?(padded = true) n ~init =
   if n < 0 then invalid_arg "Padded_atomic.make: negative size";
   let slot i =
     let a = Atomic.make (init i) in
-    if padded then copy_as_padded a else a
+    if padded then pad a else a
   in
   { slots = Array.init n slot; padded }
 

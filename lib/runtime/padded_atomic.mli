@@ -15,6 +15,13 @@
 type t
 (** A fixed-size bank of atomic integer slots. *)
 
+val pad : 'a -> 'a
+(** [pad x] re-allocates the heap block of [x] widened to a full cache
+    line and returns the copy — the primitive under every padded slot,
+    exposed so other layers (e.g. {!Atomics.Real}) can pad individual
+    atomics without building a bank.  [x] must be a heap block (an
+    [Atomic.t], a record, ...), not an immediate. *)
+
 val make : ?padded:bool -> int -> init:(int -> int) -> t
 (** [make n ~init] is a bank of [n] slots, slot [i] starting at
     [init i].  [~padded] (default [true]) gives every slot a private

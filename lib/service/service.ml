@@ -2,471 +2,36 @@ module RT = Cn_runtime.Network_runtime
 module V = Cn_runtime.Validator
 module Metrics = Cn_runtime.Metrics
 
-type op = Inc | Dec
+(* The production service is Service_core's protocol instantiated with
+   the real atomics and the compiled runtime; the deterministic race
+   checker (Cn_check) instantiates the same functor with instrumented
+   atomics, so the code below is exactly what gets model-checked. *)
 
-type error = Overloaded | Closed
+module Rt_real = struct
+  type t = RT.t
 
-(* One parked operation.  [state] is 0 while pending, 1 once [result]
-   holds the operation's value; the combiner writes [result] before the
-   atomic flip, so a client that observes state = 1 reads a published
-   result.  Cells are owned by sessions and reused across operations. *)
-type cell = { mutable kind : op; mutable result : int; done_ : int Atomic.t }
+  let input_width = RT.input_width
+  let traverse = RT.traverse
+  let traverse_decrement = RT.traverse_decrement
+  let traverse_batch = RT.traverse_batch
+  let quiescent = V.quiescent_runtime
+end
 
-(* A combining lane, one per input wire.  [slots] is the bounded
-   submission queue: publish = CAS [empty] -> cell, take = CAS cell ->
-   [empty] (physical equality on the shared sentinel).  [combining] is
-   the combiner-election flag; everything suffixed [_scr] is scratch
-   owned by whoever holds it.  Stats atomics are single-writer (the
-   flag holder) so plain get/set suffices. *)
-type lane = {
-  wire : int;
-  slots : cell Atomic.t array;
-  combining : bool Atomic.t;
-  parked : int Atomic.t;  (* cells currently in [slots] *)
-  mutable next_scan : int;  (* rotating scan start, combiner-owned *)
-  cells_scr : cell array;
-  inc_scr : int array;
-  dec_scr : int array;
-  batches : int Atomic.t;
-  ops_combined : int Atomic.t;
-  max_batch_observed : int Atomic.t;
-  eliminated_pairs : int Atomic.t;
-  rejected : int Atomic.t;
-}
+module Core = Service_core.Make (Cn_runtime.Atomics.Real) (Rt_real)
+include Core
 
-let st_running = 0
-let st_draining = 1
-let st_stopped = 2
-
-type t = {
-  rt : RT.t;
-  lanes : lane array;
-  empty : cell;  (* shared slot sentinel, never a real operation *)
-  max_batch : int;
-  elim : bool;
-  validate : V.policy;
-  state : int Atomic.t;
-  next_wire : int Atomic.t;
-  next_session : int Atomic.t;
-  layers : int array;  (* per-balancer 1-based depth, for metrics JSON *)
-}
-
-type session = {
-  svc : t;
-  lane : lane;
-  cell : cell;
-  slot_base : int;  (* where this session starts its slot scan *)
-  mutable outstanding : bool;
-}
-
-type stats = {
-  wires : int;
-  batches : int array;
-  ops_combined : int array;
-  max_batch_observed : int array;
-  eliminated_pairs : int array;
-  rejected : int array;
-  total_batches : int;
-  total_ops : int;
-  total_eliminated_pairs : int;
-  total_rejected : int;
-  mean_batch : float;
-  elimination_rate : float;
-}
-
-let dummy_cell () = { kind = Inc; result = 0; done_ = Atomic.make 1 }
-
-let make_lane ~empty ~wire ~queue ~max_batch =
-  {
-    wire;
-    slots = Array.init queue (fun _ -> Atomic.make empty);
-    combining = Atomic.make false;
-    parked = Atomic.make 0;
-    next_scan = 0;
-    cells_scr = Array.make max_batch empty;
-    inc_scr = Array.make max_batch 0;
-    dec_scr = Array.make max_batch 0;
-    batches = Atomic.make 0;
-    ops_combined = Atomic.make 0;
-    max_batch_observed = Atomic.make 0;
-    eliminated_pairs = Atomic.make 0;
-    rejected = Atomic.make 0;
-  }
-
-let create ?mode ?layout ?metrics ?(max_batch = 64) ?queue ?(elim = true)
-    ?(validate = V.Strict) net =
-  if max_batch < 1 then
-    invalid_arg "Service.create: max_batch must be at least 1";
-  let queue = Option.value queue ~default:max_batch in
-  if queue < 1 then invalid_arg "Service.create: queue must be at least 1";
+let create ?mode ?layout ?metrics ?max_batch ?queue ?elim ?validate net =
   let rt = RT.compile ?mode ?layout ?metrics net in
-  let empty = dummy_cell () in
-  let w = RT.input_width rt in
   let layers =
     let module T = Cn_network.Topology in
     Array.init (T.size net) (T.balancer_depth net)
   in
-  {
-    rt;
-    lanes = Array.init w (fun wire -> make_lane ~empty ~wire ~queue ~max_batch);
-    empty;
-    max_batch;
-    elim;
-    validate;
-    state = Atomic.make st_running;
-    next_wire = Atomic.make 0;
-    next_session = Atomic.make 0;
-    layers;
-  }
-
-let runtime t = t.rt
-let input_width t = Array.length t.lanes
-
-let session ?wire t =
-  let w = input_width t in
-  let wire =
-    match wire with
-    | Some x ->
-        if x < 0 || x >= w then
-          invalid_arg
-            (Printf.sprintf "Service.session: wire %d out of range [0, %d)" x w);
-        x
-    | None -> Atomic.fetch_and_add t.next_wire 1 mod w
-  in
-  let lane = t.lanes.(wire) in
-  {
-    svc = t;
-    lane;
-    cell = dummy_cell ();
-    (* Pre-reduced so the publish probe loop never divides. *)
-    slot_base = Atomic.fetch_and_add t.next_session 1 mod Array.length lane.slots;
-    outstanding = false;
-  }
-
-let session_wire s = s.lane.wire
-
-(* Single-writer counter bump: only the lane's flag holder calls these,
-   so get/set is enough — Atomic only for cross-domain visibility. *)
-let bump a n = Atomic.set a (Atomic.get a + n)
-let raise_to a n = if n > Atomic.get a then Atomic.set a n
-
-(* Drain the lane's slots into [cells_scr] (slot [own] first, when the
-   combiner brought its own operation), run the survivors through the
-   network as one batch, eliminate matched inc/dec pairs, publish
-   results.  Caller holds [lane.combining]. *)
-let combine svc lane own =
-  let cells = lane.cells_scr in
-  let n = ref 0 in
-  (match own with
-  | Some c ->
-      cells.(0) <- c;
-      n := 1
-  | None -> ());
-  let cap = Array.length lane.slots in
-  let own_n = !n in
-  (* Keep sweeping while new arrivals land and the batch has room: the
-     batch grows with the arrival rate, up to [max_batch]. *)
-  let grabbed = ref true in
-  while !grabbed && !n < svc.max_batch do
-    grabbed := false;
-    let start = lane.next_scan in
-    let j = ref 0 in
-    while !j < cap && !n < svc.max_batch do
-      let i = start + !j in
-      let i = if i >= cap then i - cap else i in
-      let slot = lane.slots.(i) in
-      let c = Atomic.get slot in
-      if c != svc.empty && Atomic.compare_and_set slot c svc.empty then begin
-        cells.(!n) <- c;
-        incr n;
-        grabbed := true
-      end;
-      incr j
-    done;
-    lane.next_scan <- (if start + 1 >= cap then 0 else start + 1)
-  done;
-  (* One aggregate update instead of a fenced decrement per take; the
-     combiner still holds the flag, so quiescence checks stay sound. *)
-  if !n > own_n then ignore (Atomic.fetch_and_add lane.parked (own_n - !n));
-  let n = !n in
-  if n > 0 then begin
-    let incs = ref 0 in
-    for k = 0 to n - 1 do
-      if cells.(k).kind = Inc then incr incs
-    done;
-    let incs = !incs in
-    let decs = n - incs in
-    (* Eliminate matched pairs locally; when the batch is perfectly
-       matched keep one pair real so an anchor value exists. *)
-    let elim =
-      if (not svc.elim) || incs = 0 || decs = 0 then 0
-      else if incs = decs then incs - 1
-      else min incs decs
-    in
-    let run_incs = incs - elim and run_decs = decs - elim in
-    let inc_vals = lane.inc_scr and dec_vals = lane.dec_scr in
-    if run_incs > 0 then
-      RT.traverse_batch svc.rt ~wire:lane.wire ~n:run_incs ~f:(fun i v ->
-          inc_vals.(i) <- v);
-    for i = 0 to run_decs - 1 do
-      dec_vals.(i) <- RT.traverse_decrement svc.rt ~wire:lane.wire
-    done;
-    let anchor =
-      if run_incs > 0 then inc_vals.(0)
-      else if run_decs > 0 then dec_vals.(0)
-      else 0 (* unreachable: elim > 0 forces run_incs > 0 or run_decs > 0 *)
-    in
-    let ii = ref 0 and di = ref 0 in
-    for k = 0 to n - 1 do
-      let c = cells.(k) in
-      let v =
-        match c.kind with
-        | Inc ->
-            if !ii < run_incs then (
-              let v = inc_vals.(!ii) in
-              incr ii;
-              v)
-            else anchor
-        | Dec ->
-            if !di < run_decs then (
-              let v = dec_vals.(!di) in
-              incr di;
-              v)
-            else anchor
-      in
-      c.result <- v;
-      Atomic.set c.done_ 1;
-      cells.(k) <- svc.empty (* drop the reference; cells are session-owned *)
-    done;
-    bump lane.batches 1;
-    bump lane.ops_combined n;
-    bump lane.eliminated_pairs elim;
-    raise_to lane.max_batch_observed n
-  end
-
-let spin_limit = 1024
-let nap = 0.0002 (* seconds; same patience as Domain_pool's waiters *)
-
-(* Publish the session's cell into a free slot, or fail Overloaded. *)
-let publish sess op =
-  let lane = sess.lane and svc = sess.svc in
-  let cell = sess.cell in
-  cell.kind <- op;
-  Atomic.set cell.done_ 0;
-  let cap = Array.length lane.slots in
-  let rec find j =
-    if j >= cap then begin
-      Atomic.incr lane.rejected;
-      Error Overloaded
-    end
-    else
-      let i = sess.slot_base + j in
-      let i = if i >= cap then i - cap else i in
-      let slot = lane.slots.(i) in
-      if
-        Atomic.get slot == svc.empty
-        && Atomic.compare_and_set slot svc.empty cell
-      then begin
-        Atomic.incr lane.parked;
-        Ok ()
-      end
-      else find (j + 1)
-  in
-  find 0
-
-(* Wait for the cell's result, helping combine whenever the lane has no
-   combiner.  A combiner that took the cell but has not yet published
-   holds [combining], so helping cannot race with it. *)
-let wait_for sess =
-  let lane = sess.lane and svc = sess.svc in
-  let cell = sess.cell in
-  let spins = ref 0 in
-  while Atomic.get cell.done_ = 0 do
-    if Atomic.compare_and_set lane.combining false true then begin
-      if Atomic.get cell.done_ = 0 then combine svc lane None;
-      Atomic.set lane.combining false
-    end
-    else begin
-      incr spins;
-      if !spins < spin_limit then Domain.cpu_relax ()
-      else begin
-        spins := 0;
-        Unix.sleepf nap
-      end
-    end
-  done;
-  cell.result
-
-let run_op sess op =
-  if sess.outstanding then
-    invalid_arg "Service: session has an outstanding submit";
-  let svc = sess.svc in
-  if Atomic.get svc.state <> st_running then Error Closed
-  else begin
-    let lane = sess.lane in
-    if Atomic.compare_and_set lane.combining false true then
-      (* Re-check under the flag: a drain that flipped the state after
-         our admission check will wait for the flag, so aborting here
-         guarantees no traversal slips past a draining service. *)
-      if Atomic.get svc.state <> st_running then begin
-        Atomic.set lane.combining false;
-        Error Closed
-      end
-      else begin
-        let v =
-          if Atomic.get lane.parked = 0 then begin
-            (* Uncontended fast path: a batch of one, straight through. *)
-            bump lane.batches 1;
-            bump lane.ops_combined 1;
-            raise_to lane.max_batch_observed 1;
-            match op with
-            | Inc -> RT.traverse svc.rt ~wire:lane.wire
-            | Dec -> RT.traverse_decrement svc.rt ~wire:lane.wire
-          end
-          else begin
-            let cell = sess.cell in
-            cell.kind <- op;
-            Atomic.set cell.done_ 0;
-            combine svc lane (Some cell);
-            cell.result
-          end
-        in
-        Atomic.set lane.combining false;
-        Ok v
-      end
-    else
-      match publish sess op with
-      | Error _ as e -> e
-      | Ok () -> Ok (wait_for sess)
-  end
-
-let increment s = run_op s Inc
-let decrement s = run_op s Dec
-
-let submit sess op =
-  if sess.outstanding then
-    invalid_arg "Service.submit: session already has an outstanding submit";
-  if Atomic.get sess.svc.state <> st_running then Error Closed
-  else
-    match publish sess op with
-    | Error _ as e -> e
-    | Ok () ->
-        sess.outstanding <- true;
-        Ok ()
-
-let await sess =
-  if not sess.outstanding then
-    invalid_arg "Service.await: nothing submitted on this session";
-  let v = wait_for sess in
-  sess.outstanding <- false;
-  v
-
-let quiesced t =
-  Array.for_all
-    (fun lane ->
-      Atomic.get lane.parked = 0 && not (Atomic.get lane.combining))
-    t.lanes
-
-(* Help every lane run dry: elect ourselves combiner wherever work is
-   parked, then wait out in-flight combiners. *)
-let sweep_until_quiet t =
-  let spins = ref 0 in
-  while not (quiesced t) do
-    let progressed = ref false in
-    Array.iter
-      (fun lane ->
-        if
-          Atomic.get lane.parked > 0
-          && Atomic.compare_and_set lane.combining false true
-        then begin
-          combine t lane None;
-          Atomic.set lane.combining false;
-          progressed := true
-        end)
-      t.lanes;
-    if not !progressed then begin
-      incr spins;
-      if !spins < spin_limit then Domain.cpu_relax ()
-      else begin
-        spins := 0;
-        Unix.sleepf nap
-      end
-    end
-  done
-
-let drain_to ~final ?policy t =
-  let policy = Option.value policy ~default:t.validate in
-  let prior = Atomic.exchange t.state st_draining in
-  sweep_until_quiet t;
-  let report = V.quiescent_runtime t.rt in
-  V.enforce policy report;
-  (* Only reached when the report passed (or the policy tolerates
-     failure): re-open, unless the service was already stopped. *)
-  Atomic.set t.state (if prior = st_stopped then st_stopped else final);
-  report
-
-let drain ?policy t = drain_to ~final:st_running ?policy t
-let shutdown ?policy t = drain_to ~final:st_stopped ?policy t
-
-let stats t =
-  let per f = Array.map (fun l -> Atomic.get (f l)) t.lanes in
-  let sum a = Array.fold_left ( + ) 0 a in
-  let batches = per (fun l -> l.batches) in
-  let ops_combined = per (fun l -> l.ops_combined) in
-  let eliminated_pairs = per (fun l -> l.eliminated_pairs) in
-  let rejected = per (fun l -> l.rejected) in
-  let total_batches = sum batches in
-  let total_ops = sum ops_combined in
-  let total_eliminated_pairs = sum eliminated_pairs in
-  {
-    wires = Array.length t.lanes;
-    batches;
-    ops_combined;
-    max_batch_observed = per (fun l -> l.max_batch_observed);
-    eliminated_pairs;
-    rejected;
-    total_batches;
-    total_ops;
-    total_eliminated_pairs;
-    total_rejected = sum rejected;
-    mean_batch =
-      (if total_batches = 0 then 0.
-       else float_of_int total_ops /. float_of_int total_batches);
-    elimination_rate =
-      (if total_ops = 0 then 0.
-       else float_of_int (2 * total_eliminated_pairs) /. float_of_int total_ops);
-  }
-
-let json_int_array a =
-  "["
-  ^ String.concat ", " (Array.to_list (Array.map string_of_int a))
-  ^ "]"
-
-let stats_json t =
-  let s = stats t in
-  let b = Buffer.create 512 in
-  Buffer.add_string b "{\n";
-  Printf.bprintf b "  \"wires\": %d,\n" s.wires;
-  Printf.bprintf b "  \"batches\": %d,\n" s.total_batches;
-  Printf.bprintf b "  \"ops_combined\": %d,\n" s.total_ops;
-  Printf.bprintf b "  \"mean_batch\": %.3f,\n" s.mean_batch;
-  Printf.bprintf b "  \"eliminated_pairs\": %d,\n" s.total_eliminated_pairs;
-  Printf.bprintf b "  \"elimination_rate\": %.4f,\n" s.elimination_rate;
-  Printf.bprintf b "  \"rejected\": %d,\n" s.total_rejected;
-  Printf.bprintf b "  \"per_wire_batches\": %s,\n" (json_int_array s.batches);
-  Printf.bprintf b "  \"per_wire_ops\": %s,\n" (json_int_array s.ops_combined);
-  Printf.bprintf b "  \"per_wire_max_batch\": %s,\n"
-    (json_int_array s.max_batch_observed);
-  Printf.bprintf b "  \"per_wire_eliminated\": %s,\n"
-    (json_int_array s.eliminated_pairs);
-  Printf.bprintf b "  \"per_wire_rejected\": %s\n" (json_int_array s.rejected);
-  Buffer.add_string b "}";
-  Buffer.contents b
+  Core.make ?max_batch ?queue ?elim ?validate ~layers rt
 
 let report_json t =
   let network =
-    match RT.metrics t.rt with
-    | Some m -> Metrics.to_json ~layers:t.layers (Metrics.snapshot m)
+    match RT.metrics (Core.runtime t) with
+    | Some m -> Metrics.to_json ~layers:(Core.layers t) (Metrics.snapshot m)
     | None -> "null"
   in
   Printf.sprintf "{\n\"service\": %s,\n\"network\": %s\n}" (stats_json t)
@@ -475,16 +40,41 @@ let report_json t =
 let shared_counter ?(sessions = 64) t =
   if sessions < 1 then
     invalid_arg "Service.shared_counter: sessions must be at least 1";
-  let ss = Array.init sessions (fun _ -> session t) in
+  (* Sessions are single-owner (mutable cell, outstanding flag), so two
+     processes must never share one: the pool holds one session per
+     process id and grows on demand — [sessions] only sizes the
+     pre-allocated prefix.  Growth is rare (once per high-water pid),
+     so a plain mutex is fine; readers go through the atomic snapshot
+     and never lock. *)
+  let pool = Atomic.make (Array.init sessions (fun _ -> session t)) in
+  let lock = Mutex.create () in
+  let rec session_for pid =
+    let p = Atomic.get pool in
+    if pid < Array.length p then p.(pid)
+    else begin
+      Mutex.lock lock;
+      let p = Atomic.get pool in
+      if pid >= Array.length p then begin
+        let n = max (pid + 1) (2 * Array.length p) in
+        let q =
+          Array.init n (fun i ->
+              if i < Array.length p then p.(i) else session t)
+        in
+        Atomic.set pool q
+      end;
+      Mutex.unlock lock;
+      session_for pid
+    end
+  in
   let rec op f ~pid =
-    match f ss.(pid mod sessions) with
+    match f (session_for pid) with
     | Ok v -> v
     | Error Overloaded ->
         Domain.cpu_relax ();
         op f ~pid
     | Error Closed -> failwith "Service.shared_counter: service is closed"
   in
-  Cn_runtime.Shared_counter.custom ~name:"service" ~runtime:t.rt
+  Cn_runtime.Shared_counter.custom ~name:"service" ~runtime:(Core.runtime t)
     ~next:(fun ~pid -> op increment ~pid)
     ~prev:(fun ~pid -> op decrement ~pid)
     ()

@@ -47,7 +47,16 @@
 
     A [session] is owned by one domain at a time and carries at most one
     outstanding operation; distinct sessions are safe to use from
-    distinct domains concurrently. *)
+    distinct domains concurrently.
+
+    {2 Checked concurrency}
+
+    The protocol itself lives in {!Service_core.Make}, a functor over
+    its atomic operations; this module is the instantiation with the
+    real atomics.  The [Cn_check] library instantiates the same functor
+    with instrumented atomics and model-checks the drain/shutdown and
+    admission protocols over every bounded-preemption interleaving —
+    see [make check-races]. *)
 
 type t
 (** A counting service: a compiled network plus one combining lane per
@@ -114,6 +123,12 @@ val session : ?wire:int -> t -> session
     wires; [~wire] pins explicitly (useful to colocate inc/dec traffic
     so elimination can pair it).  Sessions may be created on a closed
     service; their operations just fail with [Error Closed].
+
+    {b Ownership rule}: a session is single-owner state (its submission
+    cell and outstanding flag are unsynchronized); at any moment at most
+    one domain may be running an operation on it.  Two domains sharing a
+    session corrupt the cell protocol — give each concurrent client its
+    own session ({!shared_counter} does this per process id).
     @raise Invalid_argument if [wire] is out of range. *)
 
 val session_wire : session -> int
@@ -144,6 +159,11 @@ val await : session -> int
     value.
     @raise Invalid_argument if nothing was submitted. *)
 
+val lifecycle : t -> [ `Running | `Draining | `Stopped ]
+(** The service's current lifecycle state.  [`Stopped] is terminal: no
+    interleaving of {!drain} and {!shutdown} calls can re-open a
+    stopped service. *)
+
 val drain :
   ?policy:Cn_runtime.Validator.policy -> t -> Cn_runtime.Validator.report
 (** [drain t] stops admitting operations, helps every lane run dry
@@ -151,15 +171,25 @@ val drain :
     {!Validator.quiescent_runtime} on the quiesced network, applies
     [?policy] (default: the service's [validate] policy) and re-opens
     the service.  Callers should quiesce their own sessions first:
-    operations racing with the admission flip fail with
-    [Error Closed].
+    operations racing with the admission flip either fail with
+    [Error Closed] or complete before the validation point — never
+    after it.
+
+    Lifecycle transitions are CAS-elected and compose: exactly one
+    caller owns the drain at a time; a concurrent [drain]/[shutdown]
+    waits for the owner to finish and then performs its own
+    drain-and-validate cycle (so every caller still receives a report
+    for a quiescent point).  A [drain] racing a [shutdown] never
+    re-opens the service: stopped is terminal.
     @raise Validator.Invalid under [Strict] when a check fails (the
-    service is left closed). *)
+    service is left terminally stopped). *)
 
 val shutdown :
   ?policy:Cn_runtime.Validator.policy -> t -> Cn_runtime.Validator.report
 (** [shutdown t] drains, validates, and leaves the service closed:
-    every subsequent operation returns [Error Closed].  Idempotent. *)
+    every subsequent operation returns [Error Closed].  Idempotent, and
+    sticky against concurrent {!drain}s — whichever of the two racing
+    calls validates last, the service ends stopped. *)
 
 val stats : t -> stats
 (** Combining statistics so far (batches, batch sizes, eliminations,
@@ -175,8 +205,10 @@ val report_json : t -> string
 
 val shared_counter : ?sessions:int -> t -> Cn_runtime.Shared_counter.t
 (** [shared_counter t] adapts the service to the {!Shared_counter}
-    interface so it slots into {!Harness} runs: process [pid] maps to
-    session [pid mod sessions] (default [64] sessions, round-robin over
-    the wires).  [Overloaded] is retried after a backoff; [Closed]
-    raises [Failure].
+    interface so it slots into {!Harness} runs.  Sessions are
+    single-owner (see {!session}), so each process id gets a session of
+    its own: [sessions] (default [64]) only sizes the pre-allocated
+    pool, which grows on demand when a higher [pid] appears — processes
+    never alias a session, whatever the process count.  [Overloaded] is
+    retried after a backoff; [Closed] raises [Failure].
     @raise Invalid_argument if [sessions < 1]. *)

@@ -1,0 +1,89 @@
+(** The combining-service protocol, factored out as a functor over its
+    atomic operations and the network runtime it drives.
+
+    {!Service} instantiates {!Make} with {!Cn_runtime.Atomics.Real} and
+    the compiled {!Cn_runtime.Network_runtime} — that instantiation IS
+    the production service; there is no second copy of the protocol.
+    The deterministic race checker ([Cn_check]) instantiates the same
+    functor with instrumented atomics and a model runtime, so every
+    interleaving it explores exercises the exact code production runs.
+
+    The protocol invariants the functorization exists to check:
+
+    - {b lifecycle}: [`Stopped] is terminal; a [drain] racing a
+      [shutdown] can never re-open a stopped service (transitions are
+      CAS-elected, shutdown intent is sticky);
+    - {b admission}: no operation's network traversal happens after the
+      quiescent validation of a [drain]/[shutdown] that rejected it —
+      a publisher that parked against a closing service withdraws its
+      cell unless a pre-validation combiner already took it;
+    - {b liveness}: every accepted operation's [await] completes; no
+      cell stays parked forever. *)
+
+module type RUNTIME = sig
+  type t
+
+  val input_width : t -> int
+  val traverse : t -> wire:int -> int
+  val traverse_decrement : t -> wire:int -> int
+  val traverse_batch : t -> wire:int -> n:int -> f:(int -> int -> unit) -> unit
+
+  val quiescent : t -> Cn_runtime.Validator.report
+  (** Quiescent-state validation ({!Cn_runtime.Validator}-shaped): only
+      called by [drain]/[shutdown] once every lane is quiet. *)
+end
+
+module type S = sig
+  type rt
+  type t
+  type session
+  type op = Inc | Dec
+  type error = Overloaded | Closed
+
+  type stats = {
+    wires : int;
+    batches : int array;
+    ops_combined : int array;
+    max_batch_observed : int array;
+    eliminated_pairs : int array;
+    rejected : int array;
+    total_batches : int;
+    total_ops : int;
+    total_eliminated_pairs : int;
+    total_rejected : int;
+    mean_batch : float;
+    elimination_rate : float;
+  }
+
+  val make :
+    ?max_batch:int ->
+    ?queue:int ->
+    ?elim:bool ->
+    ?validate:Cn_runtime.Validator.policy ->
+    ?layers:int array ->
+    rt ->
+    t
+  (** Build a service over an already-compiled runtime.  [?layers] is
+      opaque per-balancer depth metadata carried for reporting
+      (default [[||]]). *)
+
+  val runtime : t -> rt
+  val layers : t -> int array
+  val input_width : t -> int
+  val session : ?wire:int -> t -> session
+  val session_wire : session -> int
+  val increment : session -> (int, error) result
+  val decrement : session -> (int, error) result
+  val submit : session -> op -> (unit, error) result
+  val await : session -> int
+
+  val lifecycle : t -> [ `Running | `Draining | `Stopped ]
+  (** The service's current lifecycle state.  [`Stopped] is terminal. *)
+
+  val drain : ?policy:Cn_runtime.Validator.policy -> t -> Cn_runtime.Validator.report
+  val shutdown : ?policy:Cn_runtime.Validator.policy -> t -> Cn_runtime.Validator.report
+  val stats : t -> stats
+  val stats_json : t -> string
+end
+
+module Make (A : Cn_runtime.Atomics.S) (R : RUNTIME) : S with type rt = R.t

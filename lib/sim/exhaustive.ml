@@ -7,17 +7,13 @@ module Balancer = Cn_network.Balancer
    positions. *)
 type state = { bals : int array; pos : int array; quota : int array }
 
-let key state =
-  (* Compact string key for the memo table. *)
-  let buf = Buffer.create 64 in
-  Array.iter (fun v -> Buffer.add_char buf (Char.chr (v land 0xff))) state.bals;
-  Buffer.add_char buf '|';
-  Array.iter
-    (fun v -> Buffer.add_char buf (Char.chr ((v + 2) land 0xff)))
-    state.pos;
-  Buffer.add_char buf '|';
-  Array.iter (fun v -> Buffer.add_char buf (Char.chr (v land 0xff))) state.quota;
-  Buffer.contents buf
+(* The memo is keyed on the state itself: the record's arrays are
+   frozen once built (transitions copy), so structural hashing and
+   equality are exact.  An earlier byte-packed string key truncated
+   every component with [land 0xff], silently merging states whose
+   quotas (or antitoken-driven positions) differed by a multiple of
+   256 — which made large-token searches prune distinct states and
+   report unsound optima. *)
 
 let search ~better ~limit_states net ~n ~m =
   if n <= 0 then invalid_arg "Exhaustive: concurrency must be positive";
@@ -47,9 +43,9 @@ let search ~better ~limit_states net ~n ~m =
     if pos.(p) = -1 then quota.(p) <- 0
   done;
   let init = { bals = Array.init (Topology.size net) (fun b -> (Topology.balancer net b).Balancer.init_state); pos; quota } in
-  let memo : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+  let memo : (state, int) Hashtbl.t = Hashtbl.create 4096 in
   let rec solve state =
-    let k = key state in
+    let k = state in
     match Hashtbl.find_opt memo k with
     | Some v -> v
     | None ->

@@ -33,4 +33,5 @@ let () =
          Test_grid.suite;
          Test_exhaustive.suite;
          Test_compose.suite;
+         Test_check.suite;
        ])

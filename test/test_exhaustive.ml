@@ -34,6 +34,17 @@ let single_balancer =
     tc "zero tokens" (fun () ->
         let net = Cn_core.Counting.network ~w:2 ~t:2 in
         Alcotest.(check int) "max" 0 (X.max_contention net ~n:2 ~m:0));
+    tc "per-process quotas above 255 stay exact" (fun () ->
+        (* Regression: the memo key used to pack each remaining quota
+           into 8 bits, so m = 520 over n = 2 (quota 259) silently
+           collided distinct states.  Closed forms for C(2,2), n = 2:
+           max = m - 1 (the adversary keeps both processes colliding on
+           the entry balancer), min = m / 2 (perfect alternation). *)
+        let net = Cn_core.Counting.network ~w:2 ~t:2 in
+        Alcotest.(check int) "max m=20" 19 (X.max_contention net ~n:2 ~m:20);
+        Alcotest.(check int) "min m=20" 10 (X.min_contention net ~n:2 ~m:20);
+        Alcotest.(check int) "max m=520" 519 (X.max_contention net ~n:2 ~m:520);
+        Alcotest.(check int) "min m=520" 260 (X.min_contention net ~n:2 ~m:520));
   ]
 
 let properties =

@@ -263,6 +263,84 @@ let concurrent =
         ignore (Svc.drain svc));
   ]
 
+let races =
+  (* Multi-domain stress over the two protocol paths the deterministic
+     checker (Cn_check, `make check-races`) verifies exhaustively at
+     model scale: drain/shutdown lifecycle racing live traffic, and
+     admission racing the quiescence validation point. *)
+  [
+    tc "drain races live increments across 4 domains (strict)" (fun () ->
+        let svc = Svc.create (net48 ()) in
+        let ok = Array.make 4 0 in
+        let stopping = Atomic.make false in
+        let body pid () =
+          let s = Svc.session svc in
+          try
+            for _ = 1 to 400 do
+              match Svc.increment s with
+              | Ok _ -> ok.(pid) <- ok.(pid) + 1
+              | Error Svc.Overloaded -> Domain.cpu_relax ()
+              | Error Svc.Closed ->
+                  (* Mid-drain rejection: retry unless shutting down. *)
+                  if Atomic.get stopping then raise Exit else Domain.cpu_relax ()
+            done
+          with Exit -> ()
+        in
+        let hs = Array.init 4 (fun pid -> Domain.spawn (body pid)) in
+        for _ = 1 to 3 do
+          Alcotest.(check bool) "interleaved drain strict" true
+            (V.passed (Svc.drain svc))
+        done;
+        Atomic.set stopping true;
+        Alcotest.(check bool) "shutdown strict" true (V.passed (Svc.shutdown svc));
+        Array.iter Domain.join hs;
+        Alcotest.(check bool) "stopped terminal" true
+          (Svc.lifecycle svc = `Stopped);
+        (* No admitted op traversed past the shutdown's validation:
+           tokens out of the network = successful increments. *)
+        Alcotest.(check int) "conservation"
+          (Array.fold_left ( + ) 0 ok)
+          (S.sum (RT.exit_distribution (Svc.runtime svc))));
+    tc "concurrent drains and shutdowns: stopped is terminal" (fun () ->
+        let svc = Svc.create (net48 ()) in
+        let s = Svc.session svc in
+        ignore (check_ok "seed" (Svc.increment s));
+        let reports = Array.make 6 None in
+        let body i () =
+          let r = if i land 1 = 0 then Svc.drain svc else Svc.shutdown svc in
+          reports.(i) <- Some r
+        in
+        let hs = Array.init 6 (fun i -> Domain.spawn (body i)) in
+        Array.iter Domain.join hs;
+        Alcotest.(check bool) "stopped" true (Svc.lifecycle svc = `Stopped);
+        Array.iteri
+          (fun i -> function
+            | Some r ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "caller %d got a quiescent report" i)
+                  true (V.passed r)
+            | None -> Alcotest.failf "caller %d has no report" i)
+          reports;
+        match Svc.increment s with
+        | Error Svc.Closed -> ()
+        | Ok _ | Error Svc.Overloaded -> Alcotest.fail "expected Closed");
+    tc "shared_counter grows its session pool past the preallocation"
+      (fun () ->
+        (* 6 process ids against a 2-session pool: the pool must grow
+           rather than alias sessions (aliased sessions corrupt the
+           single-owner cell protocol and break the range contract). *)
+        let svc = Svc.create (net816 ()) in
+        let counter = Svc.shared_counter ~sessions:2 svc in
+        let values =
+          H.run_collect ~validate:V.Strict
+            ~make:(fun () -> counter)
+            ~domains:6 ~ops_per_domain:50 ()
+        in
+        Alcotest.(check bool) "range, no aliasing" true
+          (H.values_are_a_range values);
+        Alcotest.(check bool) "strict drain" true (V.passed (Svc.drain svc)));
+  ]
+
 let workload_spec =
   [
     Util.raises_invalid "workload rejects dec_ratio > 1" (fun () ->
@@ -292,5 +370,6 @@ let suite =
     ("service.elimination", elimination);
     ("service.backpressure", backpressure);
     ("service.concurrent", concurrent);
+    ("service.races", races);
     ("service.workload", workload_spec);
   ]
