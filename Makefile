@@ -1,7 +1,7 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test bench micro bench-runtime bench-smoke bench-service \
-        bench-service-smoke check-metrics check-races examples clean doc
+        bench-service-smoke check-metrics check-races lint examples clean doc
 
 all: build
 
@@ -36,6 +36,14 @@ bench-service-smoke:
 # the deliberately buggy pre-fix models.  Seconds, not minutes.
 check-races:
 	dune exec bin/countnet.exe -- check -p 3 --selftest
+
+# Static certification: every portfolio family in both compiled layouts,
+# the seeded mutant battery (all must be rejected with their pinned
+# diagnostics), and the source-level atomics lint over lib/ and bin/.
+# Writes the certificate summary to LINT_certificates.json.
+lint:
+	dune exec bin/countnet.exe -- lint --all --mutate --json LINT_certificates.json
+	dune exec bin/atomlint.exe -- lib bin
 
 # Quick end-to-end check of the observability layer: metrics JSON out,
 # quiescence validator strict.

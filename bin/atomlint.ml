@@ -1,0 +1,208 @@
+(* atomlint — a source-level concurrency lint over the compiler-libs AST.
+
+   The runtime library ([lib/runtime/]) owns every hardware concurrency
+   primitive in this codebase: it pads atomics onto their own cache
+   lines, exposes the [Cn_runtime.Atomics.S] vocabulary so protocol code
+   can also run under the deterministic model checker, and keeps the
+   memory-ordering reasoning in one audited place.  Everything else must
+   go through it.  This tool enforces that boundary syntactically:
+
+   - ATOM001  raw [Atomic.*] access outside [lib/runtime/]
+   - ATOM002  raw [Mutex]/[Condition]/[Semaphore] outside [lib/runtime/]
+   - ATOM003  module-level [ref] creation (shared mutable state that
+              every domain implicitly aliases)
+
+   Waivers, each requiring a written reason:
+
+   - [x [@atomlint.allow "reason"]]          one expression
+   - [let x = e [@@atomlint.allow "reason"]] one binding
+   - [[@@@atomlint.allow "reason"]]          whole file
+
+   Files under [lib/runtime/] are allowlisted wholesale.  Usage:
+
+     atomlint [DIR-OR-FILE ...]     (default: lib bin)
+
+   Exit 0 when clean, 1 with findings, 2 on parse/usage errors. *)
+
+[@@@atomlint.allow
+  "the lint driver is a single-process, single-domain CLI; its \
+   accumulators are never shared"]
+
+module P = Parsetree
+
+type finding = { file : string; line : int; col : int; code : string; msg : string }
+
+let findings : finding list ref = ref []
+let waived : (string * string) list ref = ref []
+let scanned = ref 0
+let broken = ref false
+
+let forbidden =
+  [
+    ("Atomic", "ATOM001");
+    ("Mutex", "ATOM002");
+    ("Condition", "ATOM002");
+    ("Semaphore", "ATOM002");
+  ]
+
+let runtime_allowlist = [ "lib/runtime/" ]
+let allow_name = "atomlint.allow"
+
+let rec lid_head : Longident.t -> string = function
+  | Lident s -> s
+  | Ldot (l, _) -> lid_head l
+  | Lapply (l, _) -> lid_head l
+
+let rec lid_string : Longident.t -> string = function
+  | Lident s -> s
+  | Ldot (l, s) -> lid_string l ^ "." ^ s
+  | Lapply (a, b) -> lid_string a ^ "(" ^ lid_string b ^ ")"
+
+let allow_reason (a : P.attribute) =
+  match a.attr_payload with
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ]
+    when String.trim s <> "" ->
+      Some s
+  | _ -> None
+
+(* A waiver without a reason does not waive: the reason is the point. *)
+let has_allow ~file attrs =
+  List.exists
+    (fun (a : P.attribute) ->
+      if a.attr_name.txt <> allow_name then false
+      else
+        match allow_reason a with
+        | Some _ -> true
+        | None ->
+            Printf.eprintf "%s: [@%s] without a reason string is ignored\n" file
+              allow_name;
+            false)
+    attrs
+
+let add ~file (loc : Location.t) code msg =
+  let p = loc.loc_start in
+  findings :=
+    { file; line = p.pos_lnum; col = p.pos_cnum - p.pos_bol; code; msg } :: !findings
+
+let hint = function
+  | "ATOM001" -> "route it through Cn_runtime.Atomics (Real or instrumented)"
+  | "ATOM002" -> "blocking coordination belongs to lib/runtime"
+  | _ -> "shared mutable state belongs to lib/runtime"
+
+let lint_structure ~file (str : P.structure) =
+  let open Ast_iterator in
+  let fun_depth = ref 0 in
+  let check_lid (lid : Longident.t Location.loc) =
+    match List.assoc_opt (lid_head lid.txt) forbidden with
+    | Some code ->
+        add ~file lid.loc code
+          (Printf.sprintf "raw %s: %s" (lid_string lid.txt) (hint code))
+    | None -> ()
+  in
+  let it =
+    {
+      default_iterator with
+      expr =
+        (fun self e ->
+          if has_allow ~file e.pexp_attributes then ()
+          else
+            match e.pexp_desc with
+            | Pexp_ident lid -> check_lid lid
+            | Pexp_fun _ | Pexp_function _ ->
+                incr fun_depth;
+                default_iterator.expr self e;
+                decr fun_depth
+            | Pexp_apply
+                ({ pexp_desc = Pexp_ident { txt = Lident "ref"; loc }; _ }, args) ->
+                if !fun_depth = 0 then
+                  add ~file loc "ATOM003"
+                    (Printf.sprintf "module-level ref: %s" (hint "ATOM003"));
+                List.iter (fun (_, a) -> self.expr self a) args
+            | _ -> default_iterator.expr self e);
+      module_expr =
+        (fun self m ->
+          (match m.pmod_desc with Pmod_ident lid -> check_lid lid | _ -> ());
+          default_iterator.module_expr self m);
+      value_binding =
+        (fun self vb ->
+          if has_allow ~file vb.pvb_attributes then ()
+          else default_iterator.value_binding self vb);
+    }
+  in
+  it.structure it str
+
+let file_waiver (str : P.structure) =
+  List.find_map
+    (fun (si : P.structure_item) ->
+      match si.pstr_desc with
+      | Pstr_attribute a when a.attr_name.txt = allow_name -> allow_reason a
+      | _ -> None)
+    str
+
+let allowlisted file =
+  List.exists
+    (fun prefix ->
+      let rec mem i =
+        i + String.length prefix <= String.length file
+        && (String.sub file i (String.length prefix) = prefix || mem (i + 1))
+      in
+      mem 0)
+    runtime_allowlist
+
+let lint_file file =
+  incr scanned;
+  if allowlisted file then waived := (file, "lib/runtime allowlist") :: !waived
+  else
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let lexbuf = Lexing.from_channel ic in
+        Location.init lexbuf file;
+        match Parse.implementation lexbuf with
+        | exception exn ->
+            broken := true;
+            Location.report_exception Format.err_formatter exn
+        | str -> (
+            match file_waiver str with
+            | Some reason -> waived := (file, reason) :: !waived
+            | None -> lint_structure ~file str))
+
+let rec collect path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.filter (fun name -> name <> "_build" && name.[0] <> '.')
+    |> List.concat_map (fun name -> collect (Filename.concat path name))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let roots = if args = [] then [ "lib"; "bin" ] else args in
+  let missing = List.filter (fun r -> not (Sys.file_exists r)) roots in
+  if missing <> [] then begin
+    List.iter (Printf.eprintf "atomlint: no such file or directory: %s\n") missing;
+    exit 2
+  end;
+  List.iter lint_file (List.concat_map collect roots);
+  let ordered =
+    List.sort
+      (fun a b -> compare (a.file, a.line, a.col) (b.file, b.line, b.col))
+      !findings
+  in
+  List.iter
+    (fun f -> Printf.printf "%s:%d:%d %s %s\n" f.file f.line f.col f.code f.msg)
+    ordered;
+  List.iter
+    (fun (file, reason) -> Printf.printf "%s: waived (%s)\n" file reason)
+    (List.sort compare !waived);
+  Printf.printf "%d files scanned, %d waived, %d findings\n" !scanned
+    (List.length !waived) (List.length ordered);
+  if !broken then exit 2 else if ordered <> [] then exit 1 else exit 0

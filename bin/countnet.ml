@@ -858,6 +858,216 @@ let check_cmd =
       $ selftest_arg)
 
 (* ---------------------------------------------------------------- *)
+(* lint *)
+
+let lint_cmd =
+  let module L = Cn_lint.Cert in
+  let module P = Cn_lint.Portfolio in
+  let module M = Cn_lint.Mutate in
+  let all_flag =
+    Arg.(
+      value
+      & flag
+      & info [ "all" ]
+          ~doc:"Certify the whole built-in portfolio (every family at widths 2..64, both \
+                compiled layouts) instead of one network.")
+  in
+  let mutate_flag =
+    Arg.(
+      value
+      & flag
+      & info [ "mutate" ]
+          ~doc:"Run the seeded mutant battery: wire flips, dropped balancers, corrupted port \
+                masks and truncated CSR rows, each of which must be rejected with its pinned \
+                diagnostic code.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the machine-readable report to $(docv).")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt int 20_000
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Bounded-exhaustive input-space budget per certificate (default 20000).")
+  in
+  let layouts_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("padded", [ Cn_runtime.Network_runtime.Padded_csr ]);
+               ("unpadded", [ Cn_runtime.Network_runtime.Unpadded_nested ]);
+               ( "both",
+                 [
+                   Cn_runtime.Network_runtime.Padded_csr;
+                   Cn_runtime.Network_runtime.Unpadded_nested;
+                 ] );
+             ])
+          [
+            Cn_runtime.Network_runtime.Padded_csr; Cn_runtime.Network_runtime.Unpadded_nested;
+          ]
+      & info [ "layout" ] ~docv:"LAYOUT"
+          ~doc:"Compiled layout(s) for the CSR-faithfulness pass: $(b,padded), $(b,unpadded) or \
+                $(b,both) (default).")
+  in
+  let lint_file_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "file" ] ~docv:"FILE"
+          ~doc:"Lint a serialized network from $(docv) (full well-formedness diagnostics, then \
+                certification without a reference construction) instead of a built family.")
+  in
+  (* Family-specific certification spec: expectation, closed-form
+     depth, and the trusted reconstruction with its citation. *)
+  let spec_of_family family ~w ~t ~delta =
+    let t' = match t with Some t -> t | None -> w in
+    let lgw =
+      let rec go acc v = if v <= 1 then acc else go (acc + 1) (v / 2) in
+      go 0 w
+    in
+    match family with
+    | Counting ->
+        ( Printf.sprintf "C(%d,%d)" w t',
+          L.Counting,
+          Cn_core.Counting.depth_formula ~w,
+          ((fun () -> Cn_core.Counting.network ~w ~t:t'), "Theorems 4.1/4.2"), None )
+    | Bitonic ->
+        ( Printf.sprintf "BITONIC(%d)" w,
+          L.Counting,
+          Cn_baselines.Bitonic.depth_formula ~w,
+          ((fun () -> Cn_baselines.Bitonic.network w), "Aspnes-Herlihy-Shavit, Section 3"), None )
+    | Periodic ->
+        ( Printf.sprintf "PERIODIC(%d)" w,
+          L.Counting,
+          Cn_baselines.Periodic.depth_formula ~w,
+          ((fun () -> Cn_baselines.Periodic.network w), "Aspnes-Herlihy-Shavit, Section 4"), None )
+    | Diffracting ->
+        ( Printf.sprintf "DIFF(%d)" w,
+          L.Counting,
+          Cn_baselines.Diffracting.depth_formula ~w,
+          ((fun () -> Cn_baselines.Diffracting.network w), "Shavit-Zemach"), None )
+    | Butterfly_fwd ->
+        ( Printf.sprintf "D(%d)" w,
+          L.Smoothing (Cn_core.Butterfly.smoothness_bound ~w),
+          Cn_core.Butterfly.depth_formula ~w,
+          ((fun () -> Cn_core.Butterfly.forward w), "Lemma 5.2"), None )
+    | Butterfly_bwd ->
+        ( Printf.sprintf "E(%d)" w,
+          L.Smoothing (Cn_core.Butterfly.smoothness_bound ~w),
+          Cn_core.Butterfly.depth_formula ~w,
+          ((fun () -> Cn_core.Butterfly.forward w), "Lemma 5.3"),
+          Some (Cn_core.Butterfly.lemma_5_3_mapping w) )
+    | Ladder ->
+        ( Printf.sprintf "L(%d)" w,
+          L.Half_split,
+          1,
+          ((fun () -> Cn_core.Ladder.network w), "Section 4.1"), None )
+    | Merging ->
+        ( Printf.sprintf "M(%d,%d)" w delta,
+          L.Merging delta,
+          Cn_core.Merging.depth_formula ~delta,
+          ((fun () -> Cn_core.Merging.network ~t:w ~delta), "Lemma 3.1"), None )
+    | C_prime ->
+        ( Printf.sprintf "C'(%d,%d)" w t',
+          L.Smoothing (Cn_core.Blocks.smoothing_parameter ~w ~t:t'),
+          lgw,
+          ((fun () -> Cn_core.Blocks.c_prime ~w ~t:t'), "Lemma 6.6"), None )
+  in
+  let run family w t delta all mutate json budget layouts file =
+    let failed = ref false in
+    let certs = ref [] in
+    let mutants = ref [] in
+    (match file with
+    | Some path -> (
+        let text = In_channel.with_open_text path In_channel.input_all in
+        match Cn_network.Codec.parse_raw text with
+        | Error e ->
+            prerr_endline e;
+            exit 1
+        | Ok raw -> (
+            match Cn_network.Raw.validate raw with
+            | Error violations ->
+                List.iter
+                  (fun v ->
+                    Format.printf "%a@."
+                      Cn_lint.Diagnostic.pp
+                      (Cn_lint.Diagnostic.of_violation ~pass:"wellformed" ~subject:path v))
+                  violations;
+                failed := true
+            | Ok net ->
+                let cert =
+                  L.certify ~exhaustive_budget:budget ~layouts ~subject:path
+                    ~expectation:L.Counting net
+                in
+                certs := [ cert ];
+                Format.printf "%a@." L.pp cert;
+                if not (L.ok cert) then failed := true))
+    | None ->
+        if all then begin
+          let cs = P.run ~exhaustive_budget:budget ~layouts () in
+          certs := cs;
+          Format.printf "%a@?" P.pp_summary cs;
+          if not (P.all_ok cs) then failed := true
+        end
+        else if not mutate then begin
+          let subject, expectation, expected_depth, (build_ref, cite), iso_hint =
+            spec_of_family family ~w ~t ~delta
+          in
+          match
+            let net = build family ~w ~t ~delta in
+            let reference = (build_ref (), cite) in
+            L.certify ~reference ?iso_hint ~expected_depth ~exhaustive_budget:budget
+              ~layouts ~subject ~expectation net
+          with
+          | exception Invalid_argument m ->
+              prerr_endline m;
+              exit 1
+          | cert ->
+              certs := [ cert ];
+              Format.printf "%a@." L.pp cert;
+              if not (L.ok cert) then failed := true
+        end);
+    if mutate then begin
+      let outcomes = M.battery () in
+      mutants := outcomes;
+      List.iter (fun o -> Format.printf "%a@." M.pp_outcome o) outcomes;
+      let escaped = List.filter (fun o -> not o.M.rejected) outcomes in
+      if escaped <> [] then failed := true;
+      Format.printf "%d mutants, %s@." (List.length outcomes)
+        (if escaped = [] then "all rejected" else Printf.sprintf "%d ESCAPED" (List.length escaped))
+    end;
+    Option.iter
+      (fun path ->
+        let buf = Buffer.create 4096 in
+        Buffer.add_string buf "{\"certificates\":[";
+        List.iteri
+          (fun i c ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf (L.to_json c))
+          !certs;
+        Buffer.add_string buf "],\"mutants\":";
+        Buffer.add_string buf (M.to_json !mutants);
+        Buffer.add_string buf (Printf.sprintf ",\"ok\":%b}" (not !failed));
+        Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf)))
+      json;
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically certify topologies and their compiled runtimes: well-formedness, \
+             abstract interpretation, bounded-exhaustive and structural step certificates, \
+             CSR faithfulness in both layouts, and the seeded mutant battery.")
+    Term.(
+      const run $ family_arg $ width_arg $ out_width_arg $ delta_arg $ all_flag $ mutate_flag
+      $ json_arg $ budget_arg $ layouts_arg $ lint_file_arg)
+
+(* ---------------------------------------------------------------- *)
 
 let main_cmd =
   let doc = "counting networks: build, inspect, verify, simulate, and run them" in
@@ -865,7 +1075,7 @@ let main_cmd =
     (Cmd.info "countnet" ~version:"1.0.0" ~doc)
     [
       draw_cmd; depth_cmd; verify_cmd; simulate_cmd; throughput_cmd; sort_cmd; count_cmd;
-      iso_cmd; save_cmd; load_cmd; feasible_cmd; latency_cmd; check_cmd;
+      iso_cmd; save_cmd; load_cmd; feasible_cmd; latency_cmd; check_cmd; lint_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -6,6 +6,11 @@
 
 type _ Effect.t += Yield : bool -> unit Effect.t
 
+[@@@atomlint.allow
+  "the checker controller runs every model domain as a fiber on one OS \
+   thread; its state is single-threaded by construction and wrapping it \
+   in atomics would only obscure that invariant"]
+
 (* ---- controller state (one execution at a time) ---- *)
 
 let active = ref false

@@ -41,9 +41,73 @@ let depth_formula ~w = Params.ilog2 w
 
 let smoothness_bound ~w = Params.ilog2 w
 
+(* Replays of the two recursions above over global wire positions.
+   [Ladder.wires] keeps each output at its input's position, so a
+   balancer is identified by the position pair it joins; in a butterfly
+   every pair occurs at most once, making the pair a unique key.  [emit]
+   is called in balancer-creation order, which is id order in
+   [Builder]. *)
+let rec replay_forward emit positions =
+  let n = Array.length positions in
+  if n > 1 then begin
+    let half = n / 2 in
+    replay_forward emit (Array.sub positions 0 half);
+    replay_forward emit (Array.sub positions half half);
+    for i = 0 to half - 1 do
+      emit positions.(i) positions.(i + half)
+    done
+  end
+
+let rec replay_backward emit positions =
+  let n = Array.length positions in
+  if n > 1 then begin
+    let half = n / 2 in
+    for i = 0 to half - 1 do
+      emit positions.(i) positions.(i + half)
+    done;
+    replay_backward emit (Array.sub positions 0 half);
+    replay_backward emit (Array.sub positions half half)
+  end
+
+let lemma_5_3_mapping w =
+  check_width "Butterfly.lemma_5_3_mapping" w;
+  let lgw = Params.ilog2 w in
+  (* Layer l of E(w) joins wires differing in bit [lgw - l]; layer l of
+     D(w) joins wires differing in bit [l - 1].  Reversing the bits of
+     the wire index therefore carries E-balancers onto D-balancers. *)
+  let rev i =
+    let r = ref 0 in
+    for b = 0 to lgw - 1 do
+      if i land (1 lsl b) <> 0 then r := !r lor (1 lsl (lgw - 1 - b))
+    done;
+    !r
+  in
+  let positions = Array.init w (fun i -> i) in
+  let d_id = Hashtbl.create (w * lgw) in
+  let next = ref 0 in
+  replay_forward
+    (fun p q ->
+      Hashtbl.replace d_id (p, q) !next;
+      incr next)
+    positions;
+  let mapping = Array.make !next (-1) in
+  next := 0;
+  replay_backward
+    (fun p q ->
+      let p' = rev p and q' = rev q in
+      mapping.(!next) <- Hashtbl.find d_id (min p' q', max p' q');
+      incr next)
+    positions;
+  mapping
+
 let isomorphism w =
   let e = backward w and d = forward w in
-  match Iso.find e d with
-  | None -> None
-  | Some mapping -> (
-      match Iso.check e d ~mapping with Ok pair -> Some pair | Error _ -> None)
+  match Iso.check e d ~mapping:(lemma_5_3_mapping w) with
+  | Ok pair -> Some pair
+  | Error _ -> (
+      (* The constructed mapping is validated, never trusted; if it ever
+         fails, fall back to the generic search. *)
+      match Iso.find e d with
+      | None -> None
+      | Some mapping -> (
+          match Iso.check e d ~mapping with Ok pair -> Some pair | Error _ -> None))

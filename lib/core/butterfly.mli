@@ -35,11 +35,21 @@ val smoothness_bound : w:int -> int
 (** [smoothness_bound ~w = lg w]: in any quiescent state the outputs of
     [D(w)] (and [E(w)]) are [lg w]-smooth (Lemma 5.2). *)
 
+val lemma_5_3_mapping : int -> int array
+(** [lemma_5_3_mapping w] is the explicit balancer mapping witnessing
+    [E(w) ≅ D(w)] (Lemma 5.3): layer [l] of [E(w)] joins wires differing
+    in bit [lg w - l] while layer [l] of [D(w)] joins wires differing in
+    bit [l - 1], so reversing the bits of the wire index carries the
+    balancers of one onto the other.  Entry [i] is the balancer of
+    [forward w] corresponding to balancer [i] of [backward w].  The
+    mapping is constructed, not searched for, so it is cheap at any
+    width; validate it with [Iso.check].
+    @raise Invalid_argument if [w] is not a power of two [>= 2]. *)
+
 val isomorphism : int -> (Permutation.t * Permutation.t) option
 (** [isomorphism w] is a wire correspondence [(pi_in, pi_out)] realizing
-    [E(w) ≅ D(w)] (Lemma 5.3), obtained by [Iso.find]'s constrained
-    search; by Lemma 2.7 it satisfies
+    [E(w) ≅ D(w)] (Lemma 5.3), obtained by validating
+    [lemma_5_3_mapping w] with [Iso.check] (falling back to [Iso.find]'s
+    constrained search); by Lemma 2.7 it satisfies
     [quiescent (forward w) (permute pi_in x)
-     = permute pi_out (quiescent (backward w) x)].
-    [None] only if the search fails (it never does for the widths the
-    tests exercise). *)
+     = permute pi_out (quiescent (backward w) x)]. *)

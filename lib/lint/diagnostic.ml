@@ -1,0 +1,45 @@
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  pass : string;
+  subject : string;
+  message : string;
+}
+
+let make ?(severity = Error) ~pass ~subject code fmt =
+  Format.kasprintf (fun message -> { code; severity; pass; subject; message }) fmt
+
+let of_violation ~pass ~subject (v : Cn_network.Raw.violation) =
+  { code = v.Cn_network.Raw.code; severity = Error; pass; subject; message = v.Cn_network.Raw.message }
+
+let severity_string = function Error -> "error" | Warning -> "warning" | Info -> "info"
+let is_error d = d.severity = Error
+
+let pp ppf d =
+  Format.fprintf ppf "%s %s [%s] %s: %s" d.code (severity_string d.severity) d.pass d.subject
+    d.message
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_json d =
+  Printf.sprintf "{\"code\":%s,\"severity\":%s,\"pass\":%s,\"subject\":%s,\"message\":%s}"
+    (json_string d.code)
+    (json_string (severity_string d.severity))
+    (json_string d.pass) (json_string d.subject) (json_string d.message)

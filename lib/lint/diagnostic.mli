@@ -1,0 +1,58 @@
+(** Lint diagnostics: pinned machine-readable codes with provenance.
+
+    Every finding of the static analyzer is a value of this type.  The
+    [code] is part of the tool's contract — tests and the mutant battery
+    pin exact codes, so codes are never renumbered, only added:
+
+    - [NET001]–[NET009]: structural well-formedness ({!Cn_network.Raw}).
+    - [ABS001]–[ABS006]: abstract-interpretation and probe findings
+      ({!Absint}, {!Cert}): broken flow conservation, smoothness bound
+      exceeded, depth-formula mismatch, concrete counterexample load,
+      non-uniform output mixing, half-split violation.
+    - [STEP001], [STEP002]: step-certification findings ({!Cert}):
+      structural mismatch against the reference construction, and
+      refutation by bounded-exhaustive model check.
+    - [CSR001]–[CSR009]: compiled-runtime faithfulness ({!Csr_lint}).
+    - [ATOM001]–[ATOM003]: source-level atomics discipline ([atomlint]).
+
+    A diagnostic also records the [pass] that produced it and the
+    [subject] (network or file) it concerns, so reports from a whole
+    portfolio run remain attributable. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;  (** pinned code, e.g. ["NET005"] *)
+  severity : severity;
+  pass : string;  (** producing pass, e.g. ["wellformed"], ["csr"] *)
+  subject : string;  (** what was analyzed, e.g. ["C(8,8)"] *)
+  message : string;
+}
+
+val make :
+  ?severity:severity ->
+  pass:string ->
+  subject:string ->
+  string ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+(** [make ~pass ~subject code fmt ...] builds a diagnostic (default
+    severity [Error]) with a formatted message. *)
+
+val of_violation : pass:string -> subject:string -> Cn_network.Raw.violation -> t
+(** Lift a {!Cn_network.Raw} well-formedness violation. *)
+
+val severity_string : severity -> string
+(** ["error"], ["warning"] or ["info"]. *)
+
+val is_error : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** One line: [CODE severity [pass] subject: message]. *)
+
+val json_string : string -> string
+(** [json_string s] is [s] as a quoted JSON string literal (escaped). *)
+
+val to_json : t -> string
+(** One JSON object with fields [code], [severity], [pass], [subject],
+    [message]. *)

@@ -1,0 +1,45 @@
+module Topology = Cn_network.Topology
+
+let prefix net ~layers =
+  let n = Topology.size net in
+  let w = Topology.input_width net in
+  if layers < 0 || layers > Topology.depth net then
+    invalid_arg "Slice.prefix: layer count out of range";
+  let keep = Array.init n (fun b -> Topology.balancer_depth net b <= layers) in
+  let remap = Array.make n (-1) in
+  let count = ref 0 in
+  Array.iteri
+    (fun b kept ->
+      if kept then begin
+        remap.(b) <- !count;
+        incr count
+      end)
+    keep;
+  let kept_ids = Array.of_list (List.filter (fun b -> keep.(b)) (List.init n Fun.id)) in
+  let remap_source = function
+    | Topology.Net_input _ as s -> s
+    (* Any feeder of a kept balancer is strictly shallower, hence kept. *)
+    | Topology.Bal_output { bal; port } -> Topology.Bal_output { bal = remap.(bal); port }
+  in
+  (* A wire crosses the cut when its consumer is not a kept balancer. *)
+  let crosses s =
+    match Topology.consumer net s with
+    | Topology.Net_output _ -> true
+    | Topology.Bal_input { bal; _ } -> not keep.(bal)
+  in
+  let outputs = ref [] in
+  for k = Array.length kept_ids - 1 downto 0 do
+    let b = kept_ids.(k) in
+    let fan_out = (Topology.balancer net b).Cn_network.Balancer.fan_out in
+    for port = fan_out - 1 downto 0 do
+      let s = Topology.Bal_output { bal = b; port } in
+      if crosses s then outputs := remap_source s :: !outputs
+    done
+  done;
+  for i = w - 1 downto 0 do
+    if crosses (Topology.Net_input i) then outputs := Topology.Net_input i :: !outputs
+  done;
+  Topology.create ~input_width:w
+    ~balancers:(Array.map (Topology.balancer net) kept_ids)
+    ~feeds:(Array.map (fun b -> Array.map remap_source (Topology.feeds net b)) kept_ids)
+    ~outputs:(Array.of_list !outputs)

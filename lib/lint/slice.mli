@@ -1,0 +1,18 @@
+(** Layer-prefix extraction.
+
+    [prefix net ~layers:k] is the sub-network formed by the balancers of
+    depth at most [k], with the wires crossing the cut exposed as
+    network outputs.  Output ordering is canonical but arbitrary —
+    unconsumed network inputs first (ascending), then surviving balancer
+    ports in (new id, port) order — so prefix networks are meant to be
+    compared up to isomorphism ({!Cn_network.Iso}), which derives wire
+    correspondences itself.
+
+    The block-structure certification of [C(w, t)] (paper, Section 6.4)
+    uses this: its first [lg w] layers must be isomorphic to
+    [C'(w, t) = N_ab] ({!Cn_core.Blocks.c_prime}), and with the last
+    layer regularized, to the backward butterfly [E(w)]. *)
+
+val prefix : Cn_network.Topology.t -> layers:int -> Cn_network.Topology.t
+(** @raise Invalid_argument if [layers] is negative or exceeds the
+    network depth. *)

@@ -1,26 +1,25 @@
-type wire = { src : Topology.source; owner : int; mutable consumed : bool }
-
 type t = {
-  id : int;
   input_width : int;
   mutable balancers : Balancer.t list; (* reversed *)
   mutable feeds : Topology.source array list; (* reversed *)
   mutable count : int;
 }
 
-let next_id = ref 0
+(* A wire remembers its builder by physical identity; no global counter
+   is needed to detect cross-builder wire use, so construction stays
+   free of shared mutable state. *)
+type wire = { src : Topology.source; owner : t; mutable consumed : bool }
 
 let create ~input_width =
   if input_width <= 0 then invalid_arg "Builder.create: non-positive input width";
-  incr next_id;
-  let b = { id = !next_id; input_width; balancers = []; feeds = []; count = 0 } in
+  let b = { input_width; balancers = []; feeds = []; count = 0 } in
   let ins =
-    Array.init input_width (fun i -> { src = Topology.Net_input i; owner = b.id; consumed = false })
+    Array.init input_width (fun i -> { src = Topology.Net_input i; owner = b; consumed = false })
   in
   (b, ins)
 
 let consume b w =
-  if w.owner <> b.id then invalid_arg "Builder: wire belongs to a different builder";
+  if w.owner != b then invalid_arg "Builder: wire belongs to a different builder";
   if w.consumed then invalid_arg "Builder: wire consumed twice";
   w.consumed <- true;
   w.src
@@ -34,7 +33,7 @@ let add_balancer b ?init_state ~fan_out ins =
   b.feeds <- srcs :: b.feeds;
   b.count <- bal + 1;
   Array.init fan_out (fun port ->
-      { src = Topology.Bal_output { bal; port }; owner = b.id; consumed = false })
+      { src = Topology.Bal_output { bal; port }; owner = b; consumed = false })
 
 let balancer2 b ?init_state top bottom =
   match add_balancer b ?init_state ~fan_out:2 [| top; bottom |] with

@@ -49,7 +49,10 @@ let parse_source lineno tok =
 
 let split_words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
 
-let of_string text =
+(* Syntax only: tokens, integers and dense balancer ids.  Structural
+   invariants (arities, consumption, cycles) are Raw.check's job, so a
+   malformed file is diagnosed completely instead of at first fault. *)
+let parse_raw text =
   let lines = String.split_on_char '\n' text in
   try
     let input_width = ref None in
@@ -81,15 +84,8 @@ let of_string text =
                   if id <> !next_id then
                     fail (Printf.sprintf "balancer ids must be dense and ordered (got %d, expected %d)" id !next_id);
                   incr next_id;
-                  let descriptor =
-                    try Balancer.make ~init_state ~fan_in ~fan_out ()
-                    with Invalid_argument m -> fail m
-                  in
+                  let descriptor = { Raw.fan_in; fan_out; init_state } in
                   let feeds = Array.of_list (List.map (parse_source lineno) srcs) in
-                  if Array.length feeds <> fan_in then
-                    fail
-                      (Printf.sprintf "balancer %d declares fan-in %d but has %d feeds" id fan_in
-                         (Array.length feeds));
                   balancers := (descriptor, feeds) :: !balancers
               | _ -> fail "bad balancer line")
           | "outputs" :: ":" :: srcs ->
@@ -100,13 +96,25 @@ let of_string text =
     match (!input_width, !outputs) with
     | None, _ -> Error "missing 'inputs' line"
     | _, None -> Error "missing 'outputs' line"
-    | Some input_width, Some outputs -> (
+    | Some input_width, Some outputs ->
         let balancers = Array.of_list (List.rev !balancers) in
-        try
-          Ok
-            (Topology.create ~input_width
-               ~balancers:(Array.map fst balancers)
-               ~feeds:(Array.map snd balancers)
-               ~outputs)
-        with Invalid_argument m -> Error m)
+        Ok
+          {
+            Raw.input_width;
+            balancers = Array.map fst balancers;
+            feeds = Array.map snd balancers;
+            outputs;
+          }
   with Parse_error (lineno, reason) -> Error (Printf.sprintf "line %d: %s" lineno reason)
+
+let of_string text =
+  match parse_raw text with
+  | Error _ as e -> e
+  | Ok raw -> (
+      match Raw.validate raw with
+      | Ok net -> Ok net
+      | Error violations ->
+          Error
+            ("lint: "
+            ^ String.concat "; "
+                (List.map (Format.asprintf "%a" Raw.pp_violation) violations)))

@@ -14,14 +14,22 @@
     Each [balancer] line gives id, fan-in, fan-out, initial state, and
     the source of each input port; the [outputs] line gives the source
     of each network output wire.  Balancer ids must be dense and in
-    order.  Parsing re-validates through [Topology.create], so a decoded
-    value satisfies every structural invariant. *)
+    order.  Decoding runs the full {!Raw.check} well-formedness pass, so
+    a malformed description (dangling or duplicated wires, arity
+    violations, cycles) is rejected with the complete list of pinned
+    [NETnnn] lint diagnostics rather than with only the first failure,
+    and a decoded value satisfies every structural invariant. *)
 
 val to_string : Topology.t -> string
 (** [to_string net] serializes [net]; [of_string (to_string net)]
     reconstructs an equal topology. *)
 
+val parse_raw : string -> (Raw.t, string) result
+(** [parse_raw s] parses the syntax only — tokens, integers, dense
+    balancer ids — into an unvalidated {!Raw.t}.  Errors carry a line
+    number and reason.  No structural invariant is checked. *)
+
 val of_string : string -> (Topology.t, string) result
-(** [of_string s] parses the format above.  Errors carry a line number
-    and reason; structural violations are reported with the
-    [Topology.create] message. *)
+(** [of_string s] is {!parse_raw} followed by {!Raw.validate}.  Syntax
+    errors carry a line number; structural violations are reported as
+    ["lint: CODE: reason; ..."] listing every {!Raw.violation}. *)

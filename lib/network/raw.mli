@@ -1,0 +1,50 @@
+(** Unvalidated topology descriptions and their well-formedness lint.
+
+    [Topology.t] is correct by construction: [Topology.create] raises on
+    the first violated invariant.  That is the right interface for
+    builders, but the wrong one for {e certification}: a serialized
+    network arriving over [Codec], a decompiled runtime, or a seeded
+    mutant should be checked {e exhaustively} — every violation
+    reported, each with a pinned machine-readable code — rather than
+    aborted at the first.
+
+    [Raw.t] is the pre-validation description (exactly the inputs of
+    [Topology.create]); {!check} runs the complete well-formedness pass
+    over it and returns {e all} violations.  The pass covers: positive
+    widths and arities ([NET001], [NET002], [NET008]), initial states in
+    range ([NET003]), feed-row arity agreement ([NET004]), dangling
+    references ([NET005]), duplicate consumers ([NET006]), unconsumed
+    wires ([NET007]) and cycles in the balancer graph ([NET009]).  A
+    description with no violations is accepted by [Topology.create]
+    (and vice versa) — a tested equivalence. *)
+
+type balancer = { fan_in : int; fan_out : int; init_state : int }
+
+type t = {
+  input_width : int;
+  balancers : balancer array;
+  feeds : Topology.source array array;
+      (** [feeds.(b).(i)] feeds input port [i] of balancer [b]. *)
+  outputs : Topology.source array;  (** [outputs.(i)] feeds output wire [i]. *)
+}
+
+type violation = { code : string; message : string }
+(** A well-formedness violation.  [code] is one of the pinned [NETnnn]
+    codes above and is stable across releases; [message] is the
+    human-readable diagnosis. *)
+
+val of_topology : Topology.t -> t
+(** [of_topology net] is the raw description of a validated topology;
+    [check (of_topology net) = []] always. *)
+
+val check : t -> violation list
+(** [check raw] is the full list of well-formedness violations of
+    [raw], in deterministic order; [[]] iff [raw] describes a valid
+    balancing network. *)
+
+val validate : t -> (Topology.t, violation list) result
+(** [validate raw] is [Ok (Topology.create ...)] when {!check} finds no
+    violation, and [Error violations] otherwise.  Never raises. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+(** Prints as [CODE: message]. *)

@@ -265,6 +265,33 @@ let exit_distribution rt =
      encodes the number of exits as [(v - i) / t]. *)
   Array.init rt.output_width (fun i -> (Padded_atomic.get rt.values i - i) / rt.output_width)
 
+type view = {
+  v_mode : mode;
+  v_layout : layout;
+  v_input_width : int;
+  v_output_width : int;
+  v_init_states : int array;
+  v_fan_out : int array;
+  v_offsets : int array;
+  v_next : int array;
+  v_next_nested : int array array;
+  v_entry : int array;
+}
+
+let view rt =
+  {
+    v_mode = rt.mode;
+    v_layout = rt.layout;
+    v_input_width = rt.input_width;
+    v_output_width = rt.output_width;
+    v_init_states = Array.copy rt.init_states;
+    v_fan_out = Array.copy rt.fan_out;
+    v_offsets = Array.copy rt.offsets;
+    v_next = Array.copy rt.next;
+    v_next_nested = Array.map Array.copy rt.next_nested;
+    v_entry = Array.copy rt.entry;
+  }
+
 let cas_failures rt = Padded_atomic.get rt.failures 0
 
 let reset rt =

@@ -93,6 +93,31 @@ val exit_distribution : t -> Cn_sequence.Sequence.t
     each output wire so far (derived from the assignment cells);  a step
     sequence in any quiescent state of a counting network. *)
 
+type view = {
+  v_mode : mode;
+  v_layout : layout;
+  v_input_width : int;
+  v_output_width : int;
+  v_init_states : int array;  (** per balancer: initial state *)
+  v_fan_out : int array;  (** per balancer: output arity (the port mask base) *)
+  v_offsets : int array;  (** CSR row starts; length [n + 1] *)
+  v_next : int array;
+      (** flat CSR jump table: encoded destination of port [p] of
+          balancer [b] at [v_offsets.(b) + p]; a non-negative entry is a
+          balancer id, a negative entry [-(wire + 1)] is network output
+          wire [wire] *)
+  v_next_nested : int array array;  (** seed layout: per balancer, per port *)
+  v_entry : int array;  (** per input wire: encoded destination *)
+}
+(** A decompilable snapshot of the compiled representation: everything
+    the walk loops read except the atomic state banks, as plain copied
+    arrays.  This is the raw material of [Cn_lint]'s CSR-faithfulness
+    pass — and, mutated, of its compiler-bug mutants. *)
+
+val view : t -> view
+(** [view rt] copies out the compiled wiring.  Mutating the result does
+    not affect [rt]. *)
+
 val cas_failures : t -> int
 (** Total contended CAS crossings so far ([0] in [Faa] mode) — a lower
     bound on memory-contention events experienced by tokens.  A crossing

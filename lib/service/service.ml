@@ -46,23 +46,30 @@ let shared_counter ?(sessions = 64) t =
      pre-allocated prefix.  Growth is rare (once per high-water pid),
      so a plain mutex is fine; readers go through the atomic snapshot
      and never lock. *)
-  let pool = Atomic.make (Array.init sessions (fun _ -> session t)) in
-  let lock = Mutex.create () in
+  let module A = Cn_runtime.Atomics.Real in
+  let pool = A.make (Array.init sessions (fun _ -> session t)) in
+  let lock =
+    (Mutex.create
+    [@atomlint.allow
+      "growth-path-only lock: taken once per high-water pid, never on \
+       the operation fast path, which reads the atomic pool snapshot"])
+      ()
+  in
   let rec session_for pid =
-    let p = Atomic.get pool in
+    let p = A.get pool in
     if pid < Array.length p then p.(pid)
     else begin
-      Mutex.lock lock;
-      let p = Atomic.get pool in
+      (Mutex.lock [@atomlint.allow "growth path, see create above"]) lock;
+      let p = A.get pool in
       if pid >= Array.length p then begin
         let n = max (pid + 1) (2 * Array.length p) in
         let q =
           Array.init n (fun i ->
               if i < Array.length p then p.(i) else session t)
         in
-        Atomic.set pool q
+        A.set pool q
       end;
-      Mutex.unlock lock;
+      (Mutex.unlock [@atomlint.allow "growth path, see create above"]) lock;
       session_for pid
     end
   in

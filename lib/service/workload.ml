@@ -82,21 +82,22 @@ let timed_round ?pool ~domains body =
   match pool with
   | Some pool -> DP.run pool ~domains body
   | None ->
-      let ready = Atomic.make 0 in
-      let go = Atomic.make false in
+      let module A = Cn_runtime.Atomics.Real in
+      let ready = A.make 0 in
+      let go = A.make false in
       let gated pid () =
-        Atomic.incr ready;
-        while not (Atomic.get go) do
-          Domain.cpu_relax ()
+        A.incr ready;
+        while not (A.get go) do
+          A.relax ()
         done;
         body pid
       in
       let handles = Array.init domains (fun pid -> Domain.spawn (gated pid)) in
-      while Atomic.get ready < domains do
-        Domain.cpu_relax ()
+      while A.get ready < domains do
+        A.relax ()
       done;
       let t0 = Unix.gettimeofday () in
-      Atomic.set go true;
+      A.set go true;
       Array.iter Domain.join handles;
       Unix.gettimeofday () -. t0
 

@@ -1,0 +1,87 @@
+The atomics lint walks the source AST and rejects raw concurrency
+primitives outside lib/runtime.
+
+A clean file: everything routed through the runtime's vocabulary, and
+function-local refs are fine.
+
+  $ cat > clean.ml <<'OCAML'
+  > module A = Cn_runtime.Atomics.Real
+  > let tally xs =
+  >   let acc = ref 0 in
+  >   List.iter (fun x -> acc := !acc + x) xs;
+  >   !acc
+  > OCAML
+  $ atomlint clean.ml
+  1 files scanned, 0 waived, 0 findings
+
+Raw primitives and module-level state are each caught with their pinned
+code, in source order.
+
+  $ cat > dirty.ml <<'OCAML'
+  > let hits = ref 0
+  > let flag = Atomic.make false
+  > let lock = Mutex.create ()
+  > let bump () = incr hits; Atomic.set flag true
+  > OCAML
+  $ atomlint dirty.ml
+  dirty.ml:1:11 ATOM003 module-level ref: shared mutable state belongs to lib/runtime
+  dirty.ml:2:11 ATOM001 raw Atomic.make: route it through Cn_runtime.Atomics (Real or instrumented)
+  dirty.ml:3:11 ATOM002 raw Mutex.create: blocking coordination belongs to lib/runtime
+  dirty.ml:4:25 ATOM001 raw Atomic.set: route it through Cn_runtime.Atomics (Real or instrumented)
+  1 files scanned, 0 waived, 4 findings
+  [1]
+
+Aliasing or opening a forbidden module is caught too, not just dotted
+access.
+
+  $ cat > alias.ml <<'OCAML'
+  > module A = Atomic
+  > open Mutex
+  > OCAML
+  $ atomlint alias.ml
+  alias.ml:1:11 ATOM001 raw Atomic: route it through Cn_runtime.Atomics (Real or instrumented)
+  alias.ml:2:5 ATOM002 raw Mutex: blocking coordination belongs to lib/runtime
+  1 files scanned, 0 waived, 2 findings
+  [1]
+
+Waivers must carry a reason; a bare attribute is ignored (and said so).
+
+  $ cat > waived.ml <<'OCAML'
+  > let counter = (Atomic.make [@atomlint.allow "benchmark fixture; single domain"]) 0
+  > OCAML
+  $ atomlint waived.ml
+  1 files scanned, 0 waived, 0 findings
+
+  $ cat > noreason.ml <<'OCAML'
+  > let counter = (Atomic.make [@atomlint.allow]) 0
+  > OCAML
+  $ atomlint noreason.ml
+  noreason.ml:1:15 ATOM001 raw Atomic.make: route it through Cn_runtime.Atomics (Real or instrumented)
+  1 files scanned, 0 waived, 1 findings
+  noreason.ml: [@atomlint.allow] without a reason string is ignored
+  [1]
+
+A file-level waiver exempts the whole file, reason recorded.
+
+  $ cat > filewaiver.ml <<'OCAML'
+  > [@@@atomlint.allow "test scaffolding; runs on one domain"]
+  > let state = ref []
+  > let busy = Atomic.make false
+  > OCAML
+  $ atomlint filewaiver.ml
+  filewaiver.ml: waived (test scaffolding; runs on one domain)
+  1 files scanned, 1 waived, 0 findings
+
+lib/runtime owns the primitives: anything under it is allowlisted.
+
+  $ mkdir -p lib/runtime
+  $ cp dirty.ml lib/runtime/owned.ml
+  $ atomlint lib/runtime/owned.ml
+  lib/runtime/owned.ml: waived (lib/runtime allowlist)
+  1 files scanned, 1 waived, 0 findings
+
+Directories are scanned recursively; missing roots are an error.
+
+  $ atomlint no_such_dir
+  atomlint: no such file or directory: no_such_dir
+  [2]

@@ -181,3 +181,74 @@ Service flags are validated before anything runs:
   $ countnet throughput -f counting -w 4 --service --domains 2 --ops 10 --sessions 0
   countnet throughput: --sessions must be positive (got 0)
   [2]
+
+Static certification: one family, full pass/fact report.
+
+  $ countnet lint -f counting -w 4
+  C(4,4)             ok   counting           exhaustive (max_tokens 4, 625 loads)
+    shape/width: 4 -> 4
+    shape/size: 6
+    shape/depth: 3
+    shape/regular: true
+    shape/expected_depth: 3
+    absint/conserves: true
+    absint/uniform: true
+    absint/abstract_smoothness: 2
+    probe/loads: 9
+    exhaustive/loads: 625
+    structural/equal: reference construction
+    csr/layouts: padded-csr, unpadded-nested
+
+The backward butterfly at full width certifies through the constructed
+Lemma 5.3 mapping (the generic isomorphism search would exhaust its
+budget here).
+
+  $ countnet lint -f bbutterfly -w 64
+  E(64)              ok   6-smoothing        by isomorphism (Lemma 5.3)
+    shape/width: 64 -> 64
+    shape/size: 192
+    shape/depth: 6
+    shape/regular: true
+    shape/expected_depth: 6
+    absint/conserves: true
+    absint/uniform: true
+    absint/abstract_smoothness: 6
+    probe/loads: 9
+    exhaustive/skipped: input space exceeds budget
+    structural/isomorphic: reference construction (Lemma 2.7)
+    csr/layouts: padded-csr, unpadded-nested
+
+The seeded mutant battery: every mutant must be rejected, with pinned
+diagnostics (this output is the certification of the lint itself).
+
+  $ countnet lint --mutate
+  drop-balancer      expect NET005, got [NET005; NET007] — rejected
+  duplicate-wire     expect NET006, got [NET007; NET006] — rejected
+  unconsumed-input   expect NET007, got [NET007] — rejected
+  arity-corrupt      expect NET002, got [NET002] — rejected
+  init-out-of-range  expect NET003, got [NET003] — rejected
+  feeds-truncate     expect NET004, got [NET004; NET007] — rejected
+  self-loop          expect NET009, got [NET007; NET006; NET009] — rejected
+  output-swap        expect ABS004, got [ABS004; STEP002; STEP001] — rejected
+  wire-flip          expect STEP002, got [ABS004; STEP002; STEP001] — rejected
+  init-corrupt       expect ABS004, got [ABS004; STEP002; STEP001] — rejected
+  pad-layer          expect ABS003, got [ABS003; STEP001] — rejected
+  csr-truncate-row   expect CSR001, got [CSR001] — rejected
+  csr-mask-corrupt   expect CSR002, got [CSR002] — rejected
+  csr-dangling       expect CSR003, got [CSR003; CSR005] — rejected
+  csr-rewire         expect CSR009, got [CSR009] — rejected
+  csr-entry-corrupt  expect CSR006, got [CSR006; CSR004] — rejected
+  csr-init-corrupt   expect CSR007, got [CSR007] — rejected
+  csr-width          expect CSR008, got [CSR008] — rejected
+  csr-nested-diverge expect CSR005, got [CSR005] — rejected
+  csr-drop-output    expect CSR004, got [CSR009; CSR004] — rejected
+  20 mutants, all rejected
+
+Serialized networks get the full well-formedness diagnosis, every
+violation reported with its pinned code.
+
+  $ printf 'counting-network v1\ninputs 2\noutputs : in0 in0\n' > bad.net
+  $ countnet lint --file bad.net
+  NET006 error [wellformed] bad.net: network input 0 consumed 2 times
+  NET007 error [wellformed] bad.net: network input 1 is never consumed
+  [1]

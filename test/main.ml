@@ -34,4 +34,5 @@ let () =
          Test_exhaustive.suite;
          Test_compose.suite;
          Test_check.suite;
+         Test_lint.suite;
        ])

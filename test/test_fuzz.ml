@@ -129,11 +129,18 @@ let codec =
         match Codec.of_string "counting-network v1\ninputs 1\noutputs : wat\n" with
         | Error e -> Alcotest.(check bool) "has line no" true (String.length e > 0)
         | Ok _ -> Alcotest.fail "expected error");
-    tc "rejects structural violations with topology message" (fun () ->
+    tc "rejects structural violations with pinned lint codes" (fun () ->
         match Codec.of_string "counting-network v1\ninputs 2\noutputs : in0 in0\n" with
         | Error e ->
-            Alcotest.(check bool) "consumed twice" true
-              (String.length e > 0 && String.sub e 0 8 = "Topology")
+            let has code =
+              let n = String.length code in
+              let rec go i =
+                i + n <= String.length e && (String.sub e i n = code || go (i + 1))
+              in
+              go 0
+            in
+            Alcotest.(check bool) "NET006 consumed twice" true (has "NET006");
+            Alcotest.(check bool) "NET007 never consumed" true (has "NET007")
         | Ok _ -> Alcotest.fail "expected error");
     tc "rejects out-of-order balancer ids" (fun () ->
         match

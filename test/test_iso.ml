@@ -108,6 +108,45 @@ let butterfly_iso =
               (Iso.equivalent_under ~pi_in ~pi_out (Cn_core.Butterfly.backward 16)
                  (Cn_core.Butterfly.forward 16))
         | None -> Alcotest.fail "no isomorphism found");
+    tc "lemma 5.3 mapping: E(w) isomorphic to D(w) up to w = 64" (fun () ->
+        (* The constructed bit-reversal mapping makes the large widths
+           tractable: Iso.find's generic search exhausts its budget at
+           w >= 32, Iso.check validates the explicit witness in linear
+           time. *)
+        List.iter
+          (fun w ->
+            let e = Cn_core.Butterfly.backward w and d = Cn_core.Butterfly.forward w in
+            match Iso.check e d ~mapping:(Cn_core.Butterfly.lemma_5_3_mapping w) with
+            | Ok (pi_in, pi_out) ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "equiv w=%d" w)
+                  true
+                  (Iso.equivalent_under ~pi_in ~pi_out e d)
+            | Error msg -> Alcotest.failf "w=%d: %s" w msg)
+          [ 2; 4; 8; 16; 32; 64 ]);
+    tc "lemma 5.3 mapping agrees with the search where both run" (fun () ->
+        List.iter
+          (fun w ->
+            let e = Cn_core.Butterfly.backward w and d = Cn_core.Butterfly.forward w in
+            match Iso.find e d with
+            | Some m ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "constructed is valid w=%d" w)
+                  true
+                  (Result.is_ok (Iso.check e d ~mapping:(Cn_core.Butterfly.lemma_5_3_mapping w)));
+                Alcotest.(check bool)
+                  (Printf.sprintf "search is valid w=%d" w)
+                  true
+                  (Result.is_ok (Iso.check e d ~mapping:m))
+            | None -> Alcotest.failf "search failed at w=%d" w)
+          [ 2; 4; 8; 16 ]);
+    tc "isomorphism at w = 64" (fun () ->
+        match Cn_core.Butterfly.isomorphism 64 with
+        | Some (pi_in, pi_out) ->
+            Alcotest.(check bool) "equiv" true
+              (Iso.equivalent_under ~trials:16 ~pi_in ~pi_out
+                 (Cn_core.Butterfly.backward 64) (Cn_core.Butterfly.forward 64))
+        | None -> Alcotest.fail "no isomorphism found");
     tc "lemma 2.8: smoothing transfers across isomorphism" (fun () ->
         (* E(8) inherits lg(8)-smoothing from D(8). *)
         let e = Cn_core.Butterfly.backward 8 in

@@ -1,0 +1,283 @@
+(* Tests for Cn_lint: well-formedness codes, abstract-interpretation
+   facts, the certification pipeline, CSR faithfulness, layer-prefix
+   extraction, and the pinned mutant battery. *)
+
+module T = Cn_network.Topology
+module Raw = Cn_network.Raw
+module Iso = Cn_network.Iso
+module Rt = Cn_runtime.Network_runtime
+module Counting = Cn_core.Counting
+module Butterfly = Cn_core.Butterfly
+module Blocks = Cn_core.Blocks
+module Ladder = Cn_core.Ladder
+module L = Cn_lint
+
+let tc name f = Alcotest.test_case name `Quick f
+let lg w = Cn_core.Params.ilog2 w
+
+let codes_of_violations vs = List.map (fun (v : Raw.violation) -> v.code) vs
+
+(* ---- well-formedness: pinned NET codes on hand-broken raws ---- *)
+
+let raw_of net = Raw.of_topology net
+
+let wellformed_tests =
+  [
+    tc "valid topologies have no violations" (fun () ->
+        List.iter
+          (fun net -> Alcotest.(check (list string)) "clean" [] (codes_of_violations (Raw.check (raw_of net))))
+          [ Counting.network ~w:8 ~t:8; Butterfly.backward 16; Ladder.network 4 ]);
+    tc "NET001 non-positive input width" (fun () ->
+        let r = { (raw_of (Ladder.network 2)) with Raw.input_width = 0 } in
+        Alcotest.(check bool) "has NET001" true
+          (List.mem "NET001" (codes_of_violations (Raw.check r))));
+    tc "NET003 init state out of range" (fun () ->
+        let r = raw_of (Ladder.network 2) in
+        let b = r.Raw.balancers.(0) in
+        let r = { r with Raw.balancers = [| { b with Raw.init_state = b.Raw.fan_out } |] } in
+        Alcotest.(check bool) "has NET003" true
+          (List.mem "NET003" (codes_of_violations (Raw.check r))));
+    tc "NET005 dangling balancer reference" (fun () ->
+        let r = raw_of (Ladder.network 2) in
+        let r = { r with Raw.outputs = [| T.Bal_output { bal = 7; port = 0 } |] } in
+        Alcotest.(check bool) "has NET005" true
+          (List.mem "NET005" (codes_of_violations (Raw.check r))));
+    tc "NET006/NET007 duplicate and unconsumed" (fun () ->
+        let r = raw_of (Ladder.network 2) in
+        let r = { r with Raw.outputs = [| T.Net_input 0; T.Net_input 0 |] } in
+        let cs = codes_of_violations (Raw.check r) in
+        Alcotest.(check bool) "has NET006" true (List.mem "NET006" cs);
+        Alcotest.(check bool) "has NET007" true (List.mem "NET007" cs));
+    tc "validate round-trips clean raws" (fun () ->
+        let net = Counting.network ~w:4 ~t:4 in
+        match Raw.validate (raw_of net) with
+        | Ok net2 -> Alcotest.(check bool) "equal" true (T.equal net net2)
+        | Error _ -> Alcotest.fail "expected Ok");
+  ]
+
+(* ---- abstract interpretation: sound facts, exact pins ---- *)
+
+let absint_tests =
+  [
+    tc "counting networks conserve flow and are uniform" (fun () ->
+        List.iter
+          (fun net ->
+            let a = L.Absint.analyze net in
+            Alcotest.(check bool) "conserves" true (L.Absint.conserves a);
+            Alcotest.(check bool) "uniform" true (L.Absint.uniform a))
+          [ Counting.network ~w:4 ~t:4; Counting.network ~w:8 ~t:8; Cn_baselines.Bitonic.network 8 ]);
+    tc "abstract smoothness of D(w) re-derives the Lemma 5.2 bound" (fun () ->
+        (* The interval envelope grows by at most 1 per layer, so the
+           analyzer proves lg w-smoothness symbolically at every width. *)
+        List.iter
+          (fun w ->
+            let a = L.Absint.analyze (Butterfly.forward w) in
+            Alcotest.(check (option int))
+              (Printf.sprintf "D(%d)" w)
+              (Some (lg w))
+              (L.Absint.smoothness_bound a))
+          [ 2; 4; 8; 16; 32; 64 ]);
+    tc "ladder pair difference is exactly [0,1]" (fun () ->
+        let a = L.Absint.analyze (Ladder.network 4) in
+        match L.Absint.output_difference a 0 2 with
+        | Some (lo, hi) ->
+            Alcotest.(check bool) "lo=0" true (L.Absint.Q.equal lo L.Absint.Q.zero);
+            Alcotest.(check bool) "hi=1" true (L.Absint.Q.equal hi L.Absint.Q.one)
+        | None -> Alcotest.fail "expected cancelling difference");
+    tc "non-uniform network yields no spread bound" (fun () ->
+        (* identity wiring is trivially conservative but not uniform *)
+        let a = L.Absint.analyze (T.identity 3) in
+        Alcotest.(check bool) "conserves" true (L.Absint.conserves a);
+        Alcotest.(check bool) "not uniform" false (L.Absint.uniform a);
+        Alcotest.(check bool) "no bound" true (L.Absint.spread_bound a = None));
+  ]
+
+(* ---- certification pipeline ---- *)
+
+let cert_tests =
+  [
+    tc "C(4,4) certifies exhaustively" (fun () ->
+        let c =
+          L.Cert.certify
+            ~reference:(Counting.network ~w:4 ~t:4, "Theorems 4.1/4.2")
+            ~expected_depth:(Counting.depth_formula ~w:4)
+            ~subject:"C(4,4)" ~expectation:L.Cert.Counting
+            (Counting.network ~w:4 ~t:4)
+        in
+        Alcotest.(check bool) "ok" true (L.Cert.ok c);
+        match c.L.Cert.evidence with
+        | L.Cert.Exhaustive { max_tokens; vectors } ->
+            Alcotest.(check int) "max_tokens" 4 max_tokens;
+            Alcotest.(check int) "vectors" 625 vectors
+        | _ -> Alcotest.fail "expected exhaustive evidence");
+    tc "C(16,16) certifies by construction" (fun () ->
+        let c =
+          L.Cert.certify
+            ~reference:(Counting.network ~w:16 ~t:16, "Theorems 4.1/4.2")
+            ~expected_depth:(Counting.depth_formula ~w:16)
+            ~subject:"C(16,16)" ~expectation:L.Cert.Counting
+            (Counting.network ~w:16 ~t:16)
+        in
+        Alcotest.(check bool) "ok" true (L.Cert.ok c);
+        match c.L.Cert.evidence with
+        | L.Cert.By_construction cite -> Alcotest.(check string) "cite" "Theorems 4.1/4.2" cite
+        | _ -> Alcotest.fail "expected by-construction evidence");
+    tc "E(64) certifies through the Lemma 5.3 mapping" (fun () ->
+        let c =
+          L.Cert.certify
+            ~reference:(Butterfly.forward 64, "Lemma 5.3")
+            ~iso_hint:(Butterfly.lemma_5_3_mapping 64)
+            ~expected_depth:6 ~subject:"E(64)"
+            ~expectation:(L.Cert.Smoothing 6) (Butterfly.backward 64)
+        in
+        Alcotest.(check bool) "ok" true (L.Cert.ok c);
+        match c.L.Cert.evidence with
+        | L.Cert.By_isomorphism cite -> Alcotest.(check string) "cite" "Lemma 5.3" cite
+        | _ -> Alcotest.fail "expected by-isomorphism evidence");
+    tc "depth mismatch reports ABS003" (fun () ->
+        let c =
+          L.Cert.certify ~expected_depth:5 ~subject:"L(4)"
+            ~expectation:L.Cert.Half_split (Ladder.network 4)
+        in
+        Alcotest.(check bool) "ABS003" true (List.mem "ABS003" (L.Cert.codes c)));
+    tc "output swap is refuted with a concrete counterexample" (fun () ->
+        let net = Counting.network ~w:4 ~t:4 in
+        let swap = Array.init 4 (fun i -> if i = 0 then 3 else if i = 3 then 0 else i) in
+        let broken = T.permute_outputs (Cn_network.Permutation.of_array swap) net in
+        let c =
+          L.Cert.certify ~reference:(net, "Theorems 4.1/4.2")
+            ~subject:"swapped" ~expectation:L.Cert.Counting broken
+        in
+        Alcotest.(check bool) "not ok" false (L.Cert.ok c);
+        match c.L.Cert.evidence with
+        | L.Cert.Refuted cex ->
+            (* the certificate carries a replayable input profile *)
+            Alcotest.(check bool) "cex width" true (Cn_sequence.Sequence.length cex = 4)
+        | _ -> Alcotest.fail "expected refutation");
+  ]
+
+(* ---- CSR faithfulness ---- *)
+
+let csr_tests =
+  [
+    tc "faithful compilation in both layouts" (fun () ->
+        let net = Counting.network ~w:8 ~t:8 in
+        List.iter
+          (fun layout ->
+            let rt = Rt.compile ~layout net in
+            Alcotest.(check (list string)) "clean" []
+              (List.map
+                 (fun (d : L.Diagnostic.t) -> d.L.Diagnostic.code)
+                 (L.Csr_lint.check ~subject:"C(8,8)" net (Rt.view rt))))
+          [ Rt.Padded_csr; Rt.Unpadded_nested ]);
+    tc "output-width corruption is CSR008" (fun () ->
+        let net = Counting.network ~w:8 ~t:8 in
+        let v = Rt.view (Rt.compile ~layout:Rt.Padded_csr net) in
+        let v = { v with Rt.v_output_width = v.Rt.v_output_width + 1 } in
+        Alcotest.(check bool) "CSR008" true
+          (List.exists
+             (fun (d : L.Diagnostic.t) -> d.L.Diagnostic.code = "CSR008")
+             (L.Csr_lint.check ~subject:"C(8,8)" net v)));
+  ]
+
+(* ---- layer-prefix extraction and block structure (Section 6.4) ---- *)
+
+let slice_tests =
+  [
+    tc "first lg w layers of C(w,t) are exactly C'(w,t)" (fun () ->
+        List.iter
+          (fun w ->
+            let net = Counting.network ~w ~t:w in
+            let pre = L.Slice.prefix net ~layers:(lg w) in
+            Alcotest.(check bool)
+              (Printf.sprintf "w=%d" w)
+              true
+              (T.equal pre (Blocks.c_prime ~w ~t:w)))
+          [ 4; 8; 16; 32; 64 ]);
+    tc "full prefix is the network itself" (fun () ->
+        let net = Counting.network ~w:8 ~t:8 in
+        let all = L.Slice.prefix net ~layers:(T.depth net) in
+        Alcotest.(check bool) "same size" true (T.size all = T.size net));
+    tc "zero prefix is the identity wiring" (fun () ->
+        let net = Counting.network ~w:4 ~t:4 in
+        let z = L.Slice.prefix net ~layers:0 in
+        Alcotest.(check int) "no balancers" 0 (T.size z);
+        Alcotest.(check int) "outputs = inputs" 4 (T.output_width z));
+  ]
+
+(* ---- the pinned mutant table (the lint's own certification) ---- *)
+
+(* Every mutant must be rejected, with exactly these diagnostics.  The
+   got-lists are pinned, not just the primary code: a change here means
+   the analyzers' coverage shifted and must be reviewed. *)
+let pinned_mutants =
+  [
+    ("drop-balancer", "NET005", [ "NET005"; "NET007" ]);
+    ("duplicate-wire", "NET006", [ "NET007"; "NET006" ]);
+    ("unconsumed-input", "NET007", [ "NET007" ]);
+    ("arity-corrupt", "NET002", [ "NET002" ]);
+    ("init-out-of-range", "NET003", [ "NET003" ]);
+    ("feeds-truncate", "NET004", [ "NET004"; "NET007" ]);
+    ("self-loop", "NET009", [ "NET007"; "NET006"; "NET009" ]);
+    ("output-swap", "ABS004", [ "ABS004"; "STEP002"; "STEP001" ]);
+    ("wire-flip", "STEP002", [ "ABS004"; "STEP002"; "STEP001" ]);
+    ("init-corrupt", "ABS004", [ "ABS004"; "STEP002"; "STEP001" ]);
+    ("pad-layer", "ABS003", [ "ABS003"; "STEP001" ]);
+    ("csr-truncate-row", "CSR001", [ "CSR001" ]);
+    ("csr-mask-corrupt", "CSR002", [ "CSR002" ]);
+    ("csr-dangling", "CSR003", [ "CSR003"; "CSR005" ]);
+    ("csr-rewire", "CSR009", [ "CSR009" ]);
+    ("csr-entry-corrupt", "CSR006", [ "CSR006"; "CSR004" ]);
+    ("csr-init-corrupt", "CSR007", [ "CSR007" ]);
+    ("csr-width", "CSR008", [ "CSR008" ]);
+    ("csr-nested-diverge", "CSR005", [ "CSR005" ]);
+    ("csr-drop-output", "CSR004", [ "CSR009"; "CSR004" ]);
+  ]
+
+let mutate_tests =
+  [
+    tc "every mutant is rejected with its pinned diagnostics" (fun () ->
+        let outcomes = L.Mutate.battery () in
+        Alcotest.(check int) "battery size" (List.length pinned_mutants) (List.length outcomes);
+        Alcotest.(check bool) "all rejected" true (L.Mutate.all_rejected outcomes);
+        List.iter
+          (fun (o : L.Mutate.outcome) ->
+            match List.assoc_opt o.name (List.map (fun (n, e, g) -> (n, (e, g))) pinned_mutants) with
+            | None -> Alcotest.failf "unpinned mutant %s" o.name
+            | Some (expected, got) ->
+                Alcotest.(check string) (o.name ^ " expected") expected o.expected;
+                Alcotest.(check (list string)) (o.name ^ " got") got o.got)
+          outcomes);
+  ]
+
+(* ---- portfolio ---- *)
+
+let portfolio_tests =
+  [
+    tc "portfolio covers the advertised families" (fun () ->
+        let names = List.map (fun (e : L.Portfolio.entry) -> e.L.Portfolio.name) (L.Portfolio.entries ()) in
+        List.iter
+          (fun n -> Alcotest.(check bool) n true (List.mem n names))
+          [ "C(2,2)"; "C(64,384)"; "C'(32,32)"; "D(64)"; "E(64)"; "L(16)";
+            "BITONIC(8)"; "PERIODIC(64)"; "DIFF(4)"; "M(64,8)" ]);
+    tc "small-width portfolio slice certifies" (fun () ->
+        let certs =
+          L.Portfolio.entries ()
+          |> List.filter (fun (e : L.Portfolio.entry) ->
+                 List.mem e.L.Portfolio.name [ "C(4,4)"; "E(16)"; "M(8,2)"; "L(8)" ])
+          |> List.map (L.Portfolio.certify ~layouts:[ Rt.Padded_csr ])
+        in
+        Alcotest.(check int) "count" 4 (List.length certs);
+        Alcotest.(check bool) "all ok" true (L.Portfolio.all_ok certs));
+  ]
+
+let suite =
+  [
+    ("lint.wellformed", wellformed_tests);
+    ("lint.absint", absint_tests);
+    ("lint.cert", cert_tests);
+    ("lint.csr", csr_tests);
+    ("lint.slice", slice_tests);
+    ("lint.mutate", mutate_tests);
+    ("lint.portfolio", portfolio_tests);
+  ]
