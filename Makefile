@@ -1,7 +1,8 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test bench micro bench-runtime bench-smoke bench-service \
-        bench-service-smoke check-metrics check-races lint examples clean doc
+        bench-service-smoke bench-projected bench-projected-smoke \
+        check-metrics check-races lint examples clean doc
 
 all: build
 
@@ -30,6 +31,19 @@ bench-service:
 
 bench-service-smoke:
 	dune exec bench/main.exe -- service --smoke
+
+# Measured + contention-model-projected curves: certifies the
+# precompiled routing image (Csr_lint), calibrates the single-core
+# crossing cost, and appends projected 2-64 domain central-vs-network
+# rows (Cn_analysis.Projection) to BENCH_runtime.json next to the
+# measured sweeps.
+bench-projected:
+	dune exec bench/main.exe -- runtime --projected
+	dune exec bench/main.exe -- service --projected
+
+bench-projected-smoke:
+	dune exec bench/main.exe -- runtime --smoke --projected
+	dune exec bench/main.exe -- service --smoke --projected
 
 # Deterministic race check of the service layer: every scenario explored
 # to a preemption bound of 3, plus the checker's own selftest against

@@ -448,12 +448,77 @@ let e14 () =
   line "heuristics lower-bound the exact adversary (and match it on single balancers)."
 
 (* ------------------------------------------------------------------ *)
+(* Contention-model projection shared by the runtime and service
+   suites.  The single-core host cannot measure real cross-core
+   contention, so the projected rows combine the one number it CAN
+   measure — the single-domain cost of a balancer crossing — with the
+   stall-counting contention simulator (Dwork-Herlihy-Waarts, the
+   paper's Section 1.2 model): token time = depth·crossing_ns +
+   stalls/token(n)·stall_ns, stalls/token = n - 1 for the central FAA
+   hot spot.  Before calibrating, the compiled network's precompiled
+   routing image is certified by the CSR lint pass — a projection from
+   a miscompiled network would be garbage with confidence. *)
+
+let projected_json ?(smoke = false) ~w net =
+  let module RT = Cn_runtime.Network_runtime in
+  let module P = Cn_analysis.Projection in
+  let subject = Printf.sprintf "C(%d,%d)" w w in
+  let rt = RT.compile net in
+  (match Cn_lint.Csr_lint.check ~subject net (RT.view rt) with
+  | [] -> line "csr-lint: %s precompiled routing image certified (0 diagnostics)" subject
+  | diags ->
+      List.iter
+        (fun d -> Printf.eprintf "csr-lint: %s\n" (Format.asprintf "%a" Cn_lint.Diagnostic.pp d))
+        diags;
+      prerr_endline "projected bench: refusing to calibrate a miscompiled network";
+      exit 1);
+  let crossing_ns =
+    Cn_runtime.Domain_pool.with_pool 1 (fun pool ->
+        Cn_runtime.Harness.calibrate_crossing_ns ~pool
+          ~ops_per_domain:(if smoke then 10_000 else 200_000)
+          ~make:(fun () -> Cn_runtime.Shared_counter.of_topology net)
+          ~depth:(T.depth net) ())
+  in
+  let c = P.calibrate ~crossing_ns () in
+  let domains_list = [ 2; 4; 8; 16; 32; 64 ] in
+  let central = P.sweep_central c ~domains_list in
+  let network = P.sweep_network c net ~domains_list in
+  let row name (p : P.point) =
+    Printf.sprintf
+      "      { \"counter\": %S, \"domains\": %d, \"stalls_per_token\": %.3f, \"token_ns\": \
+       %.1f, \"projected_ops_per_sec\": %.1f }"
+      name p.P.domains p.P.stalls_per_token p.P.token_ns p.P.ops_per_sec
+  in
+  line "projected (model): crossing %.1f ns, stall factor %.1f, depth %d" crossing_ns
+    c.P.stall_factor (T.depth net);
+  line "%-12s %s" "counter"
+    (String.concat " " (List.map (Printf.sprintf "%11dd") domains_list));
+  let print_curve name pts =
+    line "%-12s %s" name
+      (String.concat " " (List.map (fun (p : P.point) -> Printf.sprintf "%11.0f" p.P.ops_per_sec) pts))
+  in
+  print_curve "central-faa" central;
+  print_curve subject network;
+  let crossover = P.crossover c net in
+  (match crossover with
+  | Some n -> line "projected crossover: network overtakes central FAA at %d domains" n
+  | None -> line "projected crossover: not reached within the scanned range");
+  Printf.sprintf
+    "{\n    \"model\": \"token_ns = depth*crossing_ns + stalls_per_token*stall_factor*crossing_ns\",\n\
+    \    \"crossing_ns\": %.3f,\n    \"stall_factor\": %.1f,\n    \"stall_ns\": %.3f,\n\
+    \    \"depth\": %d,\n    \"csr_lint\": \"certified\",\n    \"rows\": [\n%s\n    ],\n\
+    \    \"projected_crossover_domains\": %s\n  }"
+    crossing_ns c.P.stall_factor (P.stall_ns c) (T.depth net)
+    (String.concat ",\n" (List.map (row "central-faa") central @ List.map (row subject) network))
+    (match crossover with Some n -> string_of_int n | None -> "null")
+
+(* ------------------------------------------------------------------ *)
 (* runtime: the memory-layout sweep.  Compares the padded+CSR layout
    against the seed unpadded+nested layout (and the central-FAA / lock
    baselines) across 1-8 domains, reusing one warmed domain pool for
    every cell, and emits machine-readable BENCH_runtime.json.           *)
 
-let runtime ?(smoke = false) () =
+let runtime ?(smoke = false) ?(projected = false) () =
   header "runtime  memory-layout sweep: padded+CSR vs unpadded+nested (writes BENCH_runtime.json)";
   line "(host note: single-core container -> domains timeshare; relative shapes only)";
   let w = 16 in
@@ -545,7 +610,42 @@ let runtime ?(smoke = false) () =
           domain_counts
       in
       line "%-12s %-16s %s" (Printf.sprintf "C(%d,%d)+batch" w w) "padded-csr"
-        (String.concat " " batch_row));
+        (String.concat " " batch_row);
+      (* The layer-pipelined batch walk: a wavefront of tokens advances
+         one crossing per round, overlapping independent crossings.
+         Buffers are per-domain — they are single-owner scratch. *)
+      let bufs = Array.init 8 (fun _ -> RT.buffer ~capacity:128 ()) in
+      let pipe_row =
+        List.map
+          (fun domains ->
+            let n = ops_total / domains in
+            let best = ref 0. and seconds = ref 0. in
+            for _ = 1 to repeats do
+              RT.reset rt;
+              let s =
+                Cn_runtime.Domain_pool.run pool ~domains (fun pid ->
+                    RT.traverse_batch_pipelined rt bufs.(pid) ~wire:(pid mod w) ~n
+                      ~f:(fun _ _ -> ()))
+              in
+              let rate = if s <= 0. then 0. else float_of_int (domains * n) /. s in
+              if rate > !best then begin
+                best := rate;
+                seconds := s
+              end
+            done;
+            results :=
+              ( Printf.sprintf "C(%d,%d)+pipe" w w,
+                "padded-csr",
+                domains,
+                ops_total,
+                !seconds,
+                !best )
+              :: !results;
+            Printf.sprintf "%11.0f" !best)
+          domain_counts
+      in
+      line "%-12s %-16s %s" (Printf.sprintf "C(%d,%d)+pipe" w w) "padded-csr"
+        (String.concat " " pipe_row));
   (* Observability pass: one metrics-instrumented CAS run on C(16,16)
      at 4 domains.  The validator runs Strict — any lost update or
      broken step property fails the whole sweep — and the per-layer
@@ -576,6 +676,7 @@ let runtime ?(smoke = false) () =
     | None -> line "  token latency: (none sampled)");
     Cn_runtime.Metrics.to_json ~layers snap
   in
+  let projected_section = if projected then Some (projected_json ~smoke ~w c16) else None in
   let oc = open_out "BENCH_runtime.json" in
   let entries =
     List.rev_map
@@ -587,12 +688,16 @@ let runtime ?(smoke = false) () =
       !results
   in
   Printf.fprintf oc
-    "{\n  \"suite\": \"runtime\",\n  \"w\": %d,\n  \"results\": [\n%s\n  ],\n  \"metrics\": %s}\n"
+    "{\n  \"suite\": \"runtime\",\n  \"w\": %d,\n  \"results\": [\n%s\n  ],\n%s  \"metrics\": %s}\n"
     w
     (String.concat ",\n" entries)
+    (match projected_section with
+    | Some p -> Printf.sprintf "  \"projected\": %s,\n" p
+    | None -> "")
     metrics_json;
   close_out oc;
-  line "wrote BENCH_runtime.json (%d measurements + metrics profile)" (List.length !results)
+  line "wrote BENCH_runtime.json (%d measurements%s + metrics profile)" (List.length !results)
+    (if projected then " + projected curves" else "")
 
 (* ------------------------------------------------------------------ *)
 (* service: the Cn_service combining front-end against naive per-op
@@ -603,7 +708,7 @@ let runtime ?(smoke = false) () =
    elimination pair tokens with antitokens before they reach the
    network.  Appends a "service" section to BENCH_runtime.json.         *)
 
-let service ?(smoke = false) () =
+let service ?(smoke = false) ?(projected = false) () =
   header "service  combining front-end vs naive per-op traverse (appends to BENCH_runtime.json)";
   line "(host note: single-core container -> domains timeshare; relative shapes only)";
   let module RT = Cn_runtime.Network_runtime in
@@ -674,10 +779,10 @@ let service ?(smoke = false) () =
       (* Service driver: each domain owns [k] sessions pinned to its
          wire and pipelines one submit per session before awaiting, so
          every round is served as one combined batch. *)
-      let serve name ~mixed ~elim =
+      let serve ?(pipeline = false) name ~mixed ~elim =
         let best = ref 0. and secs = ref 0. and best_stats = ref None in
         for _ = 1 to repeats do
-          let svc = Svc.create ~max_batch:k ~elim c16 in
+          let svc = Svc.create ~max_batch:k ~elim ~pipeline c16 in
           let sessions =
             Array.init domains (fun pid ->
                 Array.init k (fun _ -> Svc.session ~wire:(pid mod w) svc))
@@ -734,6 +839,8 @@ let service ?(smoke = false) () =
       serve "service-batched" ~mixed:false ~elim:true;
       serve "service-batched" ~mixed:true ~elim:true;
       serve "service-noelim" ~mixed:true ~elim:false;
+      serve "service-pipelined" ~mixed:false ~elim:true ~pipeline:true;
+      serve "service-pipelined" ~mixed:true ~elim:true ~pipeline:true;
       (* Closed-loop workload coverage on the same pool: blocking
          increments/decrements under Zipf skew, metrics-instrumented,
          strict-drained; its combined service+network snapshot is
@@ -791,14 +898,19 @@ let service ?(smoke = false) () =
           name mix domains total_ops seconds rate mean_batch elim elim_rate rejected)
       !rows
   in
+  let projected_field =
+    if projected then
+      Printf.sprintf ",\n    \"projected\": %s" (projected_json ~smoke ~w c16)
+    else ""
+  in
   let section =
     Printf.sprintf
       "{\n    \"net\": \"C(%d,%d)\",\n    \"domains\": %d,\n    \"pipeline\": %d,\n    \
        \"results\": [\n%s\n    ],\n    \"speedup_mixed_vs_naive\": %.3f,\n    \
-       \"speedup_inc_vs_naive\": %.3f,\n    \"report\": %s\n  }"
+       \"speedup_inc_vs_naive\": %.3f,\n    \"report\": %s%s\n  }"
       w w domains k
       (String.concat ",\n" entries)
-      speedup_mixed speedup_inc (String.trim !report_json)
+      speedup_mixed speedup_inc (String.trim !report_json) projected_field
   in
   let path = "BENCH_runtime.json" in
   let fresh () =
@@ -943,8 +1055,16 @@ let () =
   | [| _; "micro" |] -> micro ()
   | [| _; "runtime" |] -> runtime ()
   | [| _; "runtime"; "--smoke" |] -> runtime ~smoke:true ()
+  | [| _; "runtime"; "--projected" |] -> runtime ~projected:true ()
+  | [| _; "runtime"; "--smoke"; "--projected" |] | [| _; "runtime"; "--projected"; "--smoke" |] ->
+      runtime ~smoke:true ~projected:true ()
   | [| _; "service" |] -> service ()
   | [| _; "service"; "--smoke" |] -> service ~smoke:true ()
+  | [| _; "service"; "--projected" |] -> service ~projected:true ()
+  | [| _; "service"; "--smoke"; "--projected" |] | [| _; "service"; "--projected"; "--smoke" |] ->
+      service ~smoke:true ~projected:true ()
   | _ ->
-      prerr_endline "usage: main.exe [e1|...|e14|micro|runtime [--smoke]|service [--smoke]]";
+      prerr_endline
+        "usage: main.exe [e1|...|e14|micro|runtime [--smoke] [--projected]|service [--smoke] \
+         [--projected]]";
       exit 2

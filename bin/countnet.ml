@@ -337,6 +337,36 @@ let batch_arg =
               of $(docv) tokens (bare $(b,--batch): one chunk covering all ops), instead of one \
               $(b,traverse) call per increment.")
 
+let pipeline_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some 64) (some int) None
+    & info [ "pipeline" ] ~docv:"CAP"
+        ~doc:"Drive each domain through the layer-pipelined batch walk \
+              ($(b,traverse_batch_pipelined)) with a wavefront buffer of $(docv) tokens (bare \
+              $(b,--pipeline): 64) instead of one $(b,traverse) call per increment. With \
+              $(b,--service), drains combined batches through the pipelined walk instead; lane \
+              buffers are sized by $(b,--max-batch) and $(docv) is ignored.")
+
+let projected_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "projected" ]
+        ~doc:"After the measured run, calibrate the single-core crossing cost on this host and \
+              print contention-model-projected 2/4/8-domain throughput for the central \
+              Fetch&Increment counter and the network, plus the projected crossover \
+              concurrency (the $(b,Cn_analysis.Projection) model).")
+
+let stall_factor_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "stall-factor" ] ~docv:"F"
+        ~doc:"Cost of one stall (a cache-line transfer to a contended word) in units of an \
+              uncontended crossing, for the projection model (default 8). Requires \
+              $(b,--projected).")
+
 let metrics_flag =
   Arg.(
     value
@@ -443,6 +473,48 @@ let throughput_cmd =
               remaining := !remaining - n
             done))
   in
+  (* Like [pool_round], but wavefront-pipelined: each domain owns one
+     preallocated buffer and hands the whole run to the chunking
+     pipelined walk. *)
+  let pool_round_pipelined rt ~domains ~ops ~capacity =
+    let w = RT.input_width rt in
+    Cn_runtime.Domain_pool.with_pool domains (fun pool ->
+        Cn_runtime.Domain_pool.run pool ~domains (fun pid ->
+            let buf = RT.buffer ~capacity () in
+            RT.traverse_batch_pipelined rt buf ~wire:(pid mod w) ~n:ops ~f:(fun _ _ -> ())))
+  in
+  (* Calibrate the uncontended crossing cost on this host (one domain),
+     then print the contention-model projection next to it.  The
+     measured run above answers "what did this host do"; these rows
+     answer "what would n truly concurrent domains do" (Theorem 6.7's
+     regime), from depth x crossing_ns plus simulated stalls. *)
+  let print_projection net ~mode ~layout ~ops ~stall_factor =
+    let module P = Cn_analysis.Projection in
+    let depth = T.depth net in
+    let crossing_ns =
+      Cn_runtime.Harness.calibrate_crossing_ns
+        ~ops_per_domain:(max 1_000 (min ops 200_000))
+        ~make:(fun () -> Cn_runtime.Shared_counter.of_topology ~mode ~layout net)
+        ~depth ()
+    in
+    let c = P.calibrate ?stall_factor ~crossing_ns () in
+    Printf.printf "projected: crossing %.1f ns, stall factor %.1f (stall %.1f ns), depth %d\n"
+      c.P.crossing_ns c.P.stall_factor (P.stall_ns c) depth;
+    List.iter
+      (fun n ->
+        let ctr = P.project_central c ~domains:n in
+        let np = P.project_network c net ~domains:n in
+        Printf.printf
+          "  n=%d: central %.3g ops/s (%.1f stalls/token), network %.3g ops/s (%.2f \
+           stalls/token)\n"
+          n ctr.P.ops_per_sec ctr.P.stalls_per_token np.P.ops_per_sec np.P.stalls_per_token)
+      [ 2; 4; 8 ];
+    match P.crossover c net with
+    | Some n ->
+        Printf.printf "projected crossover: network overtakes the central counter at %d domains\n"
+          n
+    | None -> print_endline "projected crossover: none within 1024 domains"
+  in
   let parse_skew s =
     match String.split_on_char ':' s with
     | [ "uniform" ] -> W.Uniform
@@ -469,13 +541,24 @@ let throughput_cmd =
         fail_usage
           (Printf.sprintf "unknown arrival %S (expected closed[:THINK] or burst:N:PAUSE)" s)
   in
-  let run net domains ops mode layout batch metrics policy service elim max_batch sessions
-      dec_ratio skew arrival =
+  let run net domains ops mode layout batch pipeline metrics policy service elim max_batch
+      sessions dec_ratio skew arrival projected stall_factor =
     if domains <= 0 then fail_usage (Printf.sprintf "--domains must be positive (got %d)" domains);
     if ops <= 0 then fail_usage (Printf.sprintf "--ops must be positive (got %d)" ops);
     (match batch with
     | Some b when b <= 0 -> fail_usage (Printf.sprintf "--batch must be positive (got %d)" b)
     | _ -> ());
+    (match pipeline with
+    | Some c when c <= 0 ->
+        fail_usage (Printf.sprintf "--pipeline capacity must be positive (got %d)" c)
+    | _ -> ());
+    if batch <> None && pipeline <> None then
+      fail_usage "--batch and --pipeline are mutually exclusive (pick one batched driver)";
+    (match stall_factor with
+    | Some f when f <= 0. ->
+        fail_usage (Printf.sprintf "--stall-factor must be positive (got %g)" f)
+    | _ -> ());
+    if stall_factor <> None && not projected then fail_usage "--stall-factor requires --projected";
     if not service then begin
       let require_service (name, set) =
         if set then fail_usage (name ^ " requires --service")
@@ -505,7 +588,10 @@ let throughput_cmd =
     let skew = Option.map parse_skew skew in
     let arrival = Option.map parse_arrival arrival in
     if service then begin
-      let svc = Svc.create ~mode ~layout ~metrics ?max_batch ?elim ~validate:policy net in
+      let svc =
+        Svc.create ~mode ~layout ~metrics ?max_batch ?elim ~pipeline:(pipeline <> None)
+          ~validate:policy net
+      in
       let spec =
         {
           W.default with
@@ -530,6 +616,7 @@ let throughput_cmd =
         sst.Svc.total_batches sst.Svc.mean_batch sst.Svc.total_eliminated_pairs
         sst.Svc.elimination_rate;
       if metrics then print_endline (Svc.report_json svc);
+      if projected then print_projection net ~mode ~layout ~ops ~stall_factor;
       exit 0
     end;
     let enforce_or_exit rt =
@@ -541,10 +628,15 @@ let throughput_cmd =
     in
     let json = ref None in
     let r =
-      if metrics || batch <> None then begin
+      if metrics || batch <> None || pipeline <> None then begin
         let rt = RT.compile ~mode ~layout ~metrics net in
-        let chunk = match batch with Some b -> min b ops | None -> 1 in
-        let seconds = pool_round rt ~domains ~ops ~chunk in
+        let seconds =
+          match pipeline with
+          | Some cap -> pool_round_pipelined rt ~domains ~ops ~capacity:(min cap ops)
+          | None ->
+              let chunk = match batch with Some b -> min b ops | None -> 1 in
+              pool_round rt ~domains ~ops ~chunk
+        in
         enforce_or_exit rt;
         if metrics then begin
           let m = Option.get (RT.metrics rt) in
@@ -579,15 +671,17 @@ let throughput_cmd =
     Printf.printf "%s: %d domains x %d ops = %d ops in %.3fs -> %.0f ops/s\n"
       r.Cn_runtime.Harness.counter domains ops r.Cn_runtime.Harness.total_ops
       r.Cn_runtime.Harness.seconds r.Cn_runtime.Harness.ops_per_sec;
-    Option.iter print_endline !json
+    Option.iter print_endline !json;
+    if projected then print_projection net ~mode ~layout ~ops ~stall_factor
   in
   Cmd.v
     (Cmd.info "throughput"
        ~doc:"Measure Fetch&Increment throughput of the network-backed shared counter.")
     Term.(
       const run $ network_term $ domains_arg $ ops_arg $ mode_arg $ layout_arg $ batch_arg
-      $ metrics_flag $ validate_arg $ service_flag $ elim_arg $ max_batch_arg $ sessions_arg
-      $ dec_ratio_arg $ skew_arg $ arrival_arg)
+      $ pipeline_arg $ metrics_flag $ validate_arg $ service_flag $ elim_arg $ max_batch_arg
+      $ sessions_arg $ dec_ratio_arg $ skew_arg $ arrival_arg $ projected_flag
+      $ stall_factor_arg)
 
 (* ---------------------------------------------------------------- *)
 (* sort *)

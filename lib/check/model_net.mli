@@ -24,6 +24,21 @@ val traverse : t -> wire:int -> int
 val traverse_decrement : t -> wire:int -> int
 val traverse_batch : t -> wire:int -> n:int -> f:(int -> int -> unit) -> unit
 
+val traverse_batch_decrement : t -> wire:int -> n:int -> f:(int -> int -> unit) -> unit
+(** Batched antitoken runs, one schedulable crossing at a time — the
+    model analogue of [Network_runtime.traverse_batch_decrement]. *)
+
+type buffer = unit
+(** The model has no memory hierarchy to pipeline against; its pipelined
+    entry points delegate to the sequential batch walks so the checker
+    still explores services built with [~pipeline:true]. *)
+
+val buffer : capacity:int -> buffer
+val traverse_batch_pipelined : t -> buffer -> wire:int -> n:int -> f:(int -> int -> unit) -> unit
+
+val traverse_batch_pipelined_decrement :
+  t -> buffer -> wire:int -> n:int -> f:(int -> int -> unit) -> unit
+
 val quiescent : t -> Cn_runtime.Validator.report
 (** Step-property plus token-conservation checks on the current exit
     distribution, reading through instrumented atomics (the reads are

@@ -93,6 +93,40 @@ let check ~subject net (v : Rt.view) =
             d.Balancer.fan_out
         else nested_ok.(b) <- true)
       descriptor;
+  (* Precompiled routing table (CSR010): the stride-2 route image must
+     carry each balancer's CSR row base and its port strategy — the mask
+     [fan_out - 1] exactly when the fan-out is a power of two,
+     [-fan_out] otherwise — and the per-balancer strategy table read by
+     the nested walk must agree with it.  Expectations are re-derived
+     from the topology, independent of the (possibly corrupted)
+     [v_offsets]. *)
+  let strategy_of q = if q land (q - 1) = 0 then q - 1 else -q in
+  let route = v.Rt.v_route in
+  let strategy = v.Rt.v_strategy in
+  let route_ok = ref (Array.length route = 2 * n) in
+  if not !route_ok then
+    emit "CSR010" "routing table has %d entries for %d balancers (want %d)" (Array.length route) n
+      (2 * n);
+  let strategy_ok = Array.length strategy = n in
+  if not strategy_ok then
+    emit "CSR010" "strategy table has %d entries for %d balancers" (Array.length strategy) n;
+  let ex_base = ref 0 in
+  Array.iteri
+    (fun b d ->
+      let q = d.Balancer.fan_out in
+      if !route_ok then begin
+        if route.(2 * b) <> !ex_base then
+          emit "CSR010" "routing base of balancer %d is %d, its CSR row starts at %d" b
+            route.(2 * b) !ex_base;
+        if route.((2 * b) + 1) <> strategy_of q then
+          emit "CSR010" "balancer %d compiled with port strategy %d, fan-out %d wants %d" b
+            route.((2 * b) + 1) q (strategy_of q)
+      end;
+      if strategy_ok && strategy.(b) <> strategy_of q then
+        emit "CSR010" "balancer %d: nested-walk port strategy %d, fan-out %d wants %d" b
+          strategy.(b) q (strategy_of q);
+      ex_base := !ex_base + q)
+    descriptor;
   (* Destination range (CSR003), topology diff (CSR006/CSR009), layout
      agreement (CSR005).  [in_range] is against the topology's widths:
      the runtime may only jump to an existing balancer or exit on an

@@ -20,7 +20,12 @@
     - [CSR007] initial state mismatch;
     - [CSR008] input/output width mismatch;
     - [CSR009] jump-table wiring differs from the topology (the
-      decompiled network is not the source network).
+      decompiled network is not the source network);
+    - [CSR010] the precompiled routing image is wrong: a stride-2
+      route entry carries a row base off its CSR row, or a port
+      strategy that is not the mask [fan_out - 1] for a power-of-two
+      fan-out (resp. [-fan_out] for the double-[mod] path), in either
+      the route table or the nested walk's strategy table.
 
     The destination encoding mirrors the runtime's: a non-negative
     entry is a balancer id, a negative entry [-(wire + 1)] is network

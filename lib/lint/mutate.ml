@@ -200,6 +200,21 @@ let csr_mutants net =
         let e = v.Rt.v_next_nested.(b).(p) in
         v.Rt.v_next_nested.(b).(p) <- (if e >= 0 then -1 else 0);
         v);
+    csr_mutant ~name:"csr-route-strategy" ~expected:"CSR010"
+      ~description:"balancer 0's precompiled port strategy downgraded to the double-mod path" net
+      (fun v ->
+        v.Rt.v_route.(1) <- -v.Rt.v_fan_out.(0);
+        v);
+    csr_mutant ~name:"csr-route-shift" ~expected:"CSR010"
+      ~description:"routing base of balancer 1 shifted off its CSR row" net
+      (fun v ->
+        v.Rt.v_route.(2) <- v.Rt.v_route.(2) + 1;
+        v);
+    csr_mutant ~name:"csr-strategy-diverge" ~expected:"CSR010"
+      ~description:"nested-walk strategy of balancer 0 widened past its fan-out" net
+      (fun v ->
+        v.Rt.v_strategy.(0) <- (2 * v.Rt.v_fan_out.(0)) - 1;
+        v);
     csr_mutant ~name:"csr-drop-output" ~expected:"CSR004"
       ~description:"the jump to output wire 0 redirected to output wire 1" net
       (fun v ->

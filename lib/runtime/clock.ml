@@ -1,0 +1,1 @@
+external now_ns : unit -> int = "cn_monotonic_now_ns" [@@noalloc]

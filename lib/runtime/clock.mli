@@ -1,0 +1,10 @@
+(** Allocation-free monotonic clock.
+
+    [CLOCK_MONOTONIC] read as a tagged int of nanoseconds — unlike an
+    [int64]-returning stub there is no box to allocate, so the metered
+    traverse path can timestamp tokens without touching the minor
+    heap. *)
+
+val now_ns : unit -> int
+(** Nanoseconds on the monotonic clock.  Only differences are
+    meaningful. *)

@@ -1,0 +1,18 @@
+/* Monotonic clock as a tagged OCaml int, nanoseconds.
+ *
+ * The bechamel stub this replaces returns a boxed int64, so every
+ * latency sample allocated on the minor heap; returning Val_long keeps
+ * the metered traverse path allocation-free.  63 bits of nanoseconds
+ * since boot wrap after ~146 years, which outlives any run we time.
+ */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value cn_monotonic_now_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

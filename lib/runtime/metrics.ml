@@ -13,13 +13,16 @@
 
    Latency is sampled, not traced: every [sample_period]-th token
    through a sink gets two monotonic-clock reads (CLOCK_MONOTONIC via
-   bechamel's stub), and the measured latencies feed a per-sink
-   reservoir (Vitter's algorithm R) so percentiles stay unbiased however
-   long the run. *)
+   the in-tree no-alloc stub), and the measured latencies feed a
+   per-sink reservoir (Vitter's algorithm R) so percentiles stay
+   unbiased however long the run.  The reservoir holds plain tagged
+   ints of nanoseconds and the clock returns one, so a sampled token
+   costs two stub calls and two array stores — no [int64] boxes, no
+   float boxes, nothing for the GC. *)
 
 let schema_version = 1
 
-let now_ns () = Int64.to_int (Monotonic_clock.now ())
+let now_ns = Clock.now_ns
 
 (* Slots of the [lat_state] bank. *)
 let tick_slot = 0 (* tokens entered, drives the sampling period *)
@@ -31,7 +34,7 @@ type sink = {
   stalls : Padded_atomic.t; (* per balancer: contended CAS crossings *)
   exits : Padded_atomic.t; (* per output wire: net exits (tokens - antitokens) *)
   flows : Padded_atomic.t; (* slot 0: tokens entered, slot 1: antitokens *)
-  lat : float array; (* latency reservoir, ns *)
+  lat : int array; (* latency reservoir, ns (unboxed tagged ints) *)
   lat_state : Padded_atomic.t;
   period : int;
 }
@@ -48,10 +51,15 @@ let make_sink ~balancers ~wires ~reservoir ~period =
     stalls = Padded_atomic.make ~padded:false balancers ~init:(fun _ -> 0);
     exits = Padded_atomic.make ~padded:false wires ~init:(fun _ -> 0);
     flows = Padded_atomic.make ~padded:false 2 ~init:(fun _ -> 0);
-    lat = Array.make reservoir 0.;
+    lat = Array.make reservoir 0;
     lat_state = Padded_atomic.make ~padded:false 3 ~init:(fun i -> if i = rng_slot then 0x2545F49 else 0);
     period;
   }
+
+(* A zero-size sink for the uninstrumented traverse paths: the bare
+   crossing functions share the metered ones' signature (so the walk
+   loops need no closures), and this is the sink value they ignore. *)
+let null = make_sink ~balancers:0 ~wires:0 ~reservoir:1 ~period:1
 
 let create ?(shards = 16) ?(reservoir = 512) ?(sample_period = 16) ~balancers ~wires () =
   if shards <= 0 then invalid_arg "Metrics.create: shards must be positive";
@@ -87,7 +95,7 @@ let sample_begin sk =
    is updated racily on hash collisions, which only perturbs the
    randomness, never the memory safety. *)
 let sample_end sk t0 =
-  let d = float_of_int (now_ns () - t0) in
+  let d = now_ns () - t0 in
   let cap = Array.length sk.lat in
   let seen = Padded_atomic.fetch_and_add sk.lat_state seen_slot 1 in
   if seen < cap then sk.lat.(seen) <- d
@@ -184,7 +192,7 @@ let snapshot m =
          (Array.map
             (fun sk ->
               let kept = min (Padded_atomic.get sk.lat_state seen_slot) (Array.length sk.lat) in
-              Array.sub sk.lat 0 kept)
+              Array.init kept (fun i -> float_of_int sk.lat.(i)))
             m.sinks))
   in
   let observed =

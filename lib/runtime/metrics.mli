@@ -50,6 +50,11 @@ type sink
 val sink : t -> sink
 (** [sink m] is the sink the calling domain writes to. *)
 
+val null : sink
+(** A zero-size sink that must never be recorded into.  The
+    uninstrumented runtime walk loops pass it so bare and metered
+    crossing functions share one (closure-free) signature. *)
+
 val crossing : sink -> int -> unit
 (** Record one token (or antitoken) crossing balancer [b]. *)
 

@@ -10,6 +10,20 @@ let encode_dest = function
   | Topology.Bal_input { bal; port = _ } -> bal
   | Topology.Net_output i -> -(i + 1)
 
+(* Port strategies, precompiled per balancer: a non-negative strategy is
+   the mask [q - 1] of a power-of-two fan-out [q] (state land mask is
+   the port, even for negative post-antitoken states, by two's
+   complement); a negative strategy [-q] selects the symmetric
+   double-[mod] path for general fan-outs.  Compiling the power-of-two
+   test here hoists it out of every crossing of every walk loop. *)
+let strategy_of q = if q land (q - 1) = 0 then q - 1 else -q
+
+let[@inline] port_of_strategy s strat =
+  if strat >= 0 then s land strat
+  else
+    let q = -strat in
+    (s mod q + q) mod q
+
 type t = {
   mode : mode;
   layout : layout;
@@ -24,6 +38,13 @@ type t = {
                        at [offsets.(b) + p] *)
   next_nested : int array array; (* seed layout: per balancer, per port *)
   fan_out : int array;
+  route : int array; (* stride-2 routing table: [route.(2b)] is balancer
+                        b's CSR row base (= offsets.(b)), [route.(2b+1)]
+                        its port strategy — one adjacent pair per
+                        crossing instead of two [offsets] reads plus a
+                        power-of-two test *)
+  strategy : int array; (* per balancer: the same strategy, for the
+                           nested walk's fast path *)
   entry : int array; (* per input wire: encoded destination *)
   values : Padded_atomic.t; (* per output wire: next value to hand out *)
   failures : Padded_atomic.t; (* single slot, always padded *)
@@ -34,7 +55,10 @@ let compile ?(mode = Faa) ?(layout = Padded_csr) ?(metrics = false) net =
   let n = Topology.size net in
   let t = Topology.output_width net in
   (* One topology query per balancer; every per-balancer field below is
-     derived from this pass. *)
+     derived from this pass.  All routing — including the Lemma 5.3
+     bit-reversal wiring of the butterfly blocks, which the topology
+     layer computes arithmetically — is baked into the [next]/[route]
+     images here, so no walk loop ever re-derives a wire. *)
   let descriptors = Array.init n (Topology.balancer net) in
   let init_states = Array.map (fun d -> d.Balancer.init_state) descriptors in
   let fan_out = Array.map (fun d -> d.Balancer.fan_out) descriptors in
@@ -49,6 +73,12 @@ let compile ?(mode = Faa) ?(layout = Padded_csr) ?(metrics = false) net =
   in
   let next = Array.make offsets.(n) 0 in
   Array.iteri (fun b row -> Array.blit row 0 next offsets.(b) (Array.length row)) next_nested;
+  let strategy = Array.map strategy_of fan_out in
+  let route = Array.make (2 * n) 0 in
+  for b = 0 to n - 1 do
+    route.(2 * b) <- offsets.(b);
+    route.((2 * b) + 1) <- strategy.(b)
+  done;
   let padded = layout = Padded_csr in
   {
     mode;
@@ -61,6 +91,8 @@ let compile ?(mode = Faa) ?(layout = Padded_csr) ?(metrics = false) net =
     next;
     next_nested;
     fan_out;
+    route;
+    strategy;
     entry =
       Array.init (Topology.input_width net) (fun i ->
           encode_dest (Topology.consumer net (Topology.Net_input i)));
@@ -75,124 +107,122 @@ let input_width rt = rt.input_width
 let output_width rt = rt.output_width
 let metrics rt = rt.metrics
 
-(* Balancer crossings.  The CAS loop backs off exponentially (doubling
-   [cpu_relax] bursts, bounded) instead of hammering the contended line,
-   and a crossing that lost at least one CAS counts as ONE stall however
-   many retries it took: stalls witness contended crossings, not retry
-   storms amplified by the lack of backoff. *)
+(* Balancer crossings.  Every crossing function is a top-level value of
+   one shared shape [t -> Metrics.sink -> int -> int]: the bare versions
+   ignore the sink (callers pass [Metrics.null]), the metered versions
+   record into it.  Sharing the shape means the walk loops take the
+   crossing as an ordinary function argument and the dispatch [match]es
+   below return statically allocated closures — the traverse paths
+   allocate nothing, metered or not.
+
+   The CAS loop backs off exponentially (doubling [cpu_relax] bursts,
+   bounded) instead of hammering the contended line, and a crossing that
+   lost at least one CAS counts as ONE stall however many retries it
+   took: stalls witness contended crossings, not retry storms amplified
+   by the lack of backoff. *)
 
 let max_backoff = 64
 
-let cross_faa rt b = Padded_atomic.fetch_and_add rt.states b 1
+let cross_faa rt _sk b = Padded_atomic.fetch_and_add rt.states b 1
+let cross_dec_faa rt _sk b = Padded_atomic.fetch_and_add rt.states b (-1) - 1
 
-let cross_cas rt b =
-  let rec retry spins contended =
-    let s = Padded_atomic.get rt.states b in
-    if Padded_atomic.compare_and_set rt.states b s (s + 1) then begin
-      if contended then Padded_atomic.incr rt.failures 0;
-      s
-    end
-    else begin
-      for _ = 1 to spins do
-        Domain.cpu_relax ()
-      done;
-      retry (if spins >= max_backoff then max_backoff else spins * 2) true
-    end
-  in
-  retry 1 false
+let rec cas_retry rt b step bias spins contended =
+  let s = Padded_atomic.get rt.states b in
+  if Padded_atomic.compare_and_set rt.states b s (s + step) then begin
+    if contended then Padded_atomic.incr rt.failures 0;
+    s + bias
+  end
+  else begin
+    for _ = 1 to spins do
+      Domain.cpu_relax ()
+    done;
+    cas_retry rt b step bias (if spins >= max_backoff then max_backoff else spins * 2) true
+  end
 
-let cross_dec_faa rt b = Padded_atomic.fetch_and_add rt.states b (-1) - 1
-
-let cross_dec_cas rt b =
-  let rec retry spins contended =
-    let s = Padded_atomic.get rt.states b in
-    if Padded_atomic.compare_and_set rt.states b s (s - 1) then begin
-      if contended then Padded_atomic.incr rt.failures 0;
-      s - 1
-    end
-    else begin
-      for _ = 1 to spins do
-        Domain.cpu_relax ()
-      done;
-      retry (if spins >= max_backoff then max_backoff else spins * 2) true
-    end
-  in
-  retry 1 false
+let cross_cas rt _sk b = cas_retry rt b 1 0 1 false
+let cross_dec_cas rt _sk b = cas_retry rt b (-1) (-1) 1 false
 
 (* Metered crossings: same transitions, plus per-balancer crossing and
-   stall recording into the calling domain's metrics sink.  These live
-   beside the bare versions rather than inside them so the metrics-off
-   hot path keeps its exact shape — the only cost of compiling without
-   metrics is one [match] per traverse (or per batch), outside the walk
-   loop. *)
+   stall recording into the calling domain's metrics sink. *)
 
-let metered_cas sk rt b step bias =
+let metered_faa rt sk b =
   Metrics.crossing sk b;
-  let rec retry spins contended =
-    let s = Padded_atomic.get rt.states b in
-    if Padded_atomic.compare_and_set rt.states b s (s + step) then begin
-      if contended then begin
-        Padded_atomic.incr rt.failures 0;
-        Metrics.stall sk b
-      end;
-      s + bias
-    end
-    else begin
-      for _ = 1 to spins do
-        Domain.cpu_relax ()
-      done;
-      retry (if spins >= max_backoff then max_backoff else spins * 2) true
-    end
-  in
-  retry 1 false
+  Padded_atomic.fetch_and_add rt.states b 1
 
-let metered_cross sk mode ~anti =
+let metered_dec_faa rt sk b =
+  Metrics.crossing sk b;
+  Padded_atomic.fetch_and_add rt.states b (-1) - 1
+
+let rec metered_cas_retry rt sk b step bias spins contended =
+  let s = Padded_atomic.get rt.states b in
+  if Padded_atomic.compare_and_set rt.states b s (s + step) then begin
+    if contended then begin
+      Padded_atomic.incr rt.failures 0;
+      Metrics.stall sk b
+    end;
+    s + bias
+  end
+  else begin
+    for _ = 1 to spins do
+      Domain.cpu_relax ()
+    done;
+    metered_cas_retry rt sk b step bias
+      (if spins >= max_backoff then max_backoff else spins * 2)
+      true
+  end
+
+let metered_cas rt sk b =
+  Metrics.crossing sk b;
+  metered_cas_retry rt sk b 1 0 1 false
+
+let metered_dec_cas rt sk b =
+  Metrics.crossing sk b;
+  metered_cas_retry rt sk b (-1) (-1) 1 false
+
+(* Dispatch: each arm is a statically allocated top-level function, so
+   selecting one allocates nothing. *)
+let cross_fn mode ~anti =
   match (mode, anti) with
-  | Faa, false ->
-      fun rt b ->
-        Metrics.crossing sk b;
-        cross_faa rt b
-  | Faa, true ->
-      fun rt b ->
-        Metrics.crossing sk b;
-        cross_dec_faa rt b
-  | Cas, false -> fun rt b -> metered_cas sk rt b 1 0
-  | Cas, true -> fun rt b -> metered_cas sk rt b (-1) (-1)
+  | Faa, false -> cross_faa
+  | Faa, true -> cross_dec_faa
+  | Cas, false -> cross_cas
+  | Cas, true -> cross_dec_cas
+
+let metered_fn mode ~anti =
+  match (mode, anti) with
+  | Faa, false -> metered_faa
+  | Faa, true -> metered_dec_faa
+  | Cas, false -> metered_cas
+  | Cas, true -> metered_dec_cas
 
 (* Walk loops, specialized per wiring layout.  In the CSR walk a token
-   crossing is two reads of [offsets] (consecutive entries, same cache
-   line), one read of [next], and the atomic transition — no nested
-   array to chase.  States may be negative after antitoken decrements,
-   hence the symmetric modulo; for the dominant power-of-two fan-outs
-   the mask form replaces both integer divisions (two's-complement
-   [land] is already the non-negative residue).  The unsafe reads are
-   sound: [Topology.create] validated the wiring, so every encoded
-   destination and every [offsets]/[next] index is in range. *)
+   crossing is one adjacent [route] pair read, one read of [next], and
+   the atomic transition — no nested array to chase, no per-crossing
+   power-of-two test.  The unsafe reads are sound: [Topology.create]
+   validated the wiring, so every encoded destination and every
+   [route]/[next] index is in range. *)
 
-let[@inline] port_of s q = if q land (q - 1) = 0 then s land (q - 1) else (s mod q + q) mod q
-
-let rec walk_csr rt cross dest =
+let rec walk_csr rt sk cross dest =
   if dest >= 0 then begin
-    let s = cross rt dest in
-    let base = Array.unsafe_get rt.offsets dest in
-    let q = Array.unsafe_get rt.offsets (dest + 1) - base in
-    walk_csr rt cross (Array.unsafe_get rt.next (base + port_of s q))
+    let s = cross rt sk dest in
+    let base = Array.unsafe_get rt.route (2 * dest) in
+    let strat = Array.unsafe_get rt.route ((2 * dest) + 1) in
+    walk_csr rt sk cross (Array.unsafe_get rt.next (base + port_of_strategy s strat))
   end
   else dest
 
-let rec walk_nested rt cross dest =
+let rec walk_nested rt sk cross dest =
   if dest >= 0 then begin
-    let s = cross rt dest in
-    let q = rt.fan_out.(dest) in
-    let port = (s mod q + q) mod q in
-    walk_nested rt cross rt.next_nested.(dest).(port)
+    let s = cross rt sk dest in
+    let strat = Array.unsafe_get rt.strategy dest in
+    walk_nested rt sk cross rt.next_nested.(dest).(port_of_strategy s strat)
   end
   else dest
 
-let walk rt cross dest =
+let walk rt sk cross dest =
   match rt.layout with
-  | Padded_csr -> walk_csr rt cross dest
-  | Unpadded_nested -> walk_nested rt cross dest
+  | Padded_csr -> walk_csr rt sk cross dest
+  | Unpadded_nested -> walk_nested rt sk cross dest
 
 let exit_increment rt dest =
   let out = -dest - 1 in
@@ -206,7 +236,7 @@ let exit_decrement rt dest =
    tally lands in the same sink as the crossings. *)
 let metered_one rt sk cross entry ~anti =
   let t0 = Metrics.sample_begin sk in
-  let dest = walk rt cross entry in
+  let dest = walk rt sk cross entry in
   let out = -dest - 1 in
   let v = if anti then exit_decrement rt dest else exit_increment rt dest in
   if anti then Metrics.antitoken_exit sk ~wire:out else Metrics.token_exit sk ~wire:out;
@@ -215,50 +245,161 @@ let metered_one rt sk cross entry ~anti =
 
 let traverse_metered rt m ~wire ~anti =
   let sk = Metrics.sink m in
-  metered_one rt sk (metered_cross sk rt.mode ~anti) rt.entry.(wire) ~anti
+  metered_one rt sk (metered_fn rt.mode ~anti) rt.entry.(wire) ~anti
 
 let traverse rt ~wire =
   if wire < 0 || wire >= rt.input_width then
     invalid_arg "Network_runtime.traverse: wire out of range";
   match rt.metrics with
   | Some m -> traverse_metered rt m ~wire ~anti:false
-  | None ->
-      let cross = match rt.mode with Faa -> cross_faa | Cas -> cross_cas in
-      exit_increment rt (walk rt cross rt.entry.(wire))
+  | None -> exit_increment rt (walk rt Metrics.null (cross_fn rt.mode ~anti:false) rt.entry.(wire))
 
 let traverse_decrement rt ~wire =
   if wire < 0 || wire >= rt.input_width then
     invalid_arg "Network_runtime.traverse_decrement: wire out of range";
   match rt.metrics with
   | Some m -> traverse_metered rt m ~wire ~anti:true
-  | None ->
-      let cross = match rt.mode with Faa -> cross_dec_faa | Cas -> cross_dec_cas in
-      exit_decrement rt (walk rt cross rt.entry.(wire))
+  | None -> exit_decrement rt (walk rt Metrics.null (cross_fn rt.mode ~anti:true) rt.entry.(wire))
 
-let traverse_batch rt ~wire ~n ~f =
+let check_batch_args rt ~who ~wire ~n =
   if wire < 0 || wire >= rt.input_width then
-    invalid_arg "Network_runtime.traverse_batch: wire out of range";
-  if n < 0 then invalid_arg "Network_runtime.traverse_batch: negative batch size";
-  (* Bounds check and dispatch paid once for the whole batch. *)
+    invalid_arg (Printf.sprintf "Network_runtime.%s: wire out of range" who);
+  if n < 0 then invalid_arg (Printf.sprintf "Network_runtime.%s: negative batch size" who)
+
+(* Sequential batch: bounds check and dispatch paid once for the whole
+   batch, tokens walked one after the other. *)
+let batch_loop rt ~wire ~n ~f ~anti =
   let entry = rt.entry.(wire) in
   match rt.metrics with
   | Some m ->
       let sk = Metrics.sink m in
-      let cross = metered_cross sk rt.mode ~anti:false in
+      let cross = metered_fn rt.mode ~anti in
       for i = 0 to n - 1 do
-        f i (metered_one rt sk cross entry ~anti:false)
+        f i (metered_one rt sk cross entry ~anti)
       done
   | None -> (
-      let cross = match rt.mode with Faa -> cross_faa | Cas -> cross_cas in
+      let cross = cross_fn rt.mode ~anti in
+      let sk = Metrics.null in
       match rt.layout with
       | Padded_csr ->
-          for i = 0 to n - 1 do
-            f i (exit_increment rt (walk_csr rt cross entry))
-          done
+          if anti then
+            for i = 0 to n - 1 do
+              f i (exit_decrement rt (walk_csr rt sk cross entry))
+            done
+          else
+            for i = 0 to n - 1 do
+              f i (exit_increment rt (walk_csr rt sk cross entry))
+            done
       | Unpadded_nested ->
-          for i = 0 to n - 1 do
-            f i (exit_increment rt (walk_nested rt cross entry))
-          done)
+          if anti then
+            for i = 0 to n - 1 do
+              f i (exit_decrement rt (walk_nested rt sk cross entry))
+            done
+          else
+            for i = 0 to n - 1 do
+              f i (exit_increment rt (walk_nested rt sk cross entry))
+            done)
+
+let traverse_batch rt ~wire ~n ~f =
+  check_batch_args rt ~who:"traverse_batch" ~wire ~n;
+  batch_loop rt ~wire ~n ~f ~anti:false
+
+let traverse_batch_decrement rt ~wire ~n ~f =
+  check_batch_args rt ~who:"traverse_batch_decrement" ~wire ~n;
+  batch_loop rt ~wire ~n ~f ~anti:true
+
+(* ------------------------------------------------------------------ *)
+(* Layer-pipelined batch traversal.  A wavefront of up to [capacity]
+   tokens advances one balancer crossing per round, so while one
+   crossing waits on a cache miss the next token's crossing — on a
+   different balancer bank of the same layer — is already in flight.
+   The scratch buffer is caller-owned and reused across batches, so the
+   steady-state loop allocates nothing. *)
+
+type buffer = { dests : int array }
+
+let buffer ?(capacity = 64) () =
+  if capacity < 1 then invalid_arg "Network_runtime.buffer: capacity must be positive";
+  { dests = Array.make capacity 0 }
+
+let buffer_capacity buf = Array.length buf.dests
+
+let wavefront_csr rt sk cross dests k base ~metered ~anti f =
+  let live = ref k in
+  while !live > 0 do
+    for i = 0 to k - 1 do
+      let d = Array.unsafe_get dests i in
+      if d >= 0 then begin
+        let s = cross rt sk d in
+        let rbase = Array.unsafe_get rt.route (2 * d) in
+        let strat = Array.unsafe_get rt.route ((2 * d) + 1) in
+        let nd = Array.unsafe_get rt.next (rbase + port_of_strategy s strat) in
+        Array.unsafe_set dests i nd;
+        if nd < 0 then begin
+          decr live;
+          let out = -nd - 1 in
+          let v = if anti then exit_decrement rt nd else exit_increment rt nd in
+          if metered then
+            if anti then Metrics.antitoken_exit sk ~wire:out
+            else Metrics.token_exit sk ~wire:out;
+          f (base + i) v
+        end
+      end
+    done
+  done
+
+let wavefront_nested rt sk cross dests k base ~metered ~anti f =
+  let live = ref k in
+  while !live > 0 do
+    for i = 0 to k - 1 do
+      let d = Array.unsafe_get dests i in
+      if d >= 0 then begin
+        let s = cross rt sk d in
+        let strat = Array.unsafe_get rt.strategy d in
+        let nd = rt.next_nested.(d).(port_of_strategy s strat) in
+        Array.unsafe_set dests i nd;
+        if nd < 0 then begin
+          decr live;
+          let out = -nd - 1 in
+          let v = if anti then exit_decrement rt nd else exit_increment rt nd in
+          if metered then
+            if anti then Metrics.antitoken_exit sk ~wire:out
+            else Metrics.token_exit sk ~wire:out;
+          f (base + i) v
+        end
+      end
+    done
+  done
+
+(* Pipelined tokens are interleaved, so per-token latency sampling does
+   not bracket a single walk; the pipelined paths record crossings,
+   stalls and exits but skip the latency reservoir. *)
+let pipelined_loop rt buf ~wire ~n ~f ~anti =
+  let entry = rt.entry.(wire) in
+  let sk, cross, metered =
+    match rt.metrics with
+    | Some m -> (Metrics.sink m, metered_fn rt.mode ~anti, true)
+    | None -> (Metrics.null, cross_fn rt.mode ~anti, false)
+  in
+  let dests = buf.dests in
+  let cap = Array.length dests in
+  let base = ref 0 in
+  while !base < n do
+    let k = if n - !base < cap then n - !base else cap in
+    Array.fill dests 0 k entry;
+    (match rt.layout with
+    | Padded_csr -> wavefront_csr rt sk cross dests k !base ~metered ~anti f
+    | Unpadded_nested -> wavefront_nested rt sk cross dests k !base ~metered ~anti f);
+    base := !base + k
+  done
+
+let traverse_batch_pipelined rt buf ~wire ~n ~f =
+  check_batch_args rt ~who:"traverse_batch_pipelined" ~wire ~n;
+  pipelined_loop rt buf ~wire ~n ~f ~anti:false
+
+let traverse_batch_pipelined_decrement rt buf ~wire ~n ~f =
+  check_batch_args rt ~who:"traverse_batch_pipelined_decrement" ~wire ~n;
+  pipelined_loop rt buf ~wire ~n ~f ~anti:true
 
 let exit_distribution rt =
   (* Output wire [i] hands out [i, i + t, ...]; its next value [v]
@@ -275,6 +416,8 @@ type view = {
   v_offsets : int array;
   v_next : int array;
   v_next_nested : int array array;
+  v_route : int array;
+  v_strategy : int array;
   v_entry : int array;
 }
 
@@ -289,6 +432,8 @@ let view rt =
     v_offsets = Array.copy rt.offsets;
     v_next = Array.copy rt.next;
     v_next_nested = Array.map Array.copy rt.next_nested;
+    v_route = Array.copy rt.route;
+    v_strategy = Array.copy rt.strategy;
     v_entry = Array.copy rt.entry;
   }
 

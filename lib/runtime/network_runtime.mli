@@ -19,11 +19,31 @@
     paper's contention bounds care about: balancer states and assignment
     cells live in {!Padded_atomic} banks (one cache line per slot, no
     false sharing between adjacent balancers), and the wiring is a flat
-    CSR-style jump table — crossing a balancer reads two adjacent
-    [offsets] entries and one [next] entry, with no nested-array pointer
-    chase.  The [Unpadded_nested] layout reproduces the original
+    CSR-style jump table — crossing a balancer reads one adjacent
+    routing-table pair and one [next] entry, with no nested-array
+    pointer chase.  The [Unpadded_nested] layout reproduces the original
     adjacent-atomics, array-of-arrays representation and is kept so the
-    [runtime] bench suite can measure what the layout is worth. *)
+    [runtime] bench suite can measure what the layout is worth.
+
+    {2 Precompiled routing}
+
+    [compile] bakes every routing decision into flat tables: the
+    Lemma 5.3 bit-reversal wiring of the butterfly blocks becomes plain
+    [next] entries, and each balancer's port-selection strategy — the
+    mask [fan_out - 1] for power-of-two fan-outs, the symmetric
+    double-[mod] otherwise — is chosen once at compile time and stored
+    in a stride-2 routing table, so no walk loop re-tests or re-derives
+    anything per crossing.
+
+    {2 Allocation}
+
+    Traversals are GC-free: with metrics off, {!traverse},
+    {!traverse_decrement}, the batch walks and the pipelined walks
+    allocate zero words per token (the crossing functions are top-level,
+    the walks are loops over preallocated int arrays); with metrics on,
+    recording goes to preallocated sharded counters and an unboxed
+    nanosecond reservoir, so the metered paths are allocation-free too.
+    The test suite pins both claims with [Gc.minor_words] deltas. *)
 
 type mode = Faa | Cas
 (** Balancer implementation: atomic fetch-and-add, or an instrumented
@@ -77,6 +97,47 @@ val traverse_batch : t -> wire:int -> n:int -> f:(int -> int -> unit) -> unit
     the whole batch — the preferred shape for throughput loops.
     @raise Invalid_argument if [wire] is out of range or [n < 0]. *)
 
+val traverse_batch_decrement : t -> wire:int -> n:int -> f:(int -> int -> unit) -> unit
+(** [traverse_batch_decrement rt ~wire ~n ~f] shepherds [n] antitokens
+    from input wire [wire] (see {!traverse_decrement}), calling
+    [f i value] with each antitoken's index and reclaimed value.  The
+    batched analogue of {!traverse_decrement}, used by the service layer
+    to drain elimination-remainder decrement runs without falling back
+    to per-operation traversals.
+    @raise Invalid_argument if [wire] is out of range or [n < 0]. *)
+
+type buffer
+(** A caller-owned scratch buffer for the pipelined batch walks: one
+    preallocated wavefront of token positions, reused across batches so
+    the steady-state pipelined loop allocates nothing. *)
+
+val buffer : ?capacity:int -> unit -> buffer
+(** [buffer ()] is a pipelined-traversal scratch buffer holding up to
+    [?capacity] (default 64) in-flight tokens.  Buffers are not
+    thread-safe: use one per domain (or per service lane).
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val buffer_capacity : buffer -> int
+(** Wavefront width of the buffer. *)
+
+val traverse_batch_pipelined : t -> buffer -> wire:int -> n:int -> f:(int -> int -> unit) -> unit
+(** [traverse_batch_pipelined rt buf ~wire ~n ~f] shepherds [n] tokens
+    from input wire [wire] layer-by-layer: a wavefront of up to
+    [buffer_capacity buf] tokens advances one balancer crossing per
+    round, overlapping the cache misses of independent crossings instead
+    of serializing whole walks.  [f i value] receives each token's batch
+    index and assigned value; completion order follows the wavefront,
+    not the index order.  The multiset of values handed out matches
+    {!traverse_batch} — individual index/value pairings may differ, as
+    they already do under concurrent traversals.  With metrics on,
+    crossings, stalls and exits are recorded, but tokens are interleaved
+    so the per-token latency reservoir is not sampled on this path.
+    @raise Invalid_argument if [wire] is out of range or [n < 0]. *)
+
+val traverse_batch_pipelined_decrement :
+  t -> buffer -> wire:int -> n:int -> f:(int -> int -> unit) -> unit
+(** Antitoken analogue of {!traverse_batch_pipelined}. *)
+
 val traverse_decrement : t -> wire:int -> int
 (** [traverse_decrement rt ~wire] shepherds one *antitoken* from input
     wire [wire]: every balancer state is decremented instead of
@@ -107,6 +168,15 @@ type view = {
           balancer id, a negative entry [-(wire + 1)] is network output
           wire [wire] *)
   v_next_nested : int array array;  (** seed layout: per balancer, per port *)
+  v_route : int array;
+      (** stride-2 precompiled routing table: [v_route.(2b)] is balancer
+          [b]'s CSR row base (= [v_offsets.(b)]), [v_route.(2b + 1)] its
+          port strategy — [fan_out - 1] (a mask) when the fan-out is a
+          power of two, [-fan_out] selecting the symmetric double-[mod]
+          path otherwise *)
+  v_strategy : int array;
+      (** per balancer: the same port strategy, as read by the nested
+          walk *)
   v_entry : int array;  (** per input wire: encoded destination *)
 }
 (** A decompilable snapshot of the compiled representation: everything

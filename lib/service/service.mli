@@ -99,6 +99,7 @@ val create :
   ?max_batch:int ->
   ?queue:int ->
   ?elim:bool ->
+  ?pipeline:bool ->
   ?validate:Cn_runtime.Validator.policy ->
   Cn_network.Topology.t ->
   t
@@ -107,7 +108,10 @@ val create :
     {!Network_runtime.compile}.  [?max_batch] (default [64]) bounds the
     operations one combined batch may serve; [?queue] (default
     [max_batch]) is the submission-slot count per lane; [?elim]
-    (default [true]) enables inc/dec elimination; [?validate] (default
+    (default [true]) enables inc/dec elimination; [?pipeline] (default
+    [false]) drains combined runs through the runtime's layer-pipelined
+    batch walks ({!Network_runtime.traverse_batch_pipelined}) using a
+    per-lane preallocated wavefront buffer; [?validate] (default
     [Strict]) is the policy {!drain} and {!shutdown} apply when not
     overridden.
     @raise Invalid_argument if [max_batch < 1] or [queue < 1]. *)

@@ -182,6 +182,54 @@ Service flags are validated before anything runs:
   countnet throughput: --sessions must be positive (got 0)
   [2]
 
+The layer-pipelined batch driver: bare --pipeline picks the default
+wavefront capacity, an explicit capacity is accepted, and the measured
+line is the same shape as the plain drivers':
+
+  $ countnet throughput -f counting -w 4 --domains 2 --ops 200 --pipeline \
+  >   --validate strict | grep -c '^network: 2 domains x 200 ops = 400 ops'
+  1
+
+  $ countnet throughput -f counting -w 4 --domains 2 --ops 200 --pipeline 16 \
+  >   --metrics --validate strict | grep -o '"schema_version": 1'
+  "schema_version": 1
+
+With --service it flips the combiner onto the pipelined drain:
+
+  $ countnet throughput -f counting -w 8 --service --pipeline --domains 2 \
+  >   --ops 200 --dec-ratio 0.5 --validate strict | grep -c '^service: \|^combining: '
+  2
+
+Pipeline flags are validated before anything runs:
+
+  $ countnet throughput -f counting -w 4 --domains 2 --ops 10 --pipeline 0
+  countnet throughput: --pipeline capacity must be positive (got 0)
+  [2]
+
+  $ countnet throughput -f counting -w 4 --domains 2 --ops 10 --batch 4 --pipeline 4
+  countnet throughput: --batch and --pipeline are mutually exclusive (pick one batched driver)
+  [2]
+
+Contention-model projection: --projected appends calibrated projection
+rows and the crossover line after the measured run (numbers are
+host-dependent; check the shape):
+
+  $ countnet throughput -f counting -w 8 -t 16 --domains 2 --ops 2000 --projected \
+  >   | grep -c '^projected: crossing \|^  n=[248]: central \|^projected crossover: '
+  5
+
+  $ countnet throughput -f counting -w 4 --domains 2 --ops 1000 --projected \
+  >   --stall-factor 4 | grep -c 'stall factor 4.0'
+  1
+
+  $ countnet throughput -f counting -w 4 --domains 2 --ops 10 --stall-factor 4
+  countnet throughput: --stall-factor requires --projected
+  [2]
+
+  $ countnet throughput -f counting -w 4 --domains 2 --ops 10 --projected --stall-factor 0
+  countnet throughput: --stall-factor must be positive (got 0)
+  [2]
+
 Static certification: one family, full pass/fact report.
 
   $ countnet lint -f counting -w 4
@@ -241,8 +289,11 @@ diagnostics (this output is the certification of the lint itself).
   csr-init-corrupt   expect CSR007, got [CSR007] — rejected
   csr-width          expect CSR008, got [CSR008] — rejected
   csr-nested-diverge expect CSR005, got [CSR005] — rejected
+  csr-route-strategy expect CSR010, got [CSR010] — rejected
+  csr-route-shift    expect CSR010, got [CSR010] — rejected
+  csr-strategy-diverge expect CSR010, got [CSR010] — rejected
   csr-drop-output    expect CSR004, got [CSR009; CSR004] — rejected
-  20 mutants, all rejected
+  23 mutants, all rejected
 
 Serialized networks get the full well-formedness diagnosis, every
 violation reported with its pinned code.

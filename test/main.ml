@@ -20,6 +20,7 @@ let () =
          Test_baselines.suite;
          Test_sim.suite;
          Test_runtime.suite;
+         Test_gcfree.suite;
          Test_metrics.suite;
          Test_analysis.suite;
          Test_antitokens.suite;

@@ -231,6 +231,9 @@ let pinned_mutants =
     ("csr-init-corrupt", "CSR007", [ "CSR007" ]);
     ("csr-width", "CSR008", [ "CSR008" ]);
     ("csr-nested-diverge", "CSR005", [ "CSR005" ]);
+    ("csr-route-strategy", "CSR010", [ "CSR010" ]);
+    ("csr-route-shift", "CSR010", [ "CSR010" ]);
+    ("csr-strategy-diverge", "CSR010", [ "CSR010" ]);
     ("csr-drop-output", "CSR004", [ "CSR009"; "CSR004" ]);
   ]
 
