@@ -1,8 +1,9 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test bench micro bench-runtime bench-smoke bench-service \
-        bench-service-smoke bench-projected bench-projected-smoke \
-        check-metrics check-races lint examples clean doc
+        bench-service-smoke bench-serve bench-serve-smoke bench-projected \
+        bench-projected-smoke serve-smoke check-metrics check-races lint \
+        examples clean doc
 
 all: build
 
@@ -31,6 +32,23 @@ bench-service:
 
 bench-service-smoke:
 	dune exec bench/main.exe -- service --smoke
+
+# Loopback SLO rows for the wire-protocol server: in-process countnetd
+# driven by the TCP load rig over 127.0.0.1 (uniform/zipf/mixed/bursty
+# scenarios, connection churn, mid-load SIGTERM-equivalent stop with a
+# Strict-validated drain).  Appends a "serve" section with rtt
+# p50/p95/p99 rows to BENCH_runtime.json.
+bench-serve:
+	dune exec bench/main.exe -- serve
+
+bench-serve-smoke:
+	dune exec bench/main.exe -- serve --smoke
+
+# Out-of-process loopback smoke test: real countnetd daemon + two
+# concurrent `countnet load` clients + SIGTERM under load, asserting a
+# clean quiescent drain.  See doc/protocol.md for the wire format.
+serve-smoke: build
+	sh scripts/serve_smoke.sh
 
 # Measured + contention-model-projected curves: certifies the
 # precompiled routing image (Csr_lint), calibrates the single-core

@@ -934,6 +934,152 @@ let service ?(smoke = false) ?(projected = false) () =
   line "appended service section to BENCH_runtime.json (%d rows)" (List.length !rows)
 
 (* ------------------------------------------------------------------ *)
+(* serve: the countnetd wire protocol on loopback — an in-process
+   Cn_proto.Server over C(16,16) driven by the TCP load rig.  Each row
+   is one client population (uniform/Zipf skew, closed/bursty
+   arrivals, a mixed inc/dec run) and carries SLO-style round-trip
+   latency percentiles (p50/p95/p99, ns).  A churn phase and a
+   mid-load Strict stop exercise the lifecycle edges; the section is
+   appended to BENCH_runtime.json.                                      *)
+
+let serve ?(smoke = false) () =
+  header "serve  countnetd loopback: wire-protocol SLO latencies (appends to BENCH_runtime.json)";
+  line "(host note: loopback TCP on a single core; rtt includes both protocol stacks)";
+  let module V = Cn_runtime.Validator in
+  let module M = Cn_runtime.Metrics in
+  let module Svc = Cn_service.Service in
+  let module W = Cn_service.Workload in
+  let module Server = Cn_proto.Server in
+  let module Client = Cn_proto.Client in
+  let module Load = Cn_proto.Load in
+  let w = 16 in
+  let net = C.network ~w ~t:w in
+  let ops = if smoke then 200 else 4_000 in
+  let svc = Svc.create ~metrics:true ~validate:V.Strict net in
+  let server = Server.start svc in
+  let port = Server.port server in
+  let rows = ref [] in
+  let scenario name spec =
+    let st = Load.run ~port spec in
+    if st.Load.completed = 0 then begin
+      Printf.eprintf "serve bench: scenario %s completed nothing\n" name;
+      exit 1
+    end;
+    let p50, p95, p99, maxl =
+      match st.Load.latency with
+      | Some l -> (l.M.p50, l.M.p95, l.M.p99, l.M.max)
+      | None -> (0., 0., 0., 0.)
+    in
+    rows := (name, spec, st, (p50, p95, p99, maxl)) :: !rows;
+    line "%-14s %2d clients x %d conns   %8.0f ops/s   p50 %7.1f us  p95 %7.1f us  p99 %7.1f us"
+      name spec.Load.clients spec.Load.conns_per_client st.Load.ops_per_sec (p50 /. 1e3)
+      (p95 /. 1e3) (p99 /. 1e3)
+  in
+  let base =
+    { Load.default with Load.clients = 2; conns_per_client = 2; ops_per_client = ops }
+  in
+  scenario "closed-uniform" base;
+  scenario "closed-zipf" { base with Load.conns_per_client = 4; skew = W.Zipf 1.2 };
+  scenario "mixed-dec" { base with Load.dec_ratio = 0.4; seed = 7 };
+  scenario "bursty"
+    {
+      base with
+      Load.ops_per_client = ops / 2;
+      arrival = W.Bursty { burst = 64; pause = 0.0005 };
+    };
+  (* Churn: short-lived connections stack sessions onto the lanes. *)
+  let churn = if smoke then 10 else 100 in
+  for _ = 1 to churn do
+    let c = Client.connect ~port () in
+    ignore (Client.increment c);
+    Client.close c
+  done;
+  let accepted_after_churn = Server.accepted server in
+  line "churn: %d short-lived connections (server accepted %d total)" churn accepted_after_churn;
+  (* Mid-load stop: ≥2 clients in flight when the drain starts.  The
+     Strict policy makes a step-property or conservation violation at
+     the quiescence point fatal to the bench. *)
+  let rig_stats = ref None in
+  let rig =
+    Thread.create
+      (fun () ->
+        rig_stats :=
+          Some
+            (Load.run ~port
+               {
+                 base with
+                 Load.ops_per_client = 1_000_000;
+                 arrival = W.Closed 0.0002;
+                 seed = 11;
+               }))
+      ()
+  in
+  Thread.delay (if smoke then 0.05 else 0.2);
+  let report = Server.stop ~policy:V.Strict server in
+  Thread.join rig;
+  let drain_ok = V.passed report in
+  let rig_disc, rig_closed, rig_done =
+    match !rig_stats with
+    | Some st -> (st.Load.disconnects, st.Load.closed, st.Load.completed)
+    | None -> (0, 0, 0)
+  in
+  line "mid-load stop: drain %s (%s); rig saw %d completed, %d disconnects, %d closed"
+    (if drain_ok then "ok" else "FAILED")
+    (V.summary report) rig_done rig_disc rig_closed;
+  if not drain_ok then begin
+    prerr_endline "serve bench: Strict drain failed at the mid-load stop";
+    exit 1
+  end;
+  if rig_done = 0 then begin
+    prerr_endline "serve bench: the mid-load rig made no progress before the stop";
+    exit 1
+  end;
+  let entries =
+    List.rev_map
+      (fun (name, (spec : Load.spec), (st : Load.stats), (p50, p95, p99, maxl)) ->
+        Printf.sprintf
+          "      { \"scenario\": %S, \"clients\": %d, \"conns_per_client\": %d, \
+           \"ops_per_client\": %d, \"completed\": %d, \"rejected\": %d, \"closed\": %d, \
+           \"disconnects\": %d, \"seconds\": %.6f, \"ops_per_sec\": %.1f, \
+           \"busy_seconds\": %.6f, \"busy_ops_per_sec\": %.1f, \"rtt_ns\": { \"p50\": %.1f, \
+           \"p95\": %.1f, \"p99\": %.1f, \"max\": %.1f } }"
+          name spec.Load.clients spec.Load.conns_per_client spec.Load.ops_per_client
+          st.Load.completed st.Load.rejected st.Load.closed st.Load.disconnects
+          st.Load.seconds st.Load.ops_per_sec st.Load.busy_seconds st.Load.busy_ops_per_sec
+          p50 p95 p99 maxl)
+      !rows
+  in
+  let section =
+    Printf.sprintf
+      "{\n    \"net\": \"C(%d,%d)\",\n    \"results\": [\n%s\n    ],\n    \"churn\": %d,\n    \
+       \"accepted\": %d,\n    \"drain\": { \"ok\": %b, \"summary\": %S, \
+       \"rig_completed\": %d, \"rig_disconnects\": %d, \"rig_closed\": %d }\n  }"
+      w w
+      (String.concat ",\n" entries)
+      churn accepted_after_churn drain_ok (V.summary report) rig_done rig_disc rig_closed
+  in
+  let path = "BENCH_runtime.json" in
+  let fresh () =
+    let oc = open_out path in
+    Printf.fprintf oc "{\n  \"suite\": \"serve\",\n  \"serve\": %s\n}\n" section;
+    close_out oc
+  in
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let content = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match String.rindex_opt content '}' with
+    | Some i ->
+        let oc = open_out path in
+        output_string oc (String.sub content 0 i);
+        Printf.fprintf oc ",\n  \"serve\": %s\n}\n" section;
+        close_out oc
+    | None -> fresh ()
+  end
+  else fresh ();
+  line "appended serve section to BENCH_runtime.json (%d SLO rows)" (List.length !rows)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment family.      *)
 
 let micro () =
@@ -1063,8 +1209,10 @@ let () =
   | [| _; "service"; "--projected" |] -> service ~projected:true ()
   | [| _; "service"; "--smoke"; "--projected" |] | [| _; "service"; "--projected"; "--smoke" |] ->
       service ~smoke:true ~projected:true ()
+  | [| _; "serve" |] -> serve ()
+  | [| _; "serve"; "--smoke" |] -> serve ~smoke:true ()
   | _ ->
       prerr_endline
         "usage: main.exe [e1|...|e14|micro|runtime [--smoke] [--projected]|service [--smoke] \
-         [--projected]]";
+         [--projected]|serve [--smoke]]";
       exit 2

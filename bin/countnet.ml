@@ -450,6 +450,34 @@ let arrival_arg =
               between ops) or $(b,burst:N:PAUSE) (N back-to-back ops, then PAUSE seconds). \
               Requires $(b,--service).")
 
+(* Shared by throughput --service and the TCP load rig: the textual
+   skew/arrival grammars.  [fail] reports the usage error with the
+   caller's subcommand prefix. *)
+let parse_skew ~fail s =
+  let module W = Cn_service.Workload in
+  match String.split_on_char ':' s with
+  | [ "uniform" ] -> W.Uniform
+  | [ "zipf"; a ] -> (
+      match float_of_string_opt a with
+      | Some alpha when alpha > 0. -> W.Zipf alpha
+      | _ -> fail (Printf.sprintf "--skew zipf exponent must be positive (got %S)" a))
+  | _ -> fail (Printf.sprintf "unknown skew %S (expected uniform or zipf:ALPHA)" s)
+
+let parse_arrival ~fail s =
+  let module W = Cn_service.Workload in
+  match String.split_on_char ':' s with
+  | [ "closed" ] -> W.Closed 0.
+  | [ "closed"; t ] -> (
+      match float_of_string_opt t with
+      | Some think when think >= 0. -> W.Closed think
+      | _ -> fail (Printf.sprintf "--arrival closed think time must be >= 0 (got %S)" t))
+  | [ "burst"; n; p ] -> (
+      match (int_of_string_opt n, float_of_string_opt p) with
+      | Some burst, Some pause when burst >= 1 && pause >= 0. -> W.Bursty { burst; pause }
+      | _ -> fail (Printf.sprintf "--arrival burst needs N >= 1 and PAUSE >= 0 (got %S)" s))
+  | _ ->
+      fail (Printf.sprintf "unknown arrival %S (expected closed[:THINK] or burst:N:PAUSE)" s)
+
 let throughput_cmd =
   let module RT = Cn_runtime.Network_runtime in
   let module V = Cn_runtime.Validator in
@@ -515,32 +543,8 @@ let throughput_cmd =
           n
     | None -> print_endline "projected crossover: none within 1024 domains"
   in
-  let parse_skew s =
-    match String.split_on_char ':' s with
-    | [ "uniform" ] -> W.Uniform
-    | [ "zipf"; a ] -> (
-        match float_of_string_opt a with
-        | Some alpha when alpha > 0. -> W.Zipf alpha
-        | _ -> fail_usage (Printf.sprintf "--skew zipf exponent must be positive (got %S)" a))
-    | _ -> fail_usage (Printf.sprintf "unknown skew %S (expected uniform or zipf:ALPHA)" s)
-  in
-  let parse_arrival s =
-    match String.split_on_char ':' s with
-    | [ "closed" ] -> W.Closed 0.
-    | [ "closed"; t ] -> (
-        match float_of_string_opt t with
-        | Some think when think >= 0. -> W.Closed think
-        | _ -> fail_usage (Printf.sprintf "--arrival closed think time must be >= 0 (got %S)" t))
-    | [ "burst"; n; p ] -> (
-        match (int_of_string_opt n, float_of_string_opt p) with
-        | Some burst, Some pause when burst >= 1 && pause >= 0. -> W.Bursty { burst; pause }
-        | _ ->
-            fail_usage
-              (Printf.sprintf "--arrival burst needs N >= 1 and PAUSE >= 0 (got %S)" s))
-    | _ ->
-        fail_usage
-          (Printf.sprintf "unknown arrival %S (expected closed[:THINK] or burst:N:PAUSE)" s)
-  in
+  let parse_skew = parse_skew ~fail:fail_usage in
+  let parse_arrival = parse_arrival ~fail:fail_usage in
   let run net domains ops mode layout batch pipeline metrics policy service elim max_batch
       sessions dec_ratio skew arrival projected stall_factor =
     if domains <= 0 then fail_usage (Printf.sprintf "--domains must be positive (got %d)" domains);
@@ -754,7 +758,7 @@ let file_arg =
     & pos 0 (some file) None
     & info [] ~docv:"FILE" ~doc:"File containing a serialized network.")
 
-let load_cmd =
+let restore_cmd =
   let run file trials =
     let text = In_channel.with_open_text file In_channel.input_all in
     match Cn_network.Codec.of_string text with
@@ -774,7 +778,9 @@ let load_cmd =
           (if !step_ok = trials then " (counting network)" else "")
   in
   Cmd.v
-    (Cmd.info "load" ~doc:"Load a serialized network, validate it, and probe its behaviour.")
+    (Cmd.info "restore"
+       ~doc:"Load a serialized network from a file, validate it, and probe its behaviour \
+             (the inverse of $(b,save); $(b,load) is the TCP load rig).")
     Term.(const run $ file_arg $ trials_arg)
 
 (* ---------------------------------------------------------------- *)
@@ -1162,6 +1168,191 @@ let lint_cmd =
       $ json_arg $ budget_arg $ layouts_arg $ lint_file_arg)
 
 (* ---------------------------------------------------------------- *)
+(* serve / load: the countnetd wire protocol, from this binary. *)
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind (serve) or connect to (load).")
+
+let port_arg ~doc = Arg.(value & opt int 0 & info [ "port" ] ~docv:"PORT" ~doc)
+
+let serve_cmd =
+  let module D = Cn_proto.Daemon in
+  let fail_usage msg =
+    prerr_endline ("countnet serve: " ^ msg);
+    exit 2
+  in
+  let queue_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "queue" ] ~docv:"SLOTS"
+          ~doc:"Per-lane submission slots before Overloaded (default: the service's).")
+  in
+  let serve_max_batch_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-batch" ] ~docv:"N" ~doc:"Operations one combined batch may serve.")
+  in
+  let serve_metrics_flag =
+    Arg.(
+      value & flag
+      & info [ "metrics" ] ~doc:"Compile the served runtime with the observability layer.")
+  in
+  let run host port w t queue max_batch metrics policy =
+    if port < 0 || port > 65535 then
+      fail_usage (Printf.sprintf "--port must be in [0, 65535] (got %d)" port);
+    if w <= 0 then fail_usage (Printf.sprintf "--width must be positive (got %d)" w);
+    (match t with
+    | Some t when t <= 0 -> fail_usage (Printf.sprintf "--out-width must be positive (got %d)" t)
+    | _ -> ());
+    (match queue with
+    | Some q when q <= 0 -> fail_usage (Printf.sprintf "--queue must be positive (got %d)" q)
+    | _ -> ());
+    (match max_batch with
+    | Some b when b <= 0 ->
+        fail_usage (Printf.sprintf "--max-batch must be positive (got %d)" b)
+    | _ -> ());
+    let cfg =
+      {
+        D.host;
+        port;
+        width = w;
+        out_width = t;
+        queue;
+        max_batch;
+        metrics;
+        validate = policy;
+      }
+    in
+    match D.serve cfg with
+    | code -> exit code
+    | exception Invalid_argument msg -> fail_usage msg
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run countnetd in the foreground: serve the C(w,t) counter over the length-prefixed \
+             TCP protocol until SIGTERM, then drain through the validator quiescence path.")
+    Term.(
+      const run $ host_arg
+      $ port_arg ~doc:"TCP port to bind (0 = ephemeral; the bound port is printed)."
+      $ width_arg $ out_width_arg $ queue_arg $ serve_max_batch_arg $ serve_metrics_flag
+      $ Arg.(
+          value
+          & opt policy_conv Cn_runtime.Validator.Strict
+          & info [ "validate" ] ~docv:"POLICY"
+              ~doc:"Quiescence policy at the SIGTERM drain: $(b,strict) (default), $(b,log) or \
+                    $(b,off).  The exit code reports the verdict either way."))
+
+let load_cmd =
+  let module L = Cn_proto.Load in
+  let module W = Cn_service.Workload in
+  let fail_usage msg =
+    prerr_endline ("countnet load: " ^ msg);
+    exit 2
+  in
+  let clients_arg =
+    Arg.(value & opt int 2 & info [ "clients" ] ~docv:"N" ~doc:"Concurrent client threads.")
+  in
+  let conns_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "conns" ] ~docv:"N" ~doc:"TCP connections (server sessions) per client.")
+  in
+  let load_ops_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "ops" ] ~docv:"N" ~doc:"Operations each client performs.")
+  in
+  let load_dec_ratio_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "dec-ratio" ] ~docv:"R"
+          ~doc:"Probability an operation is a Fetch&Decrement (prefix non-negative per client).")
+  in
+  let load_skew_arg =
+    Arg.(
+      value & opt string "uniform"
+      & info [ "skew" ] ~docv:"SKEW"
+          ~doc:"Connection-pick skew: $(b,uniform) or $(b,zipf:ALPHA).")
+  in
+  let load_arrival_arg =
+    Arg.(
+      value & opt string "closed"
+      & info [ "arrival" ] ~docv:"ARRIVAL"
+          ~doc:"Arrival process: $(b,closed[:THINK]) or $(b,burst:N:PAUSE).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+  in
+  let run host port clients conns ops dec_ratio skew arrival seed =
+    if port <= 0 || port > 65535 then
+      fail_usage (Printf.sprintf "--port must be in [1, 65535] (got %d)" port);
+    if clients <= 0 then fail_usage (Printf.sprintf "--clients must be positive (got %d)" clients);
+    if conns <= 0 then fail_usage (Printf.sprintf "--conns must be positive (got %d)" conns);
+    if ops <= 0 then fail_usage (Printf.sprintf "--ops must be positive (got %d)" ops);
+    if dec_ratio < 0. || dec_ratio > 1. then
+      fail_usage (Printf.sprintf "--dec-ratio must be in [0, 1] (got %g)" dec_ratio);
+    let spec =
+      {
+        L.clients;
+        conns_per_client = conns;
+        ops_per_client = ops;
+        dec_ratio;
+        skew = parse_skew ~fail:fail_usage skew;
+        arrival = parse_arrival ~fail:fail_usage arrival;
+        seed;
+      }
+    in
+    let stats =
+      try L.run ~host ~port spec
+      with Unix.Unix_error (err, _, _) ->
+        prerr_endline
+          (Printf.sprintf "countnet load: cannot reach %s:%d (%s)" host port
+             (Unix.error_message err));
+        exit 1
+    in
+    Printf.printf
+      "load: %d clients x %d conns x %d ops -> %d completed (%d inc, %d dec), %d overloaded, \
+       %d closed, %d disconnects\n"
+      clients conns ops stats.L.completed stats.L.increments stats.L.decrements
+      stats.L.rejected stats.L.closed stats.L.disconnects;
+    Printf.printf "load: %.3fs wall (%.0f ops/s), %.3fs busy (%.0f ops/s)\n" stats.L.seconds
+      stats.L.ops_per_sec stats.L.busy_seconds stats.L.busy_ops_per_sec;
+    (match stats.L.latency with
+    | Some l ->
+        Printf.printf
+          "load: rtt p50 %.1f us, p95 %.1f us, p99 %.1f us, max %.1f us (%d observed, %d kept)\n"
+          (l.Cn_runtime.Metrics.p50 /. 1e3)
+          (l.Cn_runtime.Metrics.p95 /. 1e3)
+          (l.Cn_runtime.Metrics.p99 /. 1e3)
+          (l.Cn_runtime.Metrics.max /. 1e3)
+          l.Cn_runtime.Metrics.observed l.Cn_runtime.Metrics.kept
+    | None -> print_endline "load: no completed operations; no latency summary");
+    (* A run that completed nothing because every connection failed is an
+       error, not a quiet success: distinguish "server unreachable" from
+       "rig survived a mid-run shutdown" (which still completes some ops). *)
+    if stats.L.completed = 0 && stats.L.disconnects > 0 then (
+      prerr_endline
+        (Printf.sprintf "countnet load: no operations completed against %s:%d" host port);
+      exit 1);
+    exit 0
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Drive a running countnetd over TCP with the synthetic client population \
+             (Zipf/bursty/dec-ratio) and report throughput plus round-trip latency \
+             percentiles.")
+    Term.(
+      const run $ host_arg
+      $ port_arg ~doc:"TCP port of the countnetd to drive (required)."
+      $ clients_arg $ conns_arg $ load_ops_arg $ load_dec_ratio_arg $ load_skew_arg
+      $ load_arrival_arg $ seed_arg)
+
+(* ---------------------------------------------------------------- *)
 
 let main_cmd =
   let doc = "counting networks: build, inspect, verify, simulate, and run them" in
@@ -1169,7 +1360,8 @@ let main_cmd =
     (Cmd.info "countnet" ~version:"1.0.0" ~doc)
     [
       draw_cmd; depth_cmd; verify_cmd; simulate_cmd; throughput_cmd; sort_cmd; count_cmd;
-      iso_cmd; save_cmd; load_cmd; feasible_cmd; latency_cmd; check_cmd; lint_cmd;
+      iso_cmd; save_cmd; restore_cmd; feasible_cmd; latency_cmd; check_cmd; lint_cmd;
+      serve_cmd; load_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

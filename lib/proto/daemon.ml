@@ -1,0 +1,50 @@
+module Svc = Cn_service.Service
+module V = Cn_runtime.Validator
+
+type config = {
+  host : string;
+  port : int;
+  width : int;
+  out_width : int option;
+  queue : int option;
+  max_batch : int option;
+  metrics : bool;
+  validate : V.policy;
+}
+
+let default =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    width = 16;
+    out_width = None;
+    queue = None;
+    max_batch = None;
+    metrics = false;
+    validate = V.Strict;
+  }
+
+let serve cfg =
+  let t = Option.value cfg.out_width ~default:cfg.width in
+  let net = Cn_core.Counting.network ~w:cfg.width ~t in
+  let svc =
+    Svc.create ~metrics:cfg.metrics ?queue:cfg.queue ?max_batch:cfg.max_batch
+      ~validate:cfg.validate net
+  in
+  let server = Server.start ~host:cfg.host ~port:cfg.port svc in
+  Printf.printf "countnetd: listening on %s:%d (C(%d,%d), pid %d)\n%!" cfg.host
+    (Server.port server) cfg.width t (Unix.getpid ());
+  let on_signal _ = Server.request_stop server in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  Server.wait_stop_request server;
+  Printf.printf "countnetd: stop requested, draining\n%!";
+  (* Policy Off here so a failed check reports through the exit code
+     instead of an escaping exception; cfg.validate chose how strictly
+     the service itself polices intermediate drains. *)
+  let report = Server.stop ~policy:V.Off server in
+  let ok = V.passed report in
+  Printf.printf "countnetd: drain %s — %s\n%!"
+    (if ok then "ok" else "FAILED")
+    (V.summary report);
+  if ok then 0 else 1

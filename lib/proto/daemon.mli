@@ -1,0 +1,36 @@
+(** The countnetd process body, shared by the [countnetd] executable
+    and [countnet serve]: build the paper's C(w,t), put a
+    {!Cn_service.Service} in front of it, serve it with {!Server}, and
+    on SIGTERM/SIGINT walk the graceful drain and report the
+    validator's verdict.
+
+    Stdout contract (the smoke test scrapes it): the first line is
+
+    {v countnetd: listening on HOST:PORT (C(w,t), pid PID) v}
+
+    and the last line on a clean stop is [countnetd: drain ok — ...]
+    (exit 0) or [countnetd: drain FAILED — ...] (exit 1). *)
+
+type config = {
+  host : string;
+  port : int;  (** [0] picks an ephemeral port (printed on stdout) *)
+  width : int;
+  out_width : int option;  (** default [width] (the regular network) *)
+  queue : int option;  (** per-lane submission slots; service default *)
+  max_batch : int option;
+  metrics : bool;
+  validate : Cn_runtime.Validator.policy;
+      (** policy applied at the SIGTERM drain *)
+}
+
+val default : config
+(** [{ host = "127.0.0.1"; port = 0; width = 16; out_width = None;
+      queue = None; max_batch = None; metrics = false;
+      validate = Strict }] *)
+
+val serve : config -> int
+(** Run until SIGTERM/SIGINT, then drain and return the process exit
+    code ([0] clean, [1] when the quiescence checks fail).  Installs
+    handlers for both signals; restores nothing (the process is about
+    to exit).
+    @raise Invalid_argument on a malformed width pair. *)

@@ -1,0 +1,306 @@
+(* Wire format: | u32 BE payload length | 0xC7 | version | opcode | body |.
+
+   The decoder is a hand-rolled byte-at-a-time state machine over a
+   sliding buffer.  Two properties the tests pin down:
+
+   - it consumes input independently of how the bytes were split
+     (kernel reads can land anywhere, including inside the length
+     prefix), and
+   - validation is front-loaded: a hostile length prefix is refused
+     from the 4 length bytes alone, so a peer cannot make the server
+     buffer more than [max_payload] bytes per frame, and a bad header
+     poisons the decoder before any body is interpreted. *)
+
+let magic = '\xC7'
+let version = 1
+let default_max_payload = 65536
+let header_bytes = 3
+
+type request = Inc | Dec | Read | Drain | Stats
+
+type error_code = Bad_magic | Bad_version | Bad_opcode | Bad_body | Too_large
+
+type response =
+  | Value of int
+  | Overloaded
+  | Closed
+  | Drained of { ok : bool; summary : string }
+  | Stats_reply of string
+  | Error_reply of { code : error_code; message : string }
+
+type frame = Request of request | Response of response
+
+let error_code_to_string = function
+  | Bad_magic -> "bad-magic"
+  | Bad_version -> "bad-version"
+  | Bad_opcode -> "bad-opcode"
+  | Bad_body -> "bad-body"
+  | Too_large -> "too-large"
+
+let pp ppf = function
+  | Request Inc -> Format.pp_print_string ppf "inc"
+  | Request Dec -> Format.pp_print_string ppf "dec"
+  | Request Read -> Format.pp_print_string ppf "read"
+  | Request Drain -> Format.pp_print_string ppf "drain"
+  | Request Stats -> Format.pp_print_string ppf "stats"
+  | Response (Value v) -> Format.fprintf ppf "value %d" v
+  | Response Overloaded -> Format.pp_print_string ppf "overloaded"
+  | Response Closed -> Format.pp_print_string ppf "closed"
+  | Response (Drained { ok; _ }) -> Format.fprintf ppf "drained ok=%b" ok
+  | Response (Stats_reply _) -> Format.pp_print_string ppf "stats-reply"
+  | Response (Error_reply { code; _ }) ->
+      Format.fprintf ppf "error %s" (error_code_to_string code)
+
+(* Opcodes.  Requests are < 0x80, responses have the high bit set. *)
+
+let op_inc = 0x01
+let op_dec = 0x02
+let op_read = 0x03
+let op_drain = 0x04
+let op_stats = 0x05
+let op_value = 0x81
+let op_overloaded = 0x82
+let op_closed = 0x83
+let op_drained = 0x84
+let op_stats_reply = 0x85
+let op_error = 0x86
+
+let error_code_byte = function
+  | Bad_magic -> 1
+  | Bad_version -> 2
+  | Bad_opcode -> 3
+  | Bad_body -> 4
+  | Too_large -> 5
+
+let error_code_of_byte = function
+  | 1 -> Some Bad_magic
+  | 2 -> Some Bad_version
+  | 3 -> Some Bad_opcode
+  | 4 -> Some Bad_body
+  | 5 -> Some Too_large
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Encoding. *)
+
+let add_u32 b v =
+  Buffer.add_char b (Char.chr ((v lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (v land 0xff))
+
+let add_i64 b v =
+  for shift = 7 downto 0 do
+    Buffer.add_char b (Char.chr ((v asr (shift * 8)) land 0xff))
+  done
+
+let opcode_of_frame = function
+  | Request Inc -> op_inc
+  | Request Dec -> op_dec
+  | Request Read -> op_read
+  | Request Drain -> op_drain
+  | Request Stats -> op_stats
+  | Response (Value _) -> op_value
+  | Response Overloaded -> op_overloaded
+  | Response Closed -> op_closed
+  | Response (Drained _) -> op_drained
+  | Response (Stats_reply _) -> op_stats_reply
+  | Response (Error_reply _) -> op_error
+
+let body_of_frame f =
+  let b = Buffer.create 16 in
+  (match f with
+  | Request (Inc | Dec | Read | Drain | Stats) | Response (Overloaded | Closed)
+    ->
+      ()
+  | Response (Value v) -> add_i64 b v
+  | Response (Drained { ok; summary }) ->
+      Buffer.add_char b (if ok then '\001' else '\000');
+      Buffer.add_string b summary
+  | Response (Stats_reply json) -> Buffer.add_string b json
+  | Response (Error_reply { code; message }) ->
+      Buffer.add_char b (Char.chr (error_code_byte code));
+      Buffer.add_string b message);
+  Buffer.contents b
+
+let encode buf f =
+  let body = body_of_frame f in
+  add_u32 buf (header_bytes + String.length body);
+  Buffer.add_char buf magic;
+  Buffer.add_char buf (Char.chr version);
+  Buffer.add_char buf (Char.chr (opcode_of_frame f));
+  Buffer.add_string buf body
+
+let to_string f =
+  let b = Buffer.create 32 in
+  encode b f;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Body parsing: payload (magic/version already checked) -> frame. *)
+
+let get_i64 s off =
+  let v = ref 0 in
+  for i = 0 to 7 do
+    v := (!v lsl 8) lor Char.code s.[off + i]
+  done;
+  (* Sign-extend from 64 bits down to the OCaml int. *)
+  !v
+
+let parse_body ~opcode ~body =
+  let len = String.length body in
+  let fixed op want made =
+    if len = want then Ok made
+    else
+      Error
+        (Printf.sprintf "%s body must be %d bytes, got %d" op want len)
+  in
+  match opcode with
+  | op when op = op_inc -> fixed "inc" 0 (Request Inc)
+  | op when op = op_dec -> fixed "dec" 0 (Request Dec)
+  | op when op = op_read -> fixed "read" 0 (Request Read)
+  | op when op = op_drain -> fixed "drain" 0 (Request Drain)
+  | op when op = op_stats -> fixed "stats" 0 (Request Stats)
+  | op when op = op_overloaded -> fixed "overloaded" 0 (Response Overloaded)
+  | op when op = op_closed -> fixed "closed" 0 (Response Closed)
+  | op when op = op_value ->
+      if len <> 8 then
+        Error (Printf.sprintf "value body must be 8 bytes, got %d" len)
+      else Ok (Response (Value (get_i64 body 0)))
+  | op when op = op_drained ->
+      if len < 1 then Error "drained body must carry the ok byte"
+      else
+        let ok =
+          match body.[0] with
+          | '\000' -> Some false
+          | '\001' -> Some true
+          | _ -> None
+        in
+        (match ok with
+        | None -> Error "drained ok byte must be 0 or 1"
+        | Some ok ->
+            Ok
+              (Response
+                 (Drained { ok; summary = String.sub body 1 (len - 1) })))
+  | op when op = op_stats_reply -> Ok (Response (Stats_reply body))
+  | op when op = op_error ->
+      if len < 1 then Error "error body must carry the code byte"
+      else (
+        match error_code_of_byte (Char.code body.[0]) with
+        | None -> Error "unknown error code byte"
+        | Some code ->
+            Ok
+              (Response
+                 (Error_reply { code; message = String.sub body 1 (len - 1) })))
+  | _ -> Error "unreachable: opcode validated before body parse"
+
+(* ------------------------------------------------------------------ *)
+(* Incremental decoder. *)
+
+type event =
+  | Frame of frame
+  | Need_more
+  | Corrupt of { code : error_code; detail : string }
+
+type decoder = {
+  max_payload : int;
+  mutable buf : Bytes.t;  (* fed-but-unconsumed bytes, [lo, hi) *)
+  mutable lo : int;
+  mutable hi : int;
+  mutable poisoned : event option;  (* a Corrupt, sticky once set *)
+}
+
+let decoder ?(max_payload = default_max_payload) () =
+  if max_payload < header_bytes then
+    invalid_arg
+      (Printf.sprintf "Frame.decoder: max_payload must be >= %d" header_bytes);
+  { max_payload; buf = Bytes.create 256; lo = 0; hi = 0; poisoned = None }
+
+let buffered d = d.hi - d.lo
+
+let feed d src ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length src then
+    invalid_arg "Frame.feed: range out of bounds";
+  if d.poisoned = None && len > 0 then begin
+    let used = buffered d in
+    if used + len > Bytes.length d.buf - d.lo then begin
+      (* Compact, growing only when the live region itself outgrows the
+         buffer.  The payload cap bounds growth at 4 + max_payload plus
+         whatever one feed call delivered. *)
+      let need = used + len in
+      let cap = max (Bytes.length d.buf) 256 in
+      let cap = if need > cap then max need (2 * cap) else cap in
+      let nbuf = if cap > Bytes.length d.buf then Bytes.create cap else d.buf in
+      Bytes.blit d.buf d.lo nbuf 0 used;
+      d.buf <- nbuf;
+      d.lo <- 0;
+      d.hi <- used
+    end;
+    Bytes.blit src off d.buf d.hi len;
+    d.hi <- d.hi + len
+  end
+
+let poison d code detail =
+  let e = Corrupt { code; detail } in
+  d.poisoned <- Some e;
+  (* Drop the backlog: nothing after a framing error is trustworthy. *)
+  d.lo <- 0;
+  d.hi <- 0;
+  e
+
+let peek_u32 d =
+  let b i = Char.code (Bytes.get d.buf (d.lo + i)) in
+  (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+
+let next d =
+  match d.poisoned with
+  | Some e -> e
+  | None ->
+      if buffered d < 4 then Need_more
+      else begin
+        let len = peek_u32 d in
+        if len > d.max_payload then
+          poison d Too_large
+            (Printf.sprintf "payload length %d exceeds cap %d" len
+               d.max_payload)
+        else if len < header_bytes then
+          poison d Bad_body
+            (Printf.sprintf "payload length %d below the %d-byte header" len
+               header_bytes)
+        else if buffered d < 4 + len then Need_more
+        else begin
+          let payload = Bytes.sub_string d.buf (d.lo + 4) len in
+          if payload.[0] <> magic then
+            poison d Bad_magic
+              (Printf.sprintf "payload starts with 0x%02x, not 0x%02x"
+                 (Char.code payload.[0]) (Char.code magic))
+          else if Char.code payload.[1] <> version then
+            poison d Bad_version
+              (Printf.sprintf "peer speaks version %d, this library %d"
+                 (Char.code payload.[1]) version)
+          else begin
+            let opcode = Char.code payload.[2] in
+            let known =
+              List.mem opcode
+                [
+                  op_inc; op_dec; op_read; op_drain; op_stats; op_value;
+                  op_overloaded; op_closed; op_drained; op_stats_reply;
+                  op_error;
+                ]
+            in
+            if not known then
+              poison d Bad_opcode (Printf.sprintf "unknown opcode 0x%02x" opcode)
+            else
+              let body = String.sub payload header_bytes (len - header_bytes) in
+              match parse_body ~opcode ~body with
+              | Error detail -> poison d Bad_body detail
+              | Ok frame ->
+                  d.lo <- d.lo + 4 + len;
+                  if d.lo = d.hi then begin
+                    d.lo <- 0;
+                    d.hi <- 0
+                  end;
+                  Frame frame
+          end
+        end
+      end

@@ -1,0 +1,273 @@
+module A = Cn_runtime.Atomics.Real
+module Svc = Cn_service.Service
+module RT = Cn_runtime.Network_runtime
+module V = Cn_runtime.Validator
+
+(* One handler thread per connection, one service session per handler:
+   sessions are single-owner state, and a connection serves its frames
+   in order, so the ownership rule holds by construction.  All
+   cross-thread coordination below is either an atomic flag, the
+   self-pipe, or the connection registry's growth-path mutex. *)
+
+type conn = {
+  id : int;
+  fd : Unix.file_descr;
+  mutable thread : Thread.t option;
+      (* set once by the acceptor before the handler can finish *)
+}
+
+type t = {
+  svc : Svc.t;
+  listen_fd : Unix.file_descr;
+  port_ : int;
+  max_payload : int;
+  stop_flag : bool A.t;
+  stop_rd : Unix.file_descr;  (* self-pipe: wakes the accept loop *)
+  stop_wr : Unix.file_descr;
+  accepted_ : int A.t;
+  live : int A.t;
+  mutable acceptor : Thread.t option;
+  reg_lock : Mutex.t;
+  mutable conns : conn list;
+  mutable stop_report : (V.report, exn) result option;
+      (* memoized graceful-drain outcome; stop is idempotent *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Socket helpers. *)
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    let k = Unix.write fd b !off (n - !off) in
+    if k = 0 then raise End_of_file;
+    off := !off + k
+  done
+
+let send fd frame = write_all fd (Frame.to_string frame)
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Every registry access funnels through here: the lock guards
+   accept/close/stop bookkeeping only, never the per-frame fast path. *)
+let locked t f =
+  (Mutex.lock
+  [@atomlint.allow
+    "connection-registry lock: taken on accept, close and stop only, \
+     never on the per-frame fast path"])
+    t.reg_lock;
+  match f () with
+  | v ->
+      (Mutex.unlock [@atomlint.allow "registry lock, see locked above"])
+        t.reg_lock;
+      v
+  | exception e ->
+      (Mutex.unlock [@atomlint.allow "registry lock, see locked above"])
+        t.reg_lock;
+      raise e
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection protocol loop. *)
+
+let counter_value svc =
+  Cn_sequence.Sequence.sum (RT.exit_distribution (Svc.runtime svc))
+
+let stats_json t =
+  Printf.sprintf
+    "{\n\"server\": { \"connections\": %d, \"accepted\": %d, \"value\": %d },\n\
+     \"report\": %s\n}"
+    (A.get t.live) (A.get t.accepted_) (counter_value t.svc)
+    (Svc.report_json t.svc)
+
+let reply_of_op = function
+  | Ok v -> Frame.Response (Frame.Value v)
+  | Error Svc.Overloaded -> Frame.Response Frame.Overloaded
+  | Error Svc.Closed -> Frame.Response Frame.Closed
+
+let handle_request t session (req : Frame.request) =
+  match req with
+  | Frame.Inc -> reply_of_op (Svc.increment session)
+  | Frame.Dec -> reply_of_op (Svc.decrement session)
+  | Frame.Read -> Frame.Response (Frame.Value (counter_value t.svc))
+  | Frame.Drain ->
+      (* Policy Off: the verdict rides in the reply instead of raising
+         server-side; the service re-admits afterwards either way. *)
+      let report = Svc.drain ~policy:V.Off t.svc in
+      Frame.Response
+        (Frame.Drained { ok = V.passed report; summary = V.summary report })
+  | Frame.Stats -> Frame.Response (Frame.Stats_reply (stats_json t))
+
+let handler t conn =
+  let session = Svc.session t.svc in
+  let dec = Frame.decoder ~max_payload:t.max_payload () in
+  let buf = Bytes.create 4096 in
+  let running = ref true in
+  (try
+     while !running do
+       let n = Unix.read conn.fd buf 0 (Bytes.length buf) in
+       if n = 0 then running := false
+       else begin
+         Frame.feed dec buf ~off:0 ~len:n;
+         let draining = ref true in
+         while !draining && !running do
+           match Frame.next dec with
+           | Frame.Need_more -> draining := false
+           | Frame.Frame (Frame.Request req) ->
+               send conn.fd (handle_request t session req)
+           | Frame.Frame (Frame.Response _) ->
+               (* A valid frame pointed the wrong way; refuse and drop
+                  the connection — the peer is confused. *)
+               send conn.fd
+                 (Frame.Response
+                    (Frame.Error_reply
+                       {
+                         code = Frame.Bad_opcode;
+                         message = "response frame sent to a server";
+                       }));
+               running := false
+           | Frame.Corrupt { code; detail } ->
+               (try
+                  send conn.fd
+                    (Frame.Response
+                       (Frame.Error_reply { code; message = detail }))
+                with Unix.Unix_error _ | End_of_file -> ());
+               running := false
+         done
+       end
+     done
+   with
+  | Unix.Unix_error _ | End_of_file -> ()
+  | V.Invalid _ -> ());
+  close_quietly conn.fd;
+  locked t (fun () -> t.conns <- List.filter (fun c -> c.id != conn.id) t.conns);
+  ignore (A.fetch_and_add t.live (-1))
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop. *)
+
+let acceptor_loop t =
+  let next_id = ref 0 in
+  while not (A.get t.stop_flag) do
+    match Unix.select [ t.listen_fd; t.stop_rd ] [] [] (-1.) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+        if List.mem t.stop_rd ready then () (* flag is set; loop exits *)
+        else if List.mem t.listen_fd ready then begin
+          match Unix.accept ~cloexec:true t.listen_fd with
+          | exception Unix.Unix_error _ -> ()
+          | fd, _peer ->
+              if A.get t.stop_flag then close_quietly fd
+              else begin
+                incr next_id;
+                let conn = { id = !next_id; fd; thread = None } in
+                A.incr t.accepted_;
+                A.incr t.live;
+                locked t (fun () ->
+                    t.conns <- conn :: t.conns;
+                    conn.thread <- Some (Thread.create (handler t) conn))
+              end
+        end
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let start ?(host = "127.0.0.1") ?(port = 0) ?(backlog = 64)
+    ?(max_payload = Frame.default_max_payload) svc =
+  (* A peer that disappears mid-reply must cost the handler an EPIPE,
+     not the process a SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd addr;
+     Unix.listen listen_fd backlog
+   with e ->
+     close_quietly listen_fd;
+     raise e);
+  let port_ =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> port
+  in
+  let stop_rd, stop_wr = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock stop_wr;
+  let t =
+    {
+      svc;
+      listen_fd;
+      port_;
+      max_payload;
+      stop_flag = A.make false;
+      stop_rd;
+      stop_wr;
+      accepted_ = A.make 0;
+      live = A.make 0;
+      acceptor = None;
+      reg_lock =
+        (Mutex.create
+        [@atomlint.allow
+          "connection-registry lock: taken on accept and close only, \
+           never on the per-frame fast path"])
+          ();
+      conns = [];
+      stop_report = None;
+    }
+  in
+  t.acceptor <- Some (Thread.create acceptor_loop t);
+  t
+
+let port t = t.port_
+let connections t = A.get t.live
+let accepted t = A.get t.accepted_
+let stop_requested t = A.get t.stop_flag
+
+let request_stop t =
+  if not (A.get t.stop_flag) then begin
+    A.set t.stop_flag true;
+    (* Wake the select; a full pipe already guarantees a wakeup. *)
+    try ignore (Unix.write t.stop_wr (Bytes.make 1 '\000') 0 1)
+    with Unix.Unix_error _ -> ()
+  end
+
+let wait_stop_request t =
+  while not (A.get t.stop_flag) do
+    (* Sliced sleep: signal handlers (the SIGTERM path) run between
+       slices, flip the flag, and we notice within one slice. *)
+    try Thread.delay 0.05 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let stop ?policy t =
+  let finish r =
+    match r with Ok report -> report | Error e -> raise e
+  in
+  match locked t (fun () -> t.stop_report) with
+  | Some r -> finish r
+  | None ->
+      request_stop t;
+      Option.iter Thread.join t.acceptor;
+      close_quietly t.listen_fd;
+      (* The quiescence path every harness shares: sweep the lanes dry,
+         validate step property + token conservation, close the service.
+         Racing handler operations complete before the validation point
+         or fail [Closed] — the Service_core protocol guarantees it. *)
+      let result =
+        match Svc.shutdown ?policy t.svc with
+        | report -> Ok report
+        | exception e -> Error e
+      in
+      (* Wake blocked reads, then join every handler. *)
+      let conns = locked t (fun () -> t.conns) in
+      List.iter
+        (fun c ->
+          try Unix.shutdown c.fd Unix.SHUTDOWN_ALL
+          with Unix.Unix_error _ -> ())
+        conns;
+      List.iter (fun c -> Option.iter Thread.join c.thread) conns;
+      close_quietly t.stop_rd;
+      close_quietly t.stop_wr;
+      locked t (fun () -> t.stop_report <- Some result);
+      finish result

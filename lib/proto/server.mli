@@ -1,0 +1,85 @@
+(** [countnetd]'s engine: a TCP front-end for a {!Cn_service.Service}.
+
+    Each accepted connection gets a dedicated handler thread and its
+    own service {e session} (sessions are single-owner, so the mapping
+    is exactly one-to-one); request frames are served in order on that
+    session:
+
+    - [Inc]/[Dec] run {!Service.increment}/{!Service.decrement} and
+      reply [Value]; the service's bounded-queue backpressure
+      ([Error Overloaded]) and lifecycle refusals ([Error Closed])
+      surface as the protocol-level [Overloaded]/[Closed] replies —
+      the client decides whether to retry, shed, or back off;
+    - [Read] replies with the counter's current value (net tokens
+      handed out, derived from the runtime's assignment cells) without
+      traversing;
+    - [Drain] runs {!Service.drain} — quiesce, validate the step
+      property and token conservation, re-admit — and replies
+      [Drained] with the validator's verdict;
+    - [Stats] replies with a JSON document nesting the server's
+      connection counters and {!Service.report_json}.
+
+    A framing error from a connection is answered with a best-effort
+    [Error_reply] and the connection is dropped; other connections are
+    unaffected.
+
+    {2 Graceful shutdown}
+
+    {!request_stop} is the SIGTERM entry point (async-signal-safe in
+    the OCaml sense: it flips an atomic flag and writes one byte to a
+    self-pipe).  The accept loop wakes, stops admitting connections,
+    and {!stop} then walks the drain path every other harness uses:
+    {!Service.shutdown} sweeps the combining lanes dry and runs
+    {!Validator.quiescent_runtime} on the quiesced network, so the
+    exact quiescence guarantees of Theorem 4.2's step property hold at
+    the moment the server goes dark.  In-flight operations either
+    complete before the validation point or fail [Closed] — never
+    after it.  Handler threads are then woken and joined. *)
+
+type t
+
+val start :
+  ?host:string ->
+  ?port:int ->
+  ?backlog:int ->
+  ?max_payload:int ->
+  Cn_service.Service.t ->
+  t
+(** [start svc] binds a listening socket ([?host] default
+    ["127.0.0.1"], [?port] default [0] = kernel-assigned; read it back
+    with {!port}) and spawns the accept thread.  [?backlog] (default
+    [64]) is the listen queue; [?max_payload] (default
+    {!Frame.default_max_payload}) caps accepted frame payloads.
+    @raise Unix.Unix_error when the socket cannot be bound. *)
+
+val port : t -> int
+(** The bound TCP port (useful with [~port:0]). *)
+
+val connections : t -> int
+(** Currently open connections. *)
+
+val accepted : t -> int
+(** Connections accepted since {!start} (monotone; churn shows up as
+    [accepted] far above [connections]). *)
+
+val request_stop : t -> unit
+(** Ask the server to stop: admission ends as soon as the accept loop
+    wakes.  Idempotent, callable from a signal handler.  Does not
+    block; follow with {!stop} (or {!wait_stop_request} + {!stop} from
+    the thread that owns the server). *)
+
+val stop_requested : t -> bool
+
+val wait_stop_request : t -> unit
+(** Block (politely, in slices, so signal handlers run) until
+    {!request_stop} has been called. *)
+
+val stop :
+  ?policy:Cn_runtime.Validator.policy -> t -> Cn_runtime.Validator.report
+(** [stop t] performs the graceful drain: stop accepting, shut the
+    service down through the Validator quiescence path, wake and join
+    every handler thread, close all sockets, and return the quiescent
+    report.  [?policy] defaults to the service's validate policy.
+    Idempotent: later calls return the first report.
+    @raise Validator.Invalid under [Strict] when a quiescence check
+    fails (sockets are still torn down first). *)

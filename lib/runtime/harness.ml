@@ -52,6 +52,20 @@ let spawn_all ?pool ~counter ~domains ~ops_per_domain ~record () =
    broken environment worth failing loudly over. *)
 let max_calibration_ops = 1 lsl 24
 
+(* The next escalation step, or [None] when escalation must stop.
+   Overflow safety is checked by division only — the earlier guard
+   computed [ops_per_domain * 2] before establishing it could not
+   overflow, which wraps for ops_per_domain > max_int / 2 and turns the
+   bound into garbage.  Divide first, never multiply unchecked. *)
+let next_calibration_ops ~domains ~ops_per_domain =
+  if domains <= 0 then None
+  else if ops_per_domain >= max_calibration_ops then None
+  else if ops_per_domain > max_int / 2 then None (* doubling would overflow *)
+  else
+    let doubled = max 1 (ops_per_domain * 2) in
+    if domains > max_int / doubled then None (* total_ops would overflow *)
+    else Some doubled
+
 let throughput ?pool ~make ~domains ~ops_per_domain () =
   check_args ~domains ~ops_per_domain;
   let rec attempt ops_per_domain =
@@ -68,12 +82,13 @@ let throughput ?pool ~make ~domains ~ops_per_domain () =
         seconds;
         ops_per_sec = float_of_int total_ops /. seconds;
       }
-    else if ops_per_domain < max_calibration_ops && domains <= max_int / (max 1 (ops_per_domain * 2))
-    then attempt (max 1 (ops_per_domain * 2))
     else
-      failwith
-        (Printf.sprintf
-           "Harness.throughput: clock did not advance over %d ops; cannot measure" total_ops)
+      match next_calibration_ops ~domains ~ops_per_domain with
+      | Some ops -> attempt ops
+      | None ->
+          failwith
+            (Printf.sprintf
+               "Harness.throughput: clock did not advance over %d ops; cannot measure" total_ops)
   in
   attempt ops_per_domain
 

@@ -18,6 +18,20 @@ type result = {
   ops_per_sec : float;
 }
 
+val max_calibration_ops : int
+(** Ceiling on the per-domain op count the calibration escalation in
+    {!throughput} will reach, [1 lsl 24]. *)
+
+val next_calibration_ops : domains:int -> ops_per_domain:int -> int option
+(** The next per-domain op count the calibration escalation would try:
+    [Some (ops_per_domain * 2)] (at least [1]), or [None] when
+    escalation must stop — the cap {!max_calibration_ops} is reached,
+    or doubling / the resulting [domains * ops] total would overflow
+    [max_int].  All overflow checks divide; nothing is multiplied
+    before it is known safe, so the function is total for every
+    [ops_per_domain] up to [max_int].  Exposed for the regression test
+    pinning the overflow behaviour near [max_int]. *)
+
 val throughput :
   ?pool:Domain_pool.t ->
   make:(unit -> Shared_counter.t) ->

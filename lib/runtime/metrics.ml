@@ -126,7 +126,43 @@ let reset m =
     m.sinks
 
 (* ------------------------------------------------------------------ *)
-(* Snapshots. *)
+(* Single-owner reservoir.
+
+   The sink reservoir above is welded to the sharded hot path; client
+   harnesses (the TCP load rig) need the same Algorithm-R behaviour as
+   a plain value owned by one thread — no atomics, no padding, just
+   tagged ints and a private xorshift stream. *)
+
+module Reservoir = struct
+  type t = {
+    samples : int array;
+    mutable seen : int;
+    mutable rng : int;
+  }
+
+  let create ?(capacity = 2048) () =
+    if capacity <= 0 then
+      invalid_arg "Metrics.Reservoir.create: capacity must be positive";
+    { samples = Array.make capacity 0; seen = 0; rng = 0x2545F49 }
+
+  let observed r = r.seen
+  let kept r = min r.seen (Array.length r.samples)
+
+  let add r v =
+    let cap = Array.length r.samples in
+    let seen = r.seen in
+    r.seen <- seen + 1;
+    if seen < cap then r.samples.(seen) <- v
+    else begin
+      let x = r.rng in
+      let x = x lxor (x lsl 13) in
+      let x = x lxor (x lsr 7) in
+      let x = (x lxor (x lsl 17)) land max_int in
+      r.rng <- x;
+      let j = x mod (seen + 1) in
+      if j < cap then r.samples.(j) <- v
+    end
+end
 
 type latency = {
   time_unit : string;
@@ -172,6 +208,19 @@ let percentiles ?(time_unit = "ns") ?observed samples =
         mean = Array.fold_left ( +. ) 0. sorted /. float_of_int n;
       }
   end
+
+(* Defined outside [Reservoir] only because [latency]/[percentiles]
+   come later in this file; conceptually it is the module's summary. *)
+let reservoir_summary ?(time_unit = "ns") rs =
+  let observed = List.fold_left (fun acc r -> acc + Reservoir.observed r) 0 rs in
+  let samples =
+    Array.concat
+      (List.map
+         (fun (r : Reservoir.t) ->
+           Array.init (Reservoir.kept r) (fun i -> float_of_int r.Reservoir.samples.(i)))
+         rs)
+  in
+  percentiles ~time_unit ~observed samples
 
 let snapshot m =
   let sum_bank len field =

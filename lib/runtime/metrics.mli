@@ -79,6 +79,32 @@ val reset : t -> unit
 (** Zero all counters and the sampling state.  Must not run concurrently
     with recording. *)
 
+(** {2 Single-owner reservoirs}
+
+    The same Algorithm-R reservoir the sinks use, as a plain
+    single-owner value for client-side harnesses (the TCP load rig
+    records per-operation round-trip latencies into one per client
+    thread).  Not thread-safe: one owner per reservoir. *)
+
+module Reservoir : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** [?capacity] (default 2048) samples are kept; later additions
+      replace uniformly random slots, keeping the kept set an unbiased
+      sample of everything observed.
+      @raise Invalid_argument if [capacity <= 0]. *)
+
+  val add : t -> int -> unit
+  (** Record one measurement (typically nanoseconds). *)
+
+  val observed : t -> int
+  (** Measurements recorded since {!create}. *)
+
+  val kept : t -> int
+  (** Samples currently held ([min observed capacity]). *)
+end
+
 (** {2 Snapshots} *)
 
 type latency = {
@@ -118,6 +144,11 @@ val percentiles : ?time_unit:string -> ?observed:int -> float array -> latency o
 (** [percentiles samples] is the latency summary of [samples] (nearest
     rank, [None] when empty) — exposed so simulator histories can build
     {!snapshot}s. *)
+
+val reservoir_summary : ?time_unit:string -> Reservoir.t list -> latency option
+(** Merge the kept samples of several {!Reservoir}s (one per client
+    thread, say) into one {!latency} summary via {!percentiles};
+    [observed] sums across reservoirs.  [None] when nothing was kept. *)
 
 val per_layer : layers:int array -> int array -> int array
 (** [per_layer ~layers values] sums a per-balancer array by layer;

@@ -31,6 +31,8 @@ type stats = {
   rejected : int;
   seconds : float;
   ops_per_sec : float;
+  busy_seconds : float;
+  busy_ops_per_sec : float;
 }
 
 let check spec =
@@ -53,19 +55,31 @@ let check spec =
       if pause < 0. then invalid_arg "Workload: negative pause"
 
 (* Cumulative distribution over session popularity.  Uniform is the
-   identity CDF; Zipf weights session i+1 as 1/(i+1)^alpha. *)
+   identity CDF; Zipf weights session i+1 as 1/(i+1)^alpha.  Summing
+   w.(i)/total accumulates float rounding error, so the running sum can
+   land strictly below (or above) 1.0 at the last entry; [pick] scans
+   with [cdf.(i) <= u], so a final entry below 1.0 would silently
+   underweight the last session whenever u falls in the gap.  Clamp
+   every entry into [0, 1] and pin the last to exactly 1.0. *)
 let session_cdf skew n =
+  if n < 1 then invalid_arg "Workload.session_cdf: width must be positive";
   match skew with
   | Uniform -> Array.init n (fun i -> float_of_int (i + 1) /. float_of_int n)
   | Zipf alpha ->
+      if alpha <= 0. then
+        invalid_arg "Workload.session_cdf: Zipf exponent must be positive";
       let w = Array.init n (fun i -> (1. /. float_of_int (i + 1)) ** alpha) in
       let total = Array.fold_left ( +. ) 0. w in
       let acc = ref 0. in
-      Array.map
-        (fun x ->
-          acc := !acc +. (x /. total);
-          !acc)
-        w
+      let cdf =
+        Array.map
+          (fun x ->
+            acc := !acc +. (x /. total);
+            Float.min !acc 1.0)
+          w
+      in
+      cdf.(n - 1) <- 1.0;
+      cdf
 
 let pick rng cdf =
   let u = Random.State.float rng 1.0 in
@@ -115,16 +129,24 @@ let run ?pool svc spec =
   let increments = Array.make spec.domains 0 in
   let decrements = Array.make spec.domains 0 in
   let rejected = Array.make spec.domains 0 in
+  let slept = Array.make spec.domains 0. in
   let body pid =
     let rng = Random.State.make [| spec.seed; pid |] in
     let cdf = session_cdf spec.skew spd in
     let mine = sessions.(pid) in
     let balance = ref 0 in
+    (* Injected idle time is measured (not just the requested amount:
+       sleepf oversleeps) so busy-time throughput can back it out. *)
+    let sleep d =
+      let t0 = Unix.gettimeofday () in
+      Unix.sleepf d;
+      slept.(pid) <- slept.(pid) +. (Unix.gettimeofday () -. t0)
+    in
     for k = 0 to spec.ops_per_domain - 1 do
       (match spec.arrival with
-      | Closed think -> if think > 0. then Unix.sleepf think
+      | Closed think -> if think > 0. then sleep think
       | Bursty { burst; pause } ->
-          if k > 0 && k mod burst = 0 then Unix.sleepf pause);
+          if k > 0 && k mod burst = 0 then sleep pause);
       let s = mine.(pick rng cdf) in
       (* Prefix non-negativity: a client never hands back more than it
          has taken, keeping the global token count legal. *)
@@ -148,11 +170,18 @@ let run ?pool svc spec =
   let seconds = timed_round ?pool ~domains:spec.domains body in
   let sum a = Array.fold_left ( + ) 0 a in
   let completed = sum completed in
+  (* The domains sleep concurrently, so wall-clock idle per run is the
+     mean injected idle across domains, not the sum. *)
+  let mean_slept = Array.fold_left ( +. ) 0. slept /. float_of_int spec.domains in
+  let busy_seconds = Float.max 0. (seconds -. mean_slept) in
+  let rate s = if s > 0. then float_of_int completed /. s else 0. in
   {
     completed;
     increments = sum increments;
     decrements = sum decrements;
     rejected = sum rejected;
     seconds;
-    ops_per_sec = (if seconds > 0. then float_of_int completed /. seconds else 0.);
+    ops_per_sec = rate seconds;
+    busy_seconds;
+    busy_ops_per_sec = rate busy_seconds;
   }

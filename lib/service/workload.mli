@@ -51,8 +51,32 @@ type stats = {
   decrements : int;
   rejected : int;  (** operations shed on [Overloaded]/[Closed] *)
   seconds : float;  (** wall-clock time of the concurrent phase *)
-  ops_per_sec : float;  (** [completed /. seconds] *)
+  ops_per_sec : float;
+      (** [completed /. seconds] — the {e offered}-load rate, including
+          injected think/burst idle time.  Bench rows report this one
+          (it is what an operator observes) with [busy_ops_per_sec]
+          alongside. *)
+  busy_seconds : float;
+      (** wall-clock seconds minus the mean measured sleep time across
+          domains — the time actually spent in service code *)
+  busy_ops_per_sec : float;
+      (** [completed /. busy_seconds] — the service-time rate; equals
+          [ops_per_sec] when the arrival process injects no idle time *)
 }
+
+val session_cdf : skew -> int -> float array
+(** [session_cdf skew n] is the cumulative distribution over [n]
+    sessions that {!run} samples from: entry [i] is the probability of
+    choosing a session [<= i].  Entries are nondecreasing, within
+    [[0, 1]], and the last entry is exactly [1.0] (Zipf weights are
+    normalised in floating point; the rounding residue is clamped so
+    the last session is never underweighted).  Exposed for the TCP
+    load rig and for property tests.
+    @raise Invalid_argument if [n < 1] or a [Zipf] exponent is [<= 0.]. *)
+
+val pick : Random.State.t -> float array -> int
+(** [pick rng cdf] samples an index from a {!session_cdf} by inverse
+    transform: the first [i] with [u < cdf.(i)] for a uniform [u]. *)
 
 val run : ?pool:Cn_runtime.Domain_pool.t -> Service.t -> spec -> stats
 (** [run svc spec] drives [svc] with the population described by

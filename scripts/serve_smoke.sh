@@ -1,0 +1,56 @@
+#!/bin/sh
+# Loopback smoke test for the countnetd wire protocol, as a real
+# process pair: start countnetd on an ephemeral port, drive it with
+# two concurrent `countnet load` clients, then SIGTERM it under a
+# third in-flight load and require a clean Strict-validated drain
+# (exit 0 and the "drain ok" line).
+#
+# Run from the repository root, after `dune build`:
+#   sh scripts/serve_smoke.sh
+set -eu
+
+COUNTNETD=${COUNTNETD:-_build/default/bin/countnetd.exe}
+COUNTNET=${COUNTNET:-_build/default/bin/countnet.exe}
+OUT=$(mktemp)
+trap 'rm -f "$OUT"' EXIT
+
+fail() {
+  echo "serve-smoke: $1" >&2
+  echo "--- countnetd output ---" >&2
+  cat "$OUT" >&2
+  exit 1
+}
+
+"$COUNTNETD" --width 16 --out-width 16 --validate strict >"$OUT" 2>&1 &
+DAEMON=$!
+
+# The first stdout line carries the bound port; poll for it.
+PORT=
+for _ in $(seq 1 50); do
+  PORT=$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\) .*/\1/p' "$OUT")
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "countnetd never reported its port"
+echo "serve-smoke: countnetd (pid $DAEMON) on port $PORT"
+
+# Two concurrent clients, connection churn via distinct short runs.
+"$COUNTNET" load --port "$PORT" --clients 2 --conns 2 --ops 400 \
+  --dec-ratio 0.3 --skew zipf:1.1 &
+LOAD1=$!
+"$COUNTNET" load --port "$PORT" --clients 2 --conns 2 --ops 400 &
+LOAD2=$!
+wait "$LOAD1" || fail "first load run failed"
+wait "$LOAD2" || fail "second load run failed"
+
+# SIGTERM mid-load: the rig must survive the shutdown (exit 0, counting
+# disconnects) and the daemon must drain clean.
+"$COUNTNET" load --port "$PORT" --clients 2 --conns 2 --ops 2000000 \
+  --arrival closed:0.0002 >/dev/null &
+LOAD3=$!
+sleep 0.3
+kill -TERM "$DAEMON"
+wait "$LOAD3" || fail "mid-shutdown load run failed"
+if wait "$DAEMON"; then :; else fail "countnetd exited non-zero after SIGTERM"; fi
+grep -q "drain ok" "$OUT" || fail "no clean drain reported"
+echo "serve-smoke: ok ($(grep 'drain ok' "$OUT"))"

@@ -72,7 +72,7 @@ Serialization round trip:
   outputs : b0.0 b0.1 b0.2 b0.3
 
   $ countnet save -f counting -w 4 -t 8 > net.cn
-  $ countnet load net.cn --trials 50
+  $ countnet restore net.cn --trials 50
   loaded: 4 -> 8, size 8, depth 3
   step property held on 50/50 random loads (counting network)
 

@@ -36,4 +36,5 @@ let () =
          Test_compose.suite;
          Test_check.suite;
          Test_lint.suite;
+         Test_proto.suite;
        ])

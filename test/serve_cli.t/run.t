@@ -1,0 +1,97 @@
+Flag validation for the wire-protocol subcommands: `countnet serve`,
+`countnet load`, and the standalone `countnetd` daemon.  These are the
+paths a deployment script would hit first, so the messages are pinned.
+
+Serve rejects out-of-range ports (0 means "ephemeral", 65535 is the cap):
+
+  $ countnet serve --port 70000
+  countnet serve: --port must be in [0, 65535] (got 70000)
+  [2]
+
+  $ countnet serve --port=-1
+  countnet serve: --port must be in [0, 65535] (got -1)
+  [2]
+
+Service-lane knobs must be positive:
+
+  $ countnet serve --queue 0
+  countnet serve: --queue must be positive (got 0)
+  [2]
+
+  $ countnet serve --max-batch=-2
+  countnet serve: --max-batch must be positive (got -2)
+  [2]
+
+Degenerate network shapes are caught before the runtime is built:
+
+  $ countnet serve --width 0
+  countnet serve: --width must be positive (got 0)
+  [2]
+
+  $ countnet serve -w 16 --out-width 0
+  countnet serve: --out-width must be positive (got 0)
+  [2]
+
+The load rig requires an explicit server port (0 is not connectable):
+
+  $ countnet load --clients 2
+  countnet load: --port must be in [1, 65535] (got 0)
+  [2]
+
+  $ countnet load --port 0
+  countnet load: --port must be in [1, 65535] (got 0)
+  [2]
+
+Population shape is validated before any socket is opened:
+
+  $ countnet load --port 9 --clients 0
+  countnet load: --clients must be positive (got 0)
+  [2]
+
+  $ countnet load --port 9 --conns 0
+  countnet load: --conns must be positive (got 0)
+  [2]
+
+  $ countnet load --port 9 --ops 0
+  countnet load: --ops must be positive (got 0)
+  [2]
+
+  $ countnet load --port 9 --dec-ratio 1.5
+  countnet load: --dec-ratio must be in [0, 1] (got 1.5)
+  [2]
+
+Skew/arrival specs reuse the throughput-command grammar:
+
+  $ countnet load --port 9 --skew zipf:bad
+  countnet load: --skew zipf exponent must be positive (got "bad")
+  [2]
+
+  $ countnet load --port 9 --arrival nonsense
+  countnet load: unknown arrival "nonsense" (expected closed[:THINK] or burst:N:PAUSE)
+  [2]
+
+A rig pointed at a port nobody is listening on fails loudly rather than
+reporting a zero-op "success" (the wall/busy timing line is elided —
+its digits are not deterministic):
+
+  $ countnet load --port 1 --clients 1 --conns 1 --ops 10 >out.txt 2>err.txt || echo "exit $?"
+  exit 1
+  $ grep -v 'wall' out.txt
+  load: 1 clients x 1 conns x 10 ops -> 0 completed (0 inc, 0 dec), 0 overloaded, 0 closed, 1 disconnects
+  load: no completed operations; no latency summary
+  $ cat err.txt
+  countnet load: no operations completed against 127.0.0.1:1
+
+The standalone daemon shares the same validation surface:
+
+  $ countnetd --port 70000
+  countnetd: --port must be in [0, 65535] (got 70000)
+  [2]
+
+  $ countnetd --width 0
+  countnetd: --width must be positive (got 0)
+  [2]
+
+  $ countnetd --max-batch 0
+  countnetd: --max-batch must be positive (got 0)
+  [2]

@@ -1,0 +1,566 @@
+(* Tests for the countnetd wire layer (Cn_proto): frame codec under
+   arbitrary byte splits, hostile-input rejection, the loopback TCP
+   server mapped onto service sessions, and the satellite regressions
+   (Workload.session_cdf clamping, Harness calibration overflow,
+   busy-time accounting). *)
+
+module F = Cn_proto.Frame
+module Server = Cn_proto.Server
+module Client = Cn_proto.Client
+module Load = Cn_proto.Load
+module Svc = Cn_service.Service
+module W = Cn_service.Workload
+module H = Cn_runtime.Harness
+module M = Cn_runtime.Metrics
+module V = Cn_runtime.Validator
+
+let tc name f = Alcotest.test_case name `Quick f
+let net44 () = Cn_core.Counting.network ~w:4 ~t:4
+let net1616 () = Cn_core.Counting.network ~w:16 ~t:16
+
+let frame = Alcotest.testable F.pp ( = )
+
+let sample_frames =
+  [
+    F.Request F.Inc;
+    F.Request F.Dec;
+    F.Request F.Read;
+    F.Request F.Drain;
+    F.Request F.Stats;
+    F.Response (F.Value 0);
+    F.Response (F.Value 123456789);
+    F.Response (F.Value (-42));
+    F.Response (F.Value max_int);
+    F.Response (F.Value min_int);
+    F.Response F.Overloaded;
+    F.Response F.Closed;
+    F.Response (F.Drained { ok = true; summary = "all checks passed" });
+    F.Response (F.Drained { ok = false; summary = "" });
+    F.Response (F.Stats_reply "{\"connections\": 3}");
+    F.Response (F.Error_reply { code = F.Bad_magic; message = "nope" });
+    F.Response (F.Error_reply { code = F.Too_large; message = "" });
+  ]
+
+(* Feed [wire] to a fresh decoder in chunks of [chunk] bytes and pull
+   everything; returns (frames, leftover event). *)
+let decode_chunked ?max_payload wire chunk =
+  let d = F.decoder ?max_payload () in
+  let out = ref [] in
+  let corrupt = ref None in
+  let n = String.length wire in
+  let off = ref 0 in
+  while !off < n && !corrupt = None do
+    let len = min chunk (n - !off) in
+    F.feed d (Bytes.of_string wire) ~off:!off ~len;
+    off := !off + len;
+    let draining = ref true in
+    while !draining do
+      match F.next d with
+      | F.Frame f -> out := f :: !out
+      | F.Need_more -> draining := false
+      | F.Corrupt _ as e ->
+          corrupt := Some e;
+          draining := false
+    done
+  done;
+  (List.rev !out, !corrupt, d)
+
+let wire_of frames = String.concat "" (List.map F.to_string frames)
+
+let codec =
+  [
+    tc "every frame kind round-trips" (fun () ->
+        List.iter
+          (fun f ->
+            let got, corrupt, _ = decode_chunked (F.to_string f) 4096 in
+            Alcotest.(check bool) "no corruption" true (corrupt = None);
+            Alcotest.(check (list frame)) "roundtrip" [ f ] got)
+          sample_frames);
+    tc "pipelined frames come back one next at a time" (fun () ->
+        let d = F.decoder () in
+        let wire = wire_of sample_frames in
+        F.feed d (Bytes.of_string wire) ~off:0 ~len:(String.length wire);
+        List.iter
+          (fun expect ->
+            match F.next d with
+            | F.Frame f -> Alcotest.check frame "in order" expect f
+            | _ -> Alcotest.fail "expected a frame")
+          sample_frames;
+        Alcotest.(check bool) "then Need_more" true (F.next d = F.Need_more);
+        Alcotest.(check int) "nothing buffered" 0 (F.buffered d));
+    tc "decoding is split-invariant at every chunk size" (fun () ->
+        let wire = wire_of sample_frames in
+        for chunk = 1 to min 64 (String.length wire) do
+          let got, corrupt, _ = decode_chunked wire chunk in
+          Alcotest.(check bool)
+            (Printf.sprintf "chunk %d clean" chunk)
+            true (corrupt = None);
+          Alcotest.(check (list frame))
+            (Printf.sprintf "chunk %d frames" chunk)
+            sample_frames got
+        done);
+    tc "split at every two-chunk boundary" (fun () ->
+        let wire = wire_of [ F.Request F.Inc; F.Response (F.Value (-7)) ] in
+        let n = String.length wire in
+        for cut = 0 to n do
+          let d = F.decoder () in
+          F.feed d (Bytes.of_string wire) ~off:0 ~len:cut;
+          F.feed d (Bytes.of_string wire) ~off:cut ~len:(n - cut);
+          (match F.next d with
+          | F.Frame f -> Alcotest.check frame "first" (F.Request F.Inc) f
+          | _ -> Alcotest.failf "cut %d: expected first frame" cut);
+          (match F.next d with
+          | F.Frame f -> Alcotest.check frame "second" (F.Response (F.Value (-7))) f
+          | _ -> Alcotest.failf "cut %d: expected second frame" cut);
+          Alcotest.(check int) "drained" 0 (F.buffered d)
+        done);
+    tc "truncated frame never yields and never over-reads" (fun () ->
+        let wire = F.to_string (F.Response (F.Drained { ok = true; summary = "x" })) in
+        for keep = 0 to String.length wire - 1 do
+          let d = F.decoder () in
+          F.feed d (Bytes.of_string wire) ~off:0 ~len:keep;
+          Alcotest.(check bool)
+            (Printf.sprintf "prefix %d is Need_more" keep)
+            true
+            (F.next d = F.Need_more);
+          Alcotest.(check int) "buffers only what was fed" keep (F.buffered d)
+        done);
+    tc "feed range checks" (fun () ->
+        let d = F.decoder () in
+        let b = Bytes.create 4 in
+        List.iter
+          (fun (off, len) ->
+            match F.feed d b ~off ~len with
+            | exception Invalid_argument _ -> ()
+            | () -> Alcotest.failf "feed ~off:%d ~len:%d accepted" off len)
+          [ (-1, 1); (0, -1); (2, 3); (5, 0) ]);
+    Util.raises_invalid "decoder rejects max_payload below the header" (fun () ->
+        ignore (F.decoder ~max_payload:2 ()));
+  ]
+
+let expect_corrupt name wire code =
+  tc name (fun () ->
+      let got, corrupt, d = decode_chunked wire 4096 in
+      Alcotest.(check (list frame)) "no frames accepted" [] got;
+      (match corrupt with
+      | Some (F.Corrupt { code = c; _ }) ->
+          Alcotest.(check string)
+            "error code" (F.error_code_to_string code) (F.error_code_to_string c)
+      | _ -> Alcotest.fail "expected Corrupt");
+      (* Terminal: stays corrupt, drops backlog, ignores later feeds. *)
+      (match F.next d with
+      | F.Corrupt _ -> ()
+      | _ -> Alcotest.fail "poison must be sticky");
+      let good = F.to_string (F.Request F.Inc) in
+      F.feed d (Bytes.of_string good) ~off:0 ~len:(String.length good);
+      (match F.next d with
+      | F.Corrupt _ -> ()
+      | _ -> Alcotest.fail "poisoned decoder must ignore later input");
+      Alcotest.(check int) "backlog dropped" 0 (F.buffered d))
+
+(* Hand-build a wire image: length prefix + raw payload bytes. *)
+let raw ~len payload =
+  let b = Buffer.create 16 in
+  Buffer.add_char b (Char.chr ((len lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((len lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((len lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (len land 0xff));
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let hostile =
+  [
+    expect_corrupt "oversized length prefix is rejected from 4 bytes"
+      (raw ~len:(F.default_max_payload + 1) "")
+      F.Too_large;
+    expect_corrupt "huge u32 length cannot force buffering"
+      (raw ~len:0xFFFFFFFF "")
+      F.Too_large;
+    expect_corrupt "length below the header is rejected" (raw ~len:2 "\xC7\x01") F.Bad_body;
+    expect_corrupt "garbage magic" (raw ~len:3 "\x00\x01\x01") F.Bad_magic;
+    expect_corrupt "unknown version" (raw ~len:3 "\xC7\x63\x01") F.Bad_version;
+    expect_corrupt "unknown opcode" (raw ~len:3 "\xC7\x01\x7F") F.Bad_opcode;
+    expect_corrupt "inc with a body is malformed" (raw ~len:4 "\xC7\x01\x01x") F.Bad_body;
+    expect_corrupt "value with short body is malformed"
+      (raw ~len:7 "\xC7\x01\x81zzzz")
+      F.Bad_body;
+    expect_corrupt "drained ok byte outside {0,1}"
+      (raw ~len:4 "\xC7\x01\x84\x02")
+      F.Bad_body;
+    expect_corrupt "error reply with unknown code byte"
+      (raw ~len:4 "\xC7\x01\x86\x09")
+      F.Bad_body;
+    tc "oversized frame respects a custom cap" (fun () ->
+        let wire = raw ~len:64 ("\xC7\x01\x85" ^ String.make 61 'j') in
+        let _, corrupt, _ = decode_chunked ~max_payload:32 wire 4096 in
+        match corrupt with
+        | Some (F.Corrupt { code = F.Too_large; _ }) -> ()
+        | _ -> Alcotest.fail "expected Too_large under the 32-byte cap");
+  ]
+
+(* Random well-formed frame streams, random split points: the decoder
+   must return exactly the encoded frames whatever the chunking. *)
+let gen_frames =
+  QCheck2.Gen.(
+    list_size (int_range 1 12)
+      (oneof
+         [
+           oneofl
+             [ F.Request F.Inc; F.Request F.Dec; F.Request F.Read; F.Request F.Stats ];
+           map (fun v -> F.Response (F.Value v)) int;
+           map
+             (fun s -> F.Response (F.Drained { ok = true; summary = s }))
+             (string_size ~gen:printable (int_range 0 40));
+           map (fun s -> F.Response (F.Stats_reply s)) (string_size (int_range 0 64));
+         ]))
+
+let fuzz =
+  [
+    Util.qtest ~count:300 "fuzz: split-invariant decoding"
+      QCheck2.Gen.(pair gen_frames (int_range 1 17))
+      (fun (frames, chunk) ->
+        let got, corrupt, _ = decode_chunked (wire_of frames) chunk in
+        corrupt = None && got = frames);
+    Util.qtest ~count:300 "fuzz: random garbage never crashes or blocks"
+      QCheck2.Gen.(string_size (int_range 0 200))
+      (fun junk ->
+        let d = F.decoder () in
+        F.feed d (Bytes.of_string junk) ~off:0 ~len:(String.length junk);
+        let rec drain n =
+          if n > 300 then false (* must reach Need_more or Corrupt *)
+          else
+            match F.next d with
+            | F.Frame _ -> drain (n + 1)
+            | F.Need_more | F.Corrupt _ -> true
+        in
+        drain 0);
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Satellite regressions. *)
+
+let satellite =
+  [
+    Util.qtest ~count:300 "session_cdf: monotone, bounded, ends at exactly 1.0"
+      QCheck2.Gen.(
+        pair (int_range 1 96)
+          (oneof [ return None; map (fun a -> Some (0.05 +. (4. *. a))) (float_bound_inclusive 1.) ]))
+      (fun (n, alpha) ->
+        let skew = match alpha with None -> W.Uniform | Some a -> W.Zipf a in
+        let cdf = W.session_cdf skew n in
+        Array.length cdf = n
+        && cdf.(n - 1) = 1.0
+        && Array.for_all (fun p -> p >= 0. && p <= 1.) cdf
+        &&
+        let mono = ref true in
+        for i = 1 to n - 1 do
+          if cdf.(i) < cdf.(i - 1) then mono := false
+        done;
+        !mono);
+    tc "session_cdf: high-alpha Zipf rounding residue is clamped" (fun () ->
+        (* Steep exponents concentrate the mass and leave the largest
+           float residue on the tail — exactly the case the clamp is
+           for; before the fix this could sit strictly below 1.0. *)
+        List.iter
+          (fun (n, a) ->
+            let cdf = W.session_cdf (W.Zipf a) n in
+            Alcotest.(check (float 0.)) (Printf.sprintf "w=%d a=%g" n a) 1.0 cdf.(n - 1))
+          [ (3, 1.1); (7, 0.9); (33, 2.5); (64, 3.7); (96, 0.3) ]);
+    Util.qtest ~count:500 "pick always lands in range and can reach the last session"
+      QCheck2.Gen.(pair (int_range 1 32) (int_range 0 10_000))
+      (fun (n, seed) ->
+        let rng = Random.State.make [| seed |] in
+        let cdf = W.session_cdf (W.Zipf 1.2) n in
+        let hit_last = ref (n = 1) in
+        let ok = ref true in
+        for _ = 1 to 200 do
+          let i = W.pick rng cdf in
+          if i < 0 || i >= n then ok := false;
+          if i = n - 1 then hit_last := true
+        done;
+        !ok && (n > 8 || !hit_last));
+    tc "next_calibration_ops: doubles until the cap" (fun () ->
+        Alcotest.(check (option int))
+          "1 -> 2" (Some 2)
+          (H.next_calibration_ops ~domains:4 ~ops_per_domain:1);
+        Alcotest.(check (option int))
+          "just under the cap still doubles"
+          (Some (2 * (H.max_calibration_ops - 1)))
+          (H.next_calibration_ops ~domains:1 ~ops_per_domain:(H.max_calibration_ops - 1));
+        Alcotest.(check (option int))
+          "at the cap stops" None
+          (H.next_calibration_ops ~domains:1 ~ops_per_domain:H.max_calibration_ops));
+    tc "next_calibration_ops: near max_int nothing overflows" (fun () ->
+        (* The old guard computed ops*2 first; ops > max_int/2 made the
+           product wrap negative and the comparison nonsense.  Every
+           case below must return None, not a wrapped Some. *)
+        List.iter
+          (fun (domains, ops) ->
+            Alcotest.(check (option int))
+              (Printf.sprintf "domains=%d ops near max_int" domains)
+              None
+              (H.next_calibration_ops ~domains ~ops_per_domain:ops))
+          [
+            (1, max_int); (2, max_int - 1); (1, (max_int / 2) + 1);
+            (max_int, 1); (max_int / 2, 4);
+          ]);
+    tc "next_calibration_ops: overflow-bounded doubling below the cap" (fun () ->
+        (* domains large enough that doubling once more would overflow
+           the total: must stop rather than wrap. *)
+        let domains = max_int / H.max_calibration_ops in
+        match H.next_calibration_ops ~domains ~ops_per_domain:(H.max_calibration_ops / 2) with
+        | None -> ()
+        | Some ops ->
+            Alcotest.(check bool)
+              "returned total stays representable" true
+              (ops > 0 && domains <= max_int / ops));
+    tc "workload busy-time accounting separates injected idle" (fun () ->
+        let svc = Svc.create (net44 ()) in
+        let spec =
+          {
+            W.default with
+            W.domains = 2;
+            ops_per_domain = 20;
+            arrival = W.Closed 0.002;
+          }
+        in
+        let st = W.run svc spec in
+        ignore (Svc.shutdown ~policy:V.Off svc);
+        Alcotest.(check bool)
+          "slept time excluded" true
+          (st.W.busy_seconds < st.W.seconds);
+        Alcotest.(check bool)
+          "busy rate at least the wall rate" true
+          (st.W.busy_ops_per_sec >= st.W.ops_per_sec);
+        Alcotest.(check bool) "busy_seconds nonnegative" true (st.W.busy_seconds >= 0.));
+    tc "reservoir: keeps everything under capacity, caps over it" (fun () ->
+        let r = M.Reservoir.create ~capacity:8 () in
+        for i = 1 to 5 do
+          M.Reservoir.add r i
+        done;
+        Alcotest.(check int) "observed" 5 (M.Reservoir.observed r);
+        Alcotest.(check int) "kept" 5 (M.Reservoir.kept r);
+        for i = 6 to 1000 do
+          M.Reservoir.add r i
+        done;
+        Alcotest.(check int) "observed all" 1000 (M.Reservoir.observed r);
+        Alcotest.(check int) "kept capacity" 8 (M.Reservoir.kept r);
+        match M.reservoir_summary [ r ] with
+        | None -> Alcotest.fail "summary expected"
+        | Some l ->
+            Alcotest.(check int) "summary observed" 1000 l.M.observed;
+            Alcotest.(check int) "summary kept" 8 l.M.kept;
+            Alcotest.(check bool) "percentiles within range" true
+              (l.M.p50 >= 1. && l.M.max <= 1000.));
+    Util.raises_invalid "reservoir rejects capacity 0" (fun () ->
+        ignore (M.Reservoir.create ~capacity:0 ()));
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Loopback server. *)
+
+let with_server ?(net = net44) ?queue f =
+  let svc = Svc.create ?queue ~validate:V.Strict (net ()) in
+  let server = Server.start svc in
+  Fun.protect
+    ~finally:(fun () ->
+      match Server.stop ~policy:V.Off server with
+      | _ -> ()
+      | exception _ -> ())
+    (fun () -> f server)
+
+let connect server = Client.connect ~port:(Server.port server) ()
+
+let server_tests =
+  [
+    tc "inc/dec/read over the wire" (fun () ->
+        with_server (fun server ->
+            let c = connect server in
+            Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+            for expect = 0 to 9 do
+              match Client.increment c with
+              | Ok v -> Alcotest.(check int) "fetch&inc" expect v
+              | Error _ -> Alcotest.fail "unexpected refusal"
+            done;
+            Alcotest.(check int) "read sees the tokens" 10 (Client.read c);
+            (match Client.decrement c with
+            | Ok v -> Alcotest.(check bool) "dec hands back a taken value" true (v >= 0 && v < 10)
+            | Error _ -> Alcotest.fail "unexpected refusal");
+            Alcotest.(check int) "net count after dec" 9 (Client.read c)));
+    tc "concurrent clients count without duplicates" (fun () ->
+        with_server ~net:net1616 (fun server ->
+            let per = 50 and threads = 4 in
+            let got = Array.make (per * threads) 0 in
+            let ts =
+              Array.init threads (fun _ ->
+                  Thread.create
+                    (fun () ->
+                      let c = connect server in
+                      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+                      for _ = 1 to per do
+                        match Client.increment c with
+                        | Ok v -> got.(v) <- got.(v) + 1
+                        | Error _ -> ()
+                      done)
+                    ())
+            in
+            Array.iter Thread.join ts;
+            (* Quiescently consistent Fetch&Increment: all handed-out
+               values distinct, forming exactly 0..n-1. *)
+            Alcotest.(check bool)
+              "every value handed out exactly once" true
+              (Array.for_all (fun k -> k = 1) got)));
+    tc "drain over the wire validates and re-admits" (fun () ->
+        with_server (fun server ->
+            let c = connect server in
+            Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+            for _ = 1 to 5 do
+              ignore (Client.increment c)
+            done;
+            let ok, summary = Client.drain c in
+            Alcotest.(check bool) ("drain verdict: " ^ summary) true ok;
+            (match Client.increment c with
+            | Ok _ -> ()
+            | Error _ -> Alcotest.fail "service must re-admit after drain")));
+    tc "stats reply is JSON with server and service sections" (fun () ->
+        with_server (fun server ->
+            let c = connect server in
+            Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+            ignore (Client.increment c);
+            let json = Client.stats c in
+            let contains needle =
+              let nl = String.length needle and hl = String.length json in
+              let rec go i = i + nl <= hl && (String.sub json i nl = needle || go (i + 1)) in
+              go 0
+            in
+            List.iter
+              (fun needle ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "stats carries %S" needle)
+                  true (contains needle))
+              [ "\"server\""; "\"connections\""; "\"value\""; "\"report\"" ]));
+    tc "a framing error gets an error reply and only kills that connection" (fun () ->
+        with_server (fun server ->
+            let good = connect server in
+            Fun.protect ~finally:(fun () -> Client.close good) @@ fun () ->
+            ignore (Client.increment good);
+            (* Hand-roll a bad frame on a second connection. *)
+            let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            Unix.connect fd
+              (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", Server.port server));
+            let junk = raw ~len:3 "\x00\x01\x01" in
+            ignore (Unix.write fd (Bytes.of_string junk) 0 (String.length junk));
+            (* The server answers Error_reply then closes: read until EOF
+               and decode what came back. *)
+            let d = F.decoder () in
+            let buf = Bytes.create 256 in
+            let rec slurp acc =
+              match Unix.read fd buf 0 256 with
+              | 0 -> acc
+              | n ->
+                  F.feed d buf ~off:0 ~len:n;
+                  slurp acc
+              | exception Unix.Unix_error _ -> acc
+            in
+            ignore (slurp ());
+            (match F.next d with
+            | F.Frame (F.Response (F.Error_reply { code = F.Bad_magic; _ })) -> ()
+            | _ -> Alcotest.fail "expected a Bad_magic error reply");
+            Unix.close fd;
+            (* The well-behaved connection is unaffected. *)
+            match Client.increment good with
+            | Ok _ -> ()
+            | Error _ -> Alcotest.fail "good connection must survive"));
+    tc "connection churn: sessions outnumber connections harmlessly" (fun () ->
+        with_server ~net:net1616 (fun server ->
+            for _ = 1 to 30 do
+              let c = connect server in
+              ignore (Client.increment c);
+              Client.close c
+            done;
+            let c = connect server in
+            Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+            Alcotest.(check int) "value survived the churn" 30 (Client.read c);
+            Alcotest.(check bool) "accepted counts churn" true (Server.accepted server >= 31)));
+    tc "graceful stop: Strict quiescent drain, clients see EOF" (fun () ->
+        let svc = Svc.create ~validate:V.Strict (net44 ()) in
+        let server = Server.start svc in
+        let c = connect server in
+        for _ = 1 to 8 do
+          ignore (Client.increment c)
+        done;
+        Server.request_stop server;
+        let report = Server.stop ~policy:V.Strict server in
+        Alcotest.(check bool) "strict drain passed" true (V.passed report);
+        (match Client.increment c with
+        | exception Client.Disconnected -> ()
+        | Ok _ -> Alcotest.fail "server gone; increment cannot succeed"
+        | Error `Closed -> ()
+        | Error `Overloaded -> Alcotest.fail "unexpected Overloaded");
+        Client.close c;
+        (* stop is idempotent and returns the memoized report. *)
+        let again = Server.stop ~policy:V.Strict server in
+        Alcotest.(check bool) "same verdict" (V.passed report) (V.passed again));
+    tc "load rig against a live server, with decrements" (fun () ->
+        with_server ~net:net1616 (fun server ->
+            let spec =
+              {
+                Load.default with
+                Load.clients = 2;
+                conns_per_client = 2;
+                ops_per_client = 150;
+                dec_ratio = 0.3;
+                skew = W.Zipf 1.1;
+              }
+            in
+            let st = Load.run ~port:(Server.port server) spec in
+            Alcotest.(check int) "nothing lost" 300 st.Load.completed;
+            Alcotest.(check int) "no disconnects" 0 st.Load.disconnects;
+            Alcotest.(check int)
+              "inc/dec split covers everything" 300
+              (st.Load.increments + st.Load.decrements);
+            (match st.Load.latency with
+            | Some l ->
+                Alcotest.(check bool) "latency sane" true (l.M.p50 > 0. && l.M.p99 >= l.M.p50);
+                Alcotest.(check int) "every op observed" 300 l.M.observed
+            | None -> Alcotest.fail "expected a latency summary");
+            let c = connect server in
+            Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+            Alcotest.(check int)
+              "token conservation over the wire"
+              (st.Load.increments - st.Load.decrements)
+              (Client.read c)));
+    tc "mid-load stop: rig survives, drain stays quiescent" (fun () ->
+        let svc = Svc.create ~validate:V.Strict (net1616 ()) in
+        let server = Server.start svc in
+        let spec =
+          {
+            Load.default with
+            Load.clients = 2;
+            conns_per_client = 2;
+            ops_per_client = 5_000;
+            arrival = W.Closed 0.0002;
+          }
+        in
+        let stats = ref None in
+        let rig = Thread.create (fun () -> stats := Some (Load.run ~port:(Server.port server) spec)) () in
+        Thread.delay 0.05;
+        let report = Server.stop ~policy:V.Strict server in
+        Thread.join rig;
+        Alcotest.(check bool) "strict mid-load drain passed" true (V.passed report);
+        match !stats with
+        | None -> Alcotest.fail "rig must return stats"
+        | Some st ->
+            Alcotest.(check bool) "rig observed the shutdown" true
+              (st.Load.disconnects > 0 || st.Load.closed > 0);
+            Alcotest.(check bool) "rig made progress first" true (st.Load.completed > 0));
+  ]
+
+let suite =
+  [
+    ("proto codec", codec);
+    ("proto hostile input", hostile);
+    ("proto fuzz", fuzz);
+    ("proto satellites", satellite);
+    ("proto server", server_tests);
+  ]
