@@ -1,9 +1,9 @@
 # Convenience targets; everything is plain dune underneath.
 
 .PHONY: all build test bench micro bench-runtime bench-smoke bench-service \
-        bench-service-smoke bench-serve bench-serve-smoke bench-projected \
-        bench-projected-smoke serve-smoke check-metrics check-races lint \
-        examples clean doc
+        bench-service-smoke bench-serve bench-serve-smoke bench-fabric \
+        bench-fabric-smoke bench-projected bench-projected-smoke serve-smoke \
+        check-metrics check-races lint examples clean doc
 
 all: build
 
@@ -43,6 +43,16 @@ bench-serve:
 
 bench-serve-smoke:
 	dune exec bench/main.exe -- serve --smoke
+
+# Elastic sharded fabric: shard-scaling sweep at 1/2/4 shards (fixed vs
+# auto-tuned dimensions) plus a hot-resize-under-load row, every run
+# gated on token conservation and a Strict shutdown.  Appends a
+# "fabric" section to BENCH_runtime.json.
+bench-fabric:
+	dune exec bench/main.exe -- fabric
+
+bench-fabric-smoke:
+	dune exec bench/main.exe -- fabric --smoke
 
 # Out-of-process loopback smoke test: real countnetd daemon + two
 # concurrent `countnet load` clients + SIGTERM under load, asserting a

@@ -1080,6 +1080,229 @@ let serve ?(smoke = false) () =
   line "appended serve section to BENCH_runtime.json (%d SLO rows)" (List.length !rows)
 
 (* ------------------------------------------------------------------ *)
+(* fabric: the elastic sharded counter fabric — shard-scaling sweep at
+   1/2/4 shards of C(8,8) under 8 domains, each shard count measured
+   both with fixed dimensions and with the auto-tuner's calibrated
+   (w,t) pick, plus a hot-resize-under-load row: shard 0 of the
+   4-shard fabric swapped C(8,8) -> C(16,16) mid-run with token
+   conservation asserted at the Strict drain.  The projected rows come
+   from the Theorem 6.7 contention model and show the analytic shard
+   scaling even when this host timeshares domains on one core.
+   Appends a "fabric" section to BENCH_runtime.json.                    *)
+
+let fabric ?(smoke = false) () =
+  header "fabric  sharded counter fabric: shard scaling + hot resize (appends to BENCH_runtime.json)";
+  line "(host note: single-core container -> domains timeshare; relative shapes only)";
+  let module DP = Cn_runtime.Domain_pool in
+  let module V = Cn_runtime.Validator in
+  let module Fab = Cn_fabric.Fabric in
+  let module P = Cn_analysis.Projection in
+  let w = 8 in
+  let net = C.network ~w ~t:w in
+  let domains = 8 in
+  let sessions_per = 4 in
+  let ops = if smoke then 400 else 8_000 in
+  let repeats = if smoke then 1 else 3 in
+  let shard_counts = [ 1; 2; 4 ] in
+  let cal =
+    let crossing_ns =
+      Cn_runtime.Harness.calibrate_crossing_ns
+        ~ops_per_domain:(if smoke then 2_000 else 50_000)
+        ~make:(fun () -> Cn_runtime.Shared_counter.of_topology net)
+        ~depth:(T.depth net) ()
+    in
+    P.calibrate ~crossing_ns ()
+  in
+  line "calibration: %.1f ns/crossing on C(%d,%d)" cal.P.crossing_ns w w;
+  let rows = ref [] in
+  let record name ~shards ~dims ~completed ~rejected ~seconds ~resized =
+    let rate = if seconds <= 0. then 0. else float_of_int completed /. seconds in
+    rows := (name, shards, dims, completed, rejected, seconds, rate, resized) :: !rows;
+    line "%-18s %d shard%s %-22s %11.0f ops/s   %7d completed   %d rejected%s" name shards
+      (if shards = 1 then " " else "s")
+      dims rate completed rejected
+      (if resized then "   (hot-resized)" else "")
+  in
+  let find_rate name shards =
+    let rec go = function
+      | [] -> 0.
+      | (n, s, _, _, _, _, r, _) :: _ when n = name && s = shards -> r
+      | _ :: tl -> go tl
+    in
+    go !rows
+  in
+  (* One measured configuration: [domains] domains each driving
+     [sessions_per] keyed sessions round-robin, pure increments with
+     Overloaded retry.  [tune] retunes every shard to the model's pick
+     before the timed region; [resize_mid] makes domain 0 hot-swap
+     shard 0 to C(16,16) halfway through its op budget while the other
+     domains keep submitting.  Conservation (global read = completed
+     increments) and a Strict shutdown gate every run. *)
+  let run_config pool name ~shards ~tune ~resize_mid =
+    let best = ref 0.
+    and secs = ref 0.
+    and best_completed = ref 0
+    and best_rejected = ref 0
+    and dims = ref (Printf.sprintf "C(%d,%d)" w w)
+    and resized = ref false in
+    for _ = 1 to repeats do
+      let fab = Fab.create ~metrics:tune ~validate:V.Strict ~elim:false ~shards net in
+      if tune then
+        for sid = 0 to shards - 1 do
+          match Fab.retune fab cal ~shard:sid ~domains with
+          | Ok _ | Error _ -> ()
+        done;
+      let completed = Array.make domains 0 in
+      let rejected = Array.make domains 0 in
+      let resize_failed = ref false in
+      let s =
+        DP.run pool ~domains (fun pid ->
+            let sessions =
+              Array.init sessions_per (fun k ->
+                  Fab.session ~key:((pid * sessions_per) + k) fab)
+            in
+            for i = 0 to ops - 1 do
+              if resize_mid && pid = 0 && i = ops / 2 then begin
+                match Fab.resize fab ~shard:0 (C.network ~w:16 ~t:16) with
+                | Ok () -> ()
+                | Error _ -> resize_failed := true
+              end;
+              let rec go () =
+                match Fab.increment sessions.(i mod sessions_per) with
+                | Ok _ -> completed.(pid) <- completed.(pid) + 1
+                | Error Fab.Overloaded ->
+                    Domain.cpu_relax ();
+                    go ()
+                | Error Fab.Closed -> rejected.(pid) <- rejected.(pid) + 1
+              in
+              go ()
+            done)
+      in
+      if !resize_failed then begin
+        prerr_endline "fabric bench: hot resize under load failed";
+        exit 1
+      end;
+      let done_ops = Array.fold_left ( + ) 0 completed in
+      let value = Fab.read fab in
+      if value <> done_ops then begin
+        Printf.eprintf "fabric bench: %s lost tokens (read %d, completed %d)\n" name value
+          done_ops;
+        exit 1
+      end;
+      if resize_mid && (Fab.shard_gen fab 0 <> 1 || (Fab.shard_info fab 0).Fab.width <> 16)
+      then begin
+        prerr_endline "fabric bench: shard 0 did not land on C(16,16) gen 1";
+        exit 1
+      end;
+      let report = Fab.shutdown ~policy:V.Strict fab in
+      if not (V.passed report) then begin
+        Printf.eprintf "fabric bench: Strict shutdown failed for %s: %s\n" name
+          (V.summary report);
+        exit 1
+      end;
+      let rate = if s <= 0. then 0. else float_of_int done_ops /. s in
+      if rate >= !best then begin
+        best := rate;
+        secs := s;
+        best_completed := done_ops;
+        best_rejected := Array.fold_left ( + ) 0 rejected;
+        resized := resize_mid;
+        dims :=
+          String.concat "+"
+            (List.map
+               (fun (i : Fab.shard_info) -> Printf.sprintf "C(%d,%d)" i.Fab.width i.Fab.out_width)
+               (Fab.shard_infos fab))
+      end
+    done;
+    record name ~shards ~dims:!dims ~completed:!best_completed ~rejected:!best_rejected
+      ~seconds:!secs ~resized:!resized
+  in
+  line "%d domains x %d ops, %d sessions/domain, %d repeat%s" domains ops sessions_per repeats
+    (if repeats = 1 then "" else "s");
+  DP.with_pool domains (fun pool ->
+      List.iter
+        (fun shards ->
+          run_config pool "fixed" ~shards ~tune:false ~resize_mid:false;
+          run_config pool "autotuned" ~shards ~tune:true ~resize_mid:false)
+        shard_counts;
+      run_config pool "resize-under-load" ~shards:4 ~tune:false ~resize_mid:true);
+  (* Analytic shard scaling from the calibrated Theorem 6.7 model:
+     shards split the domain population, so an N-shard fabric is N
+     independent networks at domains/N each. *)
+  let projected =
+    List.map
+      (fun shards ->
+        let per_shard = max 1 (domains / shards) in
+        let p = P.project_network cal net ~domains:per_shard in
+        (shards, float_of_int shards *. p.P.ops_per_sec))
+      shard_counts
+  in
+  List.iter
+    (fun (shards, rate) -> line "projected %d shard%s %11.0f ops/s" shards
+        (if shards = 1 then " " else "s") rate)
+    projected;
+  let ratio num den = if den <= 0. then 0. else num /. den in
+  let measured_4v1 = ratio (find_rate "fixed" 4) (find_rate "fixed" 1) in
+  let projected_4v1 =
+    ratio (List.assoc 4 projected) (List.assoc 1 projected)
+  in
+  line "shard scaling 4 vs 1: measured %.2fx, projected %.2fx" measured_4v1 projected_4v1;
+  if measured_4v1 < 1. then
+    if smoke then
+      (* Smoke regions are ~1 ms on this host — too short to gate on. *)
+      line "note: smoke timing too short to gate on; full run enforces the comparison"
+    else begin
+      prerr_endline "fabric bench: 4-shard fabric did not beat the single shard";
+      exit 1
+    end;
+  let entries =
+    List.rev_map
+      (fun (name, shards, dims, completed, rejected, seconds, rate, resized) ->
+        Printf.sprintf
+          "      { \"config\": %S, \"shards\": %d, \"dims\": %S, \"domains\": %d, \
+           \"completed\": %d, \"rejected\": %d, \"seconds\": %.6f, \"ops_per_sec\": %.1f, \
+           \"hot_resized\": %b }"
+          name shards dims domains completed rejected seconds rate resized)
+      !rows
+  in
+  let projected_entries =
+    List.map
+      (fun (shards, rate) ->
+        Printf.sprintf "      { \"shards\": %d, \"ops_per_sec\": %.1f }" shards rate)
+      projected
+  in
+  let section =
+    Printf.sprintf
+      "{\n    \"net\": \"C(%d,%d)\",\n    \"domains\": %d,\n    \"sessions_per_domain\": %d,\n    \
+       \"crossing_ns\": %.2f,\n    \"results\": [\n%s\n    ],\n    \"projected\": [\n%s\n    \
+       ],\n    \"scaling_4v1_measured\": %.3f,\n    \"scaling_4v1_projected\": %.3f\n  }"
+      w w domains sessions_per cal.P.crossing_ns
+      (String.concat ",\n" entries)
+      (String.concat ",\n" projected_entries)
+      measured_4v1 projected_4v1
+  in
+  let path = "BENCH_runtime.json" in
+  let fresh () =
+    let oc = open_out path in
+    Printf.fprintf oc "{\n  \"suite\": \"fabric\",\n  \"fabric\": %s\n}\n" section;
+    close_out oc
+  in
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let content = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match String.rindex_opt content '}' with
+    | Some i ->
+        let oc = open_out path in
+        output_string oc (String.sub content 0 i);
+        Printf.fprintf oc ",\n  \"fabric\": %s\n}\n" section;
+        close_out oc
+    | None -> fresh ()
+  end
+  else fresh ();
+  line "appended fabric section to BENCH_runtime.json (%d rows)" (List.length !rows)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment family.      *)
 
 let micro () =
@@ -1211,8 +1434,10 @@ let () =
       service ~smoke:true ~projected:true ()
   | [| _; "serve" |] -> serve ()
   | [| _; "serve"; "--smoke" |] -> serve ~smoke:true ()
+  | [| _; "fabric" |] -> fabric ()
+  | [| _; "fabric"; "--smoke" |] -> fabric ~smoke:true ()
   | _ ->
       prerr_endline
         "usage: main.exe [e1|...|e14|micro|runtime [--smoke] [--projected]|service [--smoke] \
-         [--projected]|serve [--smoke]]";
+         [--projected]|serve [--smoke]|fabric [--smoke]]";
       exit 2

@@ -425,6 +425,31 @@ let sessions_arg =
     & info [ "sessions" ] ~docv:"K"
         ~doc:"Service sessions per client domain (default 2). Requires $(b,--service).")
 
+let fabric_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "fabric" ]
+        ~doc:"Drive the sharded counter fabric ($(b,Cn_fabric)): N independently compiled \
+              C(w,t) service shards behind consistent-hash session routing, every topology \
+              certified before serving.  Mutually exclusive with $(b,--service).")
+
+let fabric_shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"N"
+        ~doc:"Shard count for the fabric (default 2). Requires $(b,--fabric).")
+
+let autotune_flag =
+  Arg.(
+    value
+    & flag
+    & info [ "autotune" ]
+        ~doc:"Before the measured run, calibrate the crossing cost on this host and hot-resize \
+              every shard to the contention model's predicted-best C(w,t) at $(b,--domains) \
+              concurrency ($(b,Cn_analysis.Projection.tune)). Requires $(b,--fabric).")
+
 let dec_ratio_arg =
   Arg.(
     value
@@ -546,7 +571,7 @@ let throughput_cmd =
   let parse_skew = parse_skew ~fail:fail_usage in
   let parse_arrival = parse_arrival ~fail:fail_usage in
   let run net domains ops mode layout batch pipeline metrics policy service elim max_batch
-      sessions dec_ratio skew arrival projected stall_factor =
+      sessions dec_ratio skew arrival projected stall_factor fabric fabric_shards autotune =
     if domains <= 0 then fail_usage (Printf.sprintf "--domains must be positive (got %d)" domains);
     if ops <= 0 then fail_usage (Printf.sprintf "--ops must be positive (got %d)" ops);
     (match batch with
@@ -562,23 +587,38 @@ let throughput_cmd =
     | Some f when f <= 0. ->
         fail_usage (Printf.sprintf "--stall-factor must be positive (got %g)" f)
     | _ -> ());
-    if stall_factor <> None && not projected then fail_usage "--stall-factor requires --projected";
+    if stall_factor <> None && not (projected || autotune) then
+      fail_usage "--stall-factor requires --projected or --autotune";
+    if service && fabric then
+      fail_usage "--service and --fabric are mutually exclusive (pick one front-end)";
+    if not fabric then begin
+      if fabric_shards <> None then fail_usage "--shards requires --fabric";
+      if autotune then fail_usage "--autotune requires --fabric"
+    end;
+    if not service && not fabric then begin
+      let require_front (name, set) =
+        if set then fail_usage (name ^ " requires --service or --fabric")
+      in
+      List.iter require_front
+        [
+          ("--elim", elim <> None);
+          ("--max-batch", max_batch <> None);
+          ("--sessions", sessions <> None);
+        ]
+    end;
     if not service then begin
       let require_service (name, set) =
         if set then fail_usage (name ^ " requires --service")
       in
       List.iter require_service
         [
-          ("--elim", elim <> None);
-          ("--max-batch", max_batch <> None);
-          ("--sessions", sessions <> None);
           ("--dec-ratio", dec_ratio <> None);
           ("--skew", skew <> None);
           ("--arrival", arrival <> None);
         ]
     end;
-    if service && batch <> None then
-      fail_usage "--batch and --service are mutually exclusive (the service batches internally)";
+    if (service || fabric) && batch <> None then
+      fail_usage "--batch and --service/--fabric are mutually exclusive (they batch internally)";
     (match max_batch with
     | Some b when b <= 0 -> fail_usage (Printf.sprintf "--max-batch must be positive (got %d)" b)
     | _ -> ());
@@ -591,6 +631,85 @@ let throughput_cmd =
     | _ -> ());
     let skew = Option.map parse_skew skew in
     let arrival = Option.map parse_arrival arrival in
+    if fabric then begin
+      let module Fab = Cn_fabric.Fabric in
+      let module P = Cn_analysis.Projection in
+      let shards = Option.value fabric_shards ~default:2 in
+      if shards <= 0 then
+        fail_usage (Printf.sprintf "--shards must be positive (got %d)" shards);
+      let resize_err = function
+        | Fab.Cert_rejected m -> "certificate rejected: " ^ m
+        | Fab.Busy -> "busy"
+        | Fab.Bad_shard -> "bad shard"
+        | Fab.Fabric_closed -> "fabric closed"
+      in
+      let fab =
+        try
+          Fab.create ~mode ~layout ~metrics ?max_batch ?elim
+            ~pipeline:(pipeline <> None) ~validate:policy ~shards net
+        with Fab.Rejected msg -> fail_usage ("topology rejected: " ^ msg)
+      in
+      if autotune then begin
+        let depth = T.depth net in
+        let crossing_ns =
+          Cn_runtime.Harness.calibrate_crossing_ns
+            ~ops_per_domain:(max 1_000 (min ops 200_000))
+            ~make:(fun () -> Cn_runtime.Shared_counter.of_topology ~mode ~layout net)
+            ~depth ()
+        in
+        let c = P.calibrate ?stall_factor ~crossing_ns () in
+        for sid = 0 to shards - 1 do
+          match Fab.retune fab c ~shard:sid ~domains with
+          | Ok (`Resized (w, t)) ->
+              Printf.printf "autotune: shard %d -> C(%d,%d)\n" sid w t
+          | Ok `Unchanged ->
+              let i = Fab.shard_info fab sid in
+              Printf.printf "autotune: shard %d stays C(%d,%d)\n" sid i.Fab.width
+                i.Fab.out_width
+          | Error e ->
+              fail_usage (Printf.sprintf "autotune: shard %d: %s" sid (resize_err e))
+        done
+      end;
+      let sessions_per = Option.value sessions ~default:2 in
+      let completed = Array.make domains 0 in
+      let rejected = Array.make domains 0 in
+      let seconds =
+        Cn_runtime.Domain_pool.with_pool domains (fun pool ->
+            Cn_runtime.Domain_pool.run pool ~domains (fun pid ->
+                let ss =
+                  Array.init sessions_per (fun k ->
+                      Fab.session ~key:((pid * sessions_per) + k) fab)
+                in
+                for i = 0 to ops - 1 do
+                  match Fab.increment ss.(i mod sessions_per) with
+                  | Ok _ -> completed.(pid) <- completed.(pid) + 1
+                  | Error Fab.Overloaded -> rejected.(pid) <- rejected.(pid) + 1
+                  | Error Fab.Closed -> ()
+                done))
+      in
+      (match Fab.drain fab with
+      | _report -> ()
+      | exception V.Invalid msg ->
+          prerr_endline ("countnet throughput: " ^ msg);
+          exit 1);
+      let done_ = Array.fold_left ( + ) 0 completed in
+      let rej = Array.fold_left ( + ) 0 rejected in
+      Printf.printf
+        "fabric: %d shards, %d domains x %d ops = %d completed (%d rejected) in %.3fs -> %.0f \
+         ops/s\n"
+        shards domains ops done_ rej seconds
+        (float_of_int done_ /. Float.max seconds 1e-9);
+      Printf.printf "fabric value %d; shards:%s\n" (Fab.read fab)
+        (String.concat ""
+           (List.map
+              (fun (i : Fab.shard_info) ->
+                Printf.sprintf " %d:C(%d,%d) gen %d value %d" i.Fab.id i.Fab.width
+                  i.Fab.out_width i.Fab.gen i.Fab.value)
+              (Fab.shard_infos fab)));
+      if metrics then print_endline (Fab.report_json fab);
+      if projected then print_projection net ~mode ~layout ~ops ~stall_factor;
+      exit 0
+    end;
     if service then begin
       let svc =
         Svc.create ~mode ~layout ~metrics ?max_batch ?elim ~pipeline:(pipeline <> None)
@@ -685,7 +804,7 @@ let throughput_cmd =
       const run $ network_term $ domains_arg $ ops_arg $ mode_arg $ layout_arg $ batch_arg
       $ pipeline_arg $ metrics_flag $ validate_arg $ service_flag $ elim_arg $ max_batch_arg
       $ sessions_arg $ dec_ratio_arg $ skew_arg $ arrival_arg $ projected_flag
-      $ stall_factor_arg)
+      $ stall_factor_arg $ fabric_flag $ fabric_shards_arg $ autotune_flag)
 
 (* ---------------------------------------------------------------- *)
 (* sort *)
@@ -882,18 +1001,19 @@ let check_cmd =
              models; both must fail, and their pinned schedules must replay.")
   in
   let run preemptions scenario replay list selftest =
+    let catalogue = Cn_check.Scenarios.all @ Cn_check.Fabric_scenarios.all in
     let scenarios =
       match scenario with
-      | None -> Cn_check.Scenarios.all
+      | None -> catalogue
       | Some name -> (
-          match List.assoc_opt name Cn_check.Scenarios.all with
+          match List.assoc_opt name catalogue with
           | Some mk -> [ (name, mk) ]
           | None ->
               Printf.eprintf "unknown scenario %s (try --list)\n" name;
               exit 1)
     in
     if list then
-      List.iter (fun (name, _) -> print_endline name) Cn_check.Scenarios.all
+      List.iter (fun (name, _) -> print_endline name) catalogue
     else begin
       let failed = ref false in
       (match replay with
@@ -1202,7 +1322,16 @@ let serve_cmd =
       value & flag
       & info [ "metrics" ] ~doc:"Compile the served runtime with the observability layer.")
   in
-  let run host port w t queue max_batch metrics policy =
+  let serve_shards_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Serve an N-shard counter fabric (each shard its own certified C(w,t), \
+                consistent-hash session routing, combining global reads) instead of a \
+                single service.")
+  in
+  let run host port w t queue max_batch metrics policy shards =
     if port < 0 || port > 65535 then
       fail_usage (Printf.sprintf "--port must be in [0, 65535] (got %d)" port);
     if w <= 0 then fail_usage (Printf.sprintf "--width must be positive (got %d)" w);
@@ -1216,6 +1345,9 @@ let serve_cmd =
     | Some b when b <= 0 ->
         fail_usage (Printf.sprintf "--max-batch must be positive (got %d)" b)
     | _ -> ());
+    (match shards with
+    | Some n when n <= 0 -> fail_usage (Printf.sprintf "--shards must be positive (got %d)" n)
+    | _ -> ());
     let cfg =
       {
         D.host;
@@ -1226,11 +1358,13 @@ let serve_cmd =
         max_batch;
         metrics;
         validate = policy;
+        shards;
       }
     in
     match D.serve cfg with
     | code -> exit code
     | exception Invalid_argument msg -> fail_usage msg
+    | exception Cn_fabric.Fabric.Rejected msg -> fail_usage ("topology rejected: " ^ msg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1245,7 +1379,8 @@ let serve_cmd =
           & opt policy_conv Cn_runtime.Validator.Strict
           & info [ "validate" ] ~docv:"POLICY"
               ~doc:"Quiescence policy at the SIGTERM drain: $(b,strict) (default), $(b,log) or \
-                    $(b,off).  The exit code reports the verdict either way."))
+                    $(b,off).  The exit code reports the verdict either way.")
+      $ serve_shards_arg)
 
 let load_cmd =
   let module L = Cn_proto.Load in

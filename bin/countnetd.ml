@@ -50,6 +50,14 @@ let metrics_flag =
     value & flag
     & info [ "metrics" ] ~doc:"Compile the served runtime with the observability layer.")
 
+let shards_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "shards" ] ~docv:"N"
+        ~doc:"Serve an N-shard counter fabric (each shard its own certified C(w,t), \
+              consistent-hash session routing, combining global reads) instead of a \
+              single service.")
+
 let policy_conv =
   let parse s =
     match V.policy_of_string s with
@@ -65,7 +73,7 @@ let validate_arg =
         ~doc:"Quiescence policy at the SIGTERM drain: $(b,strict) (default), $(b,log) or \
               $(b,off).  The exit code reports the verdict either way.")
 
-let run host port w t queue max_batch metrics validate =
+let run host port w t queue max_batch metrics validate shards =
   if port < 0 || port > 65535 then
     fail_usage (Printf.sprintf "--port must be in [0, 65535] (got %d)" port);
   if w <= 0 then fail_usage (Printf.sprintf "--width must be positive (got %d)" w);
@@ -79,12 +87,16 @@ let run host port w t queue max_batch metrics validate =
   | Some b when b <= 0 ->
       fail_usage (Printf.sprintf "--max-batch must be positive (got %d)" b)
   | _ -> ());
+  (match shards with
+  | Some n when n <= 0 -> fail_usage (Printf.sprintf "--shards must be positive (got %d)" n)
+  | _ -> ());
   let cfg =
-    { D.host; port; width = w; out_width = t; queue; max_batch; metrics; validate }
+    { D.host; port; width = w; out_width = t; queue; max_batch; metrics; validate; shards }
   in
   match D.serve cfg with
   | code -> exit code
   | exception Invalid_argument msg -> fail_usage msg
+  | exception Cn_fabric.Fabric.Rejected msg -> fail_usage ("topology rejected: " ^ msg)
 
 let cmd =
   Cmd.v
@@ -94,6 +106,6 @@ let cmd =
           SIGTERM drains through the validator quiescence path.")
     Term.(
       const run $ host_arg $ port_arg $ width_arg $ out_width_arg $ queue_arg $ max_batch_arg
-      $ metrics_flag $ validate_arg)
+      $ metrics_flag $ validate_arg $ shards_arg)
 
 let () = exit (Cmd.eval cmd)

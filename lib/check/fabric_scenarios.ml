@@ -1,0 +1,215 @@
+module V = Cn_runtime.Validator
+module Sequence = Cn_sequence.Sequence
+module Counting = Cn_core.Counting
+module Svc = Scenarios.Svc
+
+(* The production fabric protocol body over instrumented atomics and the
+   instrumented model service: what the explorer exercises for the
+   hot-resize / elastic-rescale paths. *)
+module MS = struct
+  include Svc
+
+  let net_count svc =
+    Sequence.sum (Model_net.exit_distribution (Svc.runtime svc))
+end
+
+module Fab = Cn_fabric.Fabric_core.Make (Instrumented) (MS)
+
+type outcome = Val of int | Rejected | Refused
+
+let op_outcome = function
+  | Ok v -> Val v
+  | Error Fab.Overloaded -> Rejected
+  | Error Fab.Closed -> Refused
+
+type run = {
+  rts : Model_net.t list ref; (* every model network spawned, any shard/gen *)
+  fab : Fab.t;
+  results : (Fab.op * outcome) list ref;
+  resizes : (unit, Fab.resize_error) result list ref;
+  shutdowns : int ref;
+  distinct_incs : bool; (* single-shard, elim off: values must be distinct *)
+}
+
+let worker run sess op () =
+  let r =
+    match op with
+    | Fab.Inc -> Fab.increment sess
+    | Fab.Dec -> Fab.decrement sess
+  in
+  run.results := (op, op_outcome r) :: !(run.results)
+
+let resizer run ~shard topo () =
+  run.resizes := Fab.resize run.fab ~shard topo :: !(run.resizes)
+
+let scaler run n () =
+  run.resizes := Fab.set_shard_count run.fab n :: !(run.resizes)
+
+let drainer run () = ignore (Fab.drain run.fab)
+
+let stopper run () =
+  ignore (Fab.shutdown run.fab);
+  incr run.shutdowns
+
+(* Certification is pure, deterministic and checked by its own test
+   suite; running the seven-pass pipeline inside every interleaving
+   would only slow exploration without adding schedule points. *)
+let certify_ok _ = Ok ()
+
+let make_run ?(distinct_incs = false) ~shards () =
+  let rts = ref [] in
+  let topo = Counting.network ~w:2 ~t:2 in
+  let spawn t =
+    let rt = Model_net.compile t in
+    rts := rt :: !rts;
+    Svc.make ~max_batch:4 ~queue:2 ~validate:V.Off rt
+  in
+  let fab =
+    Fab.make ~validate:V.Off ~spawn ~certify:certify_ok
+      (List.init shards (fun _ -> topo))
+  in
+  { rts; fab; results = ref []; resizes = ref []; shutdowns = ref 0;
+    distinct_incs }
+
+let resize_error_string = function
+  | Fab.Cert_rejected m -> "certificate rejected: " ^ m
+  | Fab.Busy -> "busy"
+  | Fab.Bad_shard -> "bad shard"
+  | Fab.Fabric_closed -> "fabric closed"
+
+(* The shared oracle, run on the final state with no fiber scheduled. *)
+let check run () =
+  let fail fmt = Printf.ksprintf Option.some fmt in
+  let oks op =
+    List.length
+      (List.filter
+         (fun (o, r) -> o = op && match r with Val _ -> true | _ -> false)
+         !(run.results))
+  in
+  let bad_validation =
+    List.exists
+      (fun rt ->
+        List.exists (fun (_, passed) -> not passed) (Model_net.validations rt))
+      !(run.rts)
+  in
+  let bad_step =
+    List.find_opt
+      (fun rt -> not (Sequence.is_step (Model_net.exit_distribution rt)))
+      !(run.rts)
+  in
+  let failed_resize =
+    List.find_map
+      (function Error e -> Some e | Ok () -> None)
+      !(run.resizes)
+  in
+  if !(run.shutdowns) > 0 && not (Fab.closed run.fab) then
+    fail "shutdown returned but the fabric is not closed"
+  else if bad_validation then
+    fail "a resize/drain/shutdown validation observed a non-quiescent network"
+  else
+    match bad_step with
+    | Some rt ->
+        fail "a shard's final distribution is not a step: %s"
+          (Sequence.to_string (Model_net.exit_distribution rt))
+    | None -> (
+        match failed_resize with
+        | Some e -> fail "resize failed: %s" (resize_error_string e)
+        | None ->
+            if
+              !(run.shutdowns) = 0
+              && List.exists (fun (_, r) -> r = Refused) !(run.results)
+            then fail "an operation was refused but the fabric never closed"
+            else begin
+              let expected = oks Fab.Inc - oks Fab.Dec in
+              let got = Fab.read run.fab in
+              if got <> expected then
+                fail "fabric read %d but ok(inc) - ok(dec) = %d" got expected
+              else if run.distinct_incs then begin
+                let vals =
+                  List.filter_map
+                    (fun (o, r) ->
+                      match (o, r) with Fab.Inc, Val v -> Some v | _ -> None)
+                    !(run.results)
+                in
+                let sorted = List.sort_uniq compare vals in
+                if List.length sorted <> List.length vals then
+                  fail "duplicate values in a shard's stream across resize: %s"
+                    (String.concat "," (List.map string_of_int vals))
+                else None
+              end
+              else None
+            end)
+
+(* A key the current router sends to [shard] — routing is deterministic,
+   so this probe is schedule-independent. *)
+let key_for run shard =
+  let rec go k =
+    if Fab.route run.fab k = shard then k
+    else if k > 1_000 then invalid_arg "key_for: no key found"
+    else go (k + 1)
+  in
+  go 0
+
+let resize_vs_submit () =
+  let run = make_run ~distinct_incs:true ~shards:1 () in
+  let s0 = Fab.session ~key:0 run.fab in
+  let s1 = Fab.session ~key:1 run.fab in
+  {
+    Engine.name = "fabric-resize-vs-submit";
+    fibers =
+      [|
+        worker run s0 Fab.Inc;
+        worker run s1 Fab.Inc;
+        resizer run ~shard:0 (Counting.network ~w:2 ~t:2);
+      |];
+    finish = check run;
+  }
+
+let drain_vs_route () =
+  let run = make_run ~shards:2 () in
+  let sa = Fab.session ~key:(key_for run 0) run.fab in
+  let sb = Fab.session ~key:(key_for run 1) run.fab in
+  {
+    Engine.name = "fabric-drain-vs-route";
+    fibers = [| worker run sa Fab.Inc; worker run sb Fab.Inc; drainer run |];
+    finish = check run;
+  }
+
+let shrink_vs_submit () =
+  let run = make_run ~distinct_incs:true ~shards:2 () in
+  (* The worker is pinned to the shard being retired, so the operation
+     either completes there before its quiescent validation point or
+     parks and replays through the rerouted survivor. *)
+  let s = Fab.session ~key:(key_for run 1) run.fab in
+  {
+    Engine.name = "fabric-shrink-vs-submit";
+    fibers = [| worker run s Fab.Inc; scaler run 1 |];
+    finish = check run;
+  }
+
+let grow_vs_submit () =
+  let run = make_run ~distinct_incs:true ~shards:1 () in
+  let s = Fab.session ~key:0 run.fab in
+  {
+    Engine.name = "fabric-grow-vs-submit";
+    fibers = [| worker run s Fab.Inc; scaler run 2 |];
+    finish = check run;
+  }
+
+let shutdown_vs_submit () =
+  let run = make_run ~shards:1 () in
+  let s = Fab.session ~key:0 run.fab in
+  {
+    Engine.name = "fabric-shutdown-vs-submit";
+    fibers = [| worker run s Fab.Inc; stopper run |];
+    finish = check run;
+  }
+
+let all =
+  [
+    ("fabric-resize-vs-submit", resize_vs_submit);
+    ("fabric-drain-vs-route", drain_vs_route);
+    ("fabric-shrink-vs-submit", shrink_vs_submit);
+    ("fabric-grow-vs-submit", grow_vs_submit);
+    ("fabric-shutdown-vs-submit", shutdown_vs_submit);
+  ]

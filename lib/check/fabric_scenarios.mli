@@ -1,0 +1,59 @@
+(** Fabric resize scenarios: the {e real} shard-fabric protocol
+    ({!Cn_fabric.Fabric_core.Make} — the same functor body production
+    runs) instantiated with {!Instrumented} atomics over the checker's
+    model service ({!Scenarios.Svc} plus a [net_count] one-liner),
+    driven over miniature C(2,2) shards.
+
+    Every scenario's oracle checks, on the final state:
+
+    - {b closed is terminal}: once a fabric [shutdown] has returned,
+      [closed] holds;
+    - {b validations are quiescent}: every validation any spawned model
+      network recorded — including those run by the hot-resize drain —
+      passed;
+    - {b step property} on every spawned network's final distribution
+      (pre-resize services included);
+    - {b resizes succeed}: no scenario's resize/rescale may fail (the
+      single resizer owns the shard, certification is stubbed [Ok]);
+    - {b no spurious refusal}: an operation may only return [Closed]
+      if the scenario actually shuts the fabric down — a racing resize
+      must park and replay, never refuse;
+    - {b conservation}: the fabric's combining [read] equals successful
+      increments minus successful decrements, across every resize,
+      shrink and grow — the retired-fold accounting;
+    - {b continuity} (single-shard, elimination off): the shard's value
+      stream stays duplicate-free across the base fold at a resize;
+    - {b liveness} (via the engine): parked operations are replayed —
+      a cell never completed shows up as a deadlock.
+
+    Certification is stubbed to [Ok]: the seven-pass pipeline is pure
+    and deterministic (no schedule points), and has its own suite. *)
+
+module Fab :
+  Cn_fabric.Fabric_core.S
+    with type svc = Scenarios.Svc.t
+     and type topo_key = Cn_network.Topology.t
+
+val resize_vs_submit : unit -> Engine.scenario
+(** Two workers on distinct keys of a one-shard fabric racing a
+    hot-resize of that shard — operations must complete before the
+    quiescent validation point or park and replay exactly once. *)
+
+val drain_vs_route : unit -> Engine.scenario
+(** Workers pinned to both shards of a two-shard fabric racing a
+    fabric-wide [drain] (per-shard quiesce/validate/re-admit). *)
+
+val shrink_vs_submit : unit -> Engine.scenario
+(** A worker pinned to the shard being retired while
+    [set_shard_count] shrinks 2 → 1 — the reroute-and-replay path. *)
+
+val grow_vs_submit : unit -> Engine.scenario
+(** A worker racing [set_shard_count] growing 1 → 2 — the
+    router-republish ordering on the grow path. *)
+
+val shutdown_vs_submit : unit -> Engine.scenario
+(** A worker racing the terminal fabric [shutdown]; the operation
+    completes before the validation point or fails [Closed]. *)
+
+val all : (string * (unit -> Engine.scenario)) list
+(** Every scenario above, keyed by name, in a stable order. *)

@@ -1,0 +1,119 @@
+(** The elastic sharded counter fabric — the production instantiation
+    of {!Fabric_core.Make} over {!Cn_runtime.Atomics.Real} and the
+    combining {!Cn_service.Service}.
+
+    A fabric owns N independently compiled [C(w,t)] service instances
+    (shards), routes sessions to shards through a consistent-hash ring
+    ({!Router} — stable under shard-count changes), merges the shard
+    counters into a linearizable-at-quiescence global {!read} via a
+    second-level combining pass, and can {b hot-resize} any shard:
+    drain it through the {!Cn_runtime.Validator.quiescent_runtime}
+    boundary, park in-flight operations, swap in a freshly compiled
+    topology, and replay the parked work — losing no tokens and
+    duplicating no values (the shard's value stream continues from a
+    [base] offset folded at the validated quiescence point).
+
+    Every topology the fabric ever serves — initial shards, resize
+    candidates, grow targets — is first certified by the {!Cn_lint}
+    seven-pass pipeline with expectation [Counting]; a rejected
+    certificate aborts the operation before any state changes.
+
+    The per-shard [(w, t)] choice can be auto-tuned:
+    {!Cn_analysis.Projection.tune} evaluates Theorem 6.7's calibrated
+    contention model over the candidate grid (pinning [t = w·lg w] per
+    width), and {!plan} corrects the prediction with the shard's live
+    {!Cn_runtime.Metrics} stall profile when one is recorded.
+
+    The protocol body lives in {!Fabric_core.Make} and is model-checked
+    by [Cn_check] over instrumented atomics ([make check-races]); this
+    module adds only the concrete spawn/certify/tune policies. *)
+
+include
+  Fabric_core.S
+    with type svc = Cn_service.Service.t
+     and type topo_key = Cn_network.Topology.t
+
+val create :
+  ?mode:Cn_runtime.Network_runtime.mode ->
+  ?layout:Cn_runtime.Network_runtime.layout ->
+  ?metrics:bool ->
+  ?max_batch:int ->
+  ?queue:int ->
+  ?elim:bool ->
+  ?pipeline:bool ->
+  ?validate:Cn_runtime.Validator.policy ->
+  ?max_shards:int ->
+  ?vnodes:int ->
+  ?exhaustive_budget:int ->
+  shards:int ->
+  Cn_network.Topology.t ->
+  t
+(** [create ~shards net] certifies [net], then builds [shards]
+    identical service shards over it.  The service knobs ([?mode],
+    [?layout], [?metrics], [?max_batch], [?queue], [?elim],
+    [?pipeline], [?validate]) pass through to
+    {!Cn_service.Service.create} for every spawned shard — including
+    the ones hot-resize swaps in later.  [?exhaustive_budget] (default
+    [2_000]) caps the certifier's bounded-exhaustive pass per topology.
+    @raise Rejected if [net] fails certification.
+    @raise Invalid_argument if [shards < 1] or [shards > max_shards]. *)
+
+val certificate : ?exhaustive_budget:int -> Cn_network.Topology.t -> Cn_lint.Cert.t
+(** The certificate the fabric's gate evaluates: the full
+    {!Cn_lint.Cert.certify} pipeline with expectation [Counting],
+    using a rebuilt [C(w,t)] as structural reference when the
+    dimensions are a legal pair. *)
+
+val certify_topology :
+  ?exhaustive_budget:int -> Cn_network.Topology.t -> (Cn_lint.Cert.t, string) result
+(** The gate itself: [Ok cert] when the certificate is clean and its
+    evidence is not a refutation, [Error summary] otherwise — the
+    string is what {!resize} wraps in [Cert_rejected]. *)
+
+(** {2 Auto-tuning} *)
+
+val live_stall_scale : t -> shard:int -> domains:int -> float
+(** Ratio of the shard's measured stalls/token (typed
+    {!Cn_runtime.Metrics.layer_stalls} counters — no JSON re-parsing)
+    to the analytic prediction at the shard's current dimensions,
+    clamped to [[0.25, 4]].  [1.] when the shard records no stalls
+    (Faa mode, metrics off, or an idle shard). *)
+
+val plan :
+  ?widths:int list ->
+  t ->
+  Cn_analysis.Projection.calibration ->
+  shard:int ->
+  domains:int ->
+  int * int
+(** Predicted-best [(w, t)] for one shard at the given concurrency:
+    {!Cn_analysis.Projection.tune} scaled by {!live_stall_scale}. *)
+
+val retune :
+  ?policy:Cn_runtime.Validator.policy ->
+  ?widths:int list ->
+  t ->
+  Cn_analysis.Projection.calibration ->
+  shard:int ->
+  domains:int ->
+  ([ `Resized of int * int | `Unchanged ], resize_error) result
+(** [retune t cal ~shard ~domains] plans and, when the prediction
+    differs from the shard's current dimensions, hot-resizes the shard
+    to the planned [C(w,t)] (certified first, like every resize). *)
+
+(** {2 Reporting} *)
+
+type shard_info = {
+  id : int;
+  width : int;  (** input width [w] of the shard's current topology *)
+  out_width : int;  (** output width [t] *)
+  gen : int;  (** resize generation *)
+  value : int;  (** the shard's logical counter value, [base + net] *)
+}
+
+val shard_info : t -> int -> shard_info
+val shard_infos : t -> shard_info list
+
+val report_json : t -> string
+(** Fabric summary (shard table, global value) plus every shard's
+    {!Cn_service.Service.report_json}, as one JSON document. *)

@@ -1,0 +1,563 @@
+(* The elastic shard-fabric protocol, factored out as a functor over
+   its atomic operations and the service module it shards — the same
+   pattern as [Service_core.Make], and for the same reason: [Fabric]
+   instantiates it with the real atomics and the production [Service],
+   the race checker instantiates it with instrumented atomics and
+   model services, and every interleaving the checker explores
+   exercises the exact hot-resize protocol production runs.
+
+   Protocol summary (the invariants the checker scenarios pin):
+
+   - routing: an operation reads the published router, resolves its
+     shard, and re-resolves from scratch whenever it loses a race with
+     a resize — it never holds a stale shard across a retry;
+   - hot-resize: certify first (a rejected certificate aborts with no
+     state change), then CAS the shard [Open -> Resizing] so latecomers
+     park, shut the old service down through the Validator quiescence
+     boundary, fold its net count into the shard's [base] offset, swap
+     in the freshly spawned service, reopen, and replay every parked
+     cell exactly once.  An operation racing the resize either
+     completes on the old service before its validation point (the
+     Service_core guarantee) or observes [Closed], retries, and parks;
+   - accounting: a shard's logical value is [base + net(svc)].  The
+     fold at the swap point keeps the sum invariant, so values handed
+     out after a resize continue the shard's stream with no duplicates
+     and the global read never observes a discontinuity. *)
+
+module V = Cn_runtime.Validator
+module Topology = Cn_network.Topology
+
+module type SERVICE = sig
+  type t
+  type session
+  type op = Inc | Dec
+  type error = Overloaded | Closed
+
+  val session : ?wire:int -> t -> session
+  val increment : session -> (int, error) result
+  val decrement : session -> (int, error) result
+  val lifecycle : t -> [ `Running | `Draining | `Stopped ]
+  val drain : ?policy:V.policy -> t -> V.report
+  val shutdown : ?policy:V.policy -> t -> V.report
+
+  val net_count : t -> int
+  (** Net tokens handed out so far (tokens minus antitokens, from the
+      runtime's assignment cells).  Exact at quiescence — the fabric
+      only folds it into [base] after [shutdown]'s validation point. *)
+end
+
+module type S = sig
+  type svc
+  type topo_key
+  type t
+  type session
+  type op = Inc | Dec
+  type error = Overloaded | Closed
+
+  type resize_error =
+    | Cert_rejected of string
+    | Busy
+    | Bad_shard
+    | Fabric_closed
+
+  exception Rejected of string
+
+  val make :
+    ?max_shards:int ->
+    ?vnodes:int ->
+    ?validate:V.policy ->
+    spawn:(topo_key -> svc) ->
+    certify:(topo_key -> (unit, string) result) ->
+    topo_key list ->
+    t
+
+  val session : ?key:int -> t -> session
+  val session_key : session -> int
+  val increment : session -> (int, error) result
+  val decrement : session -> (int, error) result
+  val read : t -> int
+  val shard_count : t -> int
+  val max_shards : t -> int
+  val route : t -> int -> int
+  val shard_value : t -> int -> int
+  val shard_gen : t -> int -> int
+  val shard_topology : t -> int -> topo_key
+  val shard_service : t -> int -> svc
+  val resize : ?policy:V.policy -> t -> shard:int -> topo_key -> (unit, resize_error) result
+  val set_shard_count :
+    ?policy:V.policy -> ?topo:topo_key -> t -> int -> (unit, resize_error) result
+  val drain : ?policy:V.policy -> t -> V.report
+  val shutdown : ?policy:V.policy -> t -> V.report
+  val closed : t -> bool
+end
+
+module Make (A : Cn_runtime.Atomics.S) (S : SERVICE) :
+  S with type svc = S.t and type topo_key = Topology.t = struct
+  type svc = S.t
+  type topo_key = Topology.t
+  type op = Inc | Dec
+  type error = Overloaded | Closed
+
+  type resize_error =
+    | Cert_rejected of string
+    | Busy
+    | Bad_shard
+    | Fabric_closed
+
+  exception Rejected of string
+
+  type shard = { svc : S.t; topo : Topology.t; base : int; gen : int }
+
+  (* A parked operation: routed to a shard mid-resize, waiting for the
+     resizer to replay it on the swapped-in service.  [value]/[failed]
+     are plain mutable fields published through the [done_] atomic
+     (write fields, then set the flag — the same release/acquire cell
+     idiom as Service_core's submission slots). *)
+  type pending = {
+    kind : op;
+    key : int;
+    mutable value : int;
+    mutable failed : bool;
+    done_ : int A.t;
+  }
+
+  type park = Accepting of pending list | Sealed
+
+  (* [Retired] is terminal (shard removed by a shrink, or never
+     spawned); the router never targets a retired shard, so an
+     operation that observes one re-reads the router. *)
+  type shard_state = Open | Resizing | Retired
+
+  type t = {
+    slots : shard option A.t array;
+    states : shard_state A.t array;
+    parked : park A.t array;
+    router : Router.t A.t;
+    count_ : int A.t;
+    retired_ : int A.t; (* folded net of removed shards *)
+    closed_ : bool A.t;
+    scaling : bool A.t; (* set_shard_count mutual exclusion *)
+    session_ctr : int A.t;
+    (* flat-combining global read: one collector sweeps, concurrent
+       readers adopt any sweep that started after they arrived *)
+    read_owner : int A.t;
+    read_epoch : int A.t;
+    read_done : (int * int) A.t; (* (sweep id, collected value) *)
+    spawn : Topology.t -> S.t;
+    certify : Topology.t -> (unit, string) result;
+    validate : V.policy;
+    vnodes : int;
+  }
+
+  type session = {
+    fab : t;
+    key : int;
+    (* single-owner cache of the per-shard service session, keyed by
+       (shard, generation) so a resize invalidates it *)
+    mutable cache : (int * int * S.session) option;
+  }
+
+  let make ?(max_shards = 16) ?(vnodes = Router.default_vnodes)
+      ?(validate = V.Strict) ~spawn ~certify topos =
+    let n = List.length topos in
+    if n < 1 then invalid_arg "Fabric_core.make: at least one shard";
+    if n > max_shards then invalid_arg "Fabric_core.make: more shards than max_shards";
+    List.iter
+      (fun topo ->
+        match certify topo with
+        | Ok () -> ()
+        | Error msg -> raise (Rejected msg))
+      topos;
+    let slots =
+      Array.init max_shards (fun _ -> A.make (None : shard option))
+    in
+    let states = Array.init max_shards (fun _ -> A.make Retired) in
+    let parked = Array.init max_shards (fun _ -> A.make Sealed) in
+    List.iteri
+      (fun sid topo ->
+        A.set slots.(sid) (Some { svc = spawn topo; topo; base = 0; gen = 0 });
+        A.set states.(sid) Open)
+      topos;
+    {
+      slots;
+      states;
+      parked;
+      router = A.make (Router.make ~vnodes (List.init n Fun.id));
+      count_ = A.make n;
+      retired_ = A.make 0;
+      closed_ = A.make false;
+      scaling = A.make false;
+      session_ctr = A.make 0;
+      read_owner = A.make 0;
+      read_epoch = A.make 1;
+      read_done = A.make (0, 0);
+      spawn;
+      certify;
+      validate;
+      vnodes;
+    }
+
+  let closed t = A.get t.closed_
+  let shard_count t = A.get t.count_
+  let max_shards t = Array.length t.slots
+  let route t key = Router.route (A.get t.router) key
+
+  let session ?key t =
+    let key =
+      match key with Some k -> k | None -> A.fetch_and_add t.session_ctr 1
+    in
+    { fab = t; key; cache = None }
+
+  let session_key s = s.key
+
+  let shard_slot t sid =
+    if sid < 0 || sid >= Array.length t.slots then
+      invalid_arg "Fabric_core: shard out of range";
+    match A.get t.slots.(sid) with
+    | Some sh -> sh
+    | None -> invalid_arg "Fabric_core: shard not live"
+
+  let shard_value t sid =
+    let sh = shard_slot t sid in
+    sh.base + S.net_count sh.svc
+
+  let shard_gen t sid = (shard_slot t sid).gen
+  let shard_topology t sid = (shard_slot t sid).topo
+  let shard_service t sid = (shard_slot t sid).svc
+
+  (* ---------------------------------------------------------------- *)
+  (* The operation loop. *)
+
+  let rec exec sess op =
+    let fab = sess.fab in
+    if A.get fab.closed_ then Error Closed
+    else begin
+      let sid = Router.route (A.get fab.router) sess.key in
+      match A.get fab.states.(sid) with
+      | Retired ->
+          (* the router that sent us here is already unpublished: the
+             narrower ring is published before any shard retires, so an
+             immediate re-read resolves to a live shard (no relax — the
+             write we need has already landed) *)
+          exec sess op
+      | Resizing -> park sess sid op
+      | Open -> (
+          match A.get fab.slots.(sid) with
+          | None ->
+              (* shrink window: slot cleared before the state flips *)
+              A.relax ();
+              exec sess op
+          | Some sh ->
+              let ss =
+                match sess.cache with
+                | Some (i, g, ss) when i = sid && g = sh.gen -> ss
+                | _ ->
+                    let ss = S.session sh.svc in
+                    sess.cache <- Some (sid, sh.gen, ss);
+                    ss
+              in
+              let r =
+                match op with
+                | Inc -> S.increment ss
+                | Dec -> S.decrement ss
+              in
+              (match r with
+              | Ok v -> Ok (sh.base + v)
+              | Error S.Overloaded -> Error Overloaded
+              | Error S.Closed ->
+                  (* the shard's service is draining, resizing or shut
+                     down under us; the fabric-level state says which —
+                     go around (a pure retry against unchanged state
+                     would fail again, so the relax is sound under the
+                     instrumented scheduler too) *)
+                  if A.get fab.closed_ then Error Closed
+                  else begin
+                    A.relax ();
+                    exec sess op
+                  end))
+    end
+
+  and park sess sid op =
+    let fab = sess.fab in
+    match A.get fab.parked.(sid) with
+    | Sealed ->
+        (* resize finished (or not yet accepting): resolve afresh *)
+        A.relax ();
+        exec sess op
+    | Accepting l as cur ->
+        let cell =
+          { kind = op; key = sess.key; value = 0; failed = false; done_ = A.make 0 }
+        in
+        if A.compare_and_set fab.parked.(sid) cur (Accepting (cell :: l)) then begin
+          let spins = ref 0 in
+          while A.get cell.done_ = 0 do
+            incr spins;
+            if !spins < 64 then A.relax () else A.nap ()
+          done;
+          if cell.failed then Error Closed else Ok cell.value
+        end
+        else park sess sid op
+
+  let increment s = exec s Inc
+  let decrement s = exec s Dec
+
+  (* ---------------------------------------------------------------- *)
+  (* Hot resize: certify, seal, drain, swap, replay. *)
+
+  (* Replay a parked cell through the normal routed path: on the
+     common path it lands on the shard's swapped-in service; after a
+     shrink it re-routes to the cell's new home shard.  [Overloaded]
+     is retried (the caller already committed to waiting), [Closed]
+     means the fabric itself closed — the caller gets the same refusal
+     it would have gotten arriving a moment later. *)
+  let rec replay_cell fab (cell : pending) =
+    let sess = { fab; key = cell.key; cache = None } in
+    match exec sess cell.kind with
+    | Ok v ->
+        cell.value <- v;
+        A.set cell.done_ 1
+    | Error Overloaded ->
+        A.nap ();
+        replay_cell fab cell
+    | Error Closed ->
+        cell.failed <- true;
+        A.set cell.done_ 1
+
+  let replay fab sid =
+    let rec seal () =
+      match A.get fab.parked.(sid) with
+      | Sealed -> []
+      | Accepting l as cur ->
+          if A.compare_and_set fab.parked.(sid) cur Sealed then List.rev l
+          else seal ()
+    in
+    List.iter (replay_cell fab) (seal ())
+
+  (* Shut one shard's service down at [policy] and fold its net count.
+     A Strict validation failure is an integrity loss, not a recoverable
+     condition: the fabric fail-stops (every later operation refuses
+     with [Closed]) and the exception propagates to the resizer. *)
+  let retire_service fab (sh : shard) policy =
+    match S.shutdown ~policy sh.svc with
+    | report -> (report, sh.base + S.net_count sh.svc)
+    | exception e ->
+        A.set fab.closed_ true;
+        raise e
+
+  let resize ?policy fab ~shard topo =
+    if shard < 0 || shard >= Array.length fab.slots then Error Bad_shard
+    else if A.get fab.closed_ then Error Fabric_closed
+    else
+      match fab.certify topo with
+      | Error msg -> Error (Cert_rejected msg)
+      | Ok () ->
+          if not (A.compare_and_set fab.states.(shard) Open Resizing) then
+            Error Busy
+          else begin
+            (* latecomers observing [Resizing] park from here on *)
+            A.set fab.parked.(shard) (Accepting []);
+            let old =
+              match A.get fab.slots.(shard) with
+              | Some sh -> sh
+              | None -> assert false
+            in
+            let policy = Option.value policy ~default:fab.validate in
+            let _report, base = retire_service fab old policy in
+            let svc = fab.spawn topo in
+            A.set fab.slots.(shard) (Some { svc; topo; base; gen = old.gen + 1 });
+            A.set fab.states.(shard) Open;
+            replay fab shard;
+            Ok ()
+          end
+
+  let rec claim fab sid =
+    (* used by shrink/shutdown: wait out a concurrent resize *)
+    if A.get fab.closed_ then false
+    else if A.compare_and_set fab.states.(sid) Open Resizing then true
+    else begin
+      A.relax ();
+      claim fab sid
+    end
+
+  let set_shard_count ?policy ?topo fab n =
+    if n < 1 || n > Array.length fab.slots then Error Bad_shard
+    else if A.get fab.closed_ then Error Fabric_closed
+    else if not (A.compare_and_set fab.scaling false true) then Error Busy
+    else begin
+      let finish r =
+        A.set fab.scaling false;
+        r
+      in
+      let cur = A.get fab.count_ in
+      if n = cur then finish (Ok ())
+      else if n > cur then begin
+        (* grow: certify and install the new shards, then publish the
+           wider router — no key routes to a shard before it serves *)
+        let topo =
+          match topo with
+          | Some t -> t
+          | None -> (
+              match A.get fab.slots.(0) with
+              | Some sh -> sh.topo
+              | None -> assert false)
+        in
+        match fab.certify topo with
+        | Error msg -> finish (Error (Cert_rejected msg))
+        | Ok () ->
+            for sid = cur to n - 1 do
+              A.set fab.slots.(sid)
+                (Some { svc = fab.spawn topo; topo; base = 0; gen = 0 });
+              A.set fab.parked.(sid) Sealed;
+              A.set fab.states.(sid) Open
+            done;
+            A.set fab.router (Router.make ~vnodes:fab.vnodes (List.init n Fun.id));
+            A.set fab.count_ n;
+            finish (Ok ())
+      end
+      else begin
+        (* shrink: publish the narrower router first so new arrivals
+           avoid the doomed shards, then retire each one — parked
+           stragglers replay through the new router *)
+        A.set fab.router (Router.make ~vnodes:fab.vnodes (List.init n Fun.id));
+        A.set fab.count_ n;
+        let policy = Option.value policy ~default:fab.validate in
+        for sid = n to cur - 1 do
+          if claim fab sid then begin
+            A.set fab.parked.(sid) (Accepting []);
+            let sh =
+              match A.get fab.slots.(sid) with
+              | Some sh -> sh
+              | None -> assert false
+            in
+            let _report, net = retire_service fab sh policy in
+            (* clear the slot before crediting [retired_] so a global
+               read never counts a shard twice; the transient
+               undercount resolves within one double-collect retry *)
+            A.set fab.slots.(sid) None;
+            ignore (A.fetch_and_add fab.retired_ net);
+            A.set fab.states.(sid) Retired;
+            replay fab sid
+          end
+        done;
+        finish (if A.get fab.closed_ then Error Fabric_closed else Ok ())
+      end
+    end
+
+  (* ---------------------------------------------------------------- *)
+  (* Global read: a second-level combining pass.  One reader CASes
+     itself collector, double-collects the shard counters until two
+     sweeps agree, and publishes (sweep id, value); concurrent readers
+     adopt any published sweep that {e started} after they arrived
+     (sweep id strictly above the epoch they entered at), so every
+     adopted value was collected inside the adopter's own interval.
+     At quiescence a single sweep is exact — that is the linearizable
+     read the tests pin; under churn the double-collect bounds the
+     skew to in-flight resizes. *)
+
+  let collect fab =
+    let sum = ref (A.get fab.retired_) in
+    Array.iteri
+      (fun sid slot ->
+        match A.get fab.states.(sid) with
+        | Retired -> ()
+        | Open | Resizing -> (
+            match A.get slot with
+            | Some sh -> sum := !sum + sh.base + S.net_count sh.svc
+            | None -> ()))
+      fab.slots;
+    !sum
+
+  let read fab =
+    let e0 = A.get fab.read_epoch in
+    let rec attempt () =
+      let e, v = A.get fab.read_done in
+      if e > e0 then v
+      else if A.compare_and_set fab.read_owner 0 1 then begin
+        let sweep = A.fetch_and_add fab.read_epoch 1 + 1 in
+        let rec settle tries prev =
+          let s = collect fab in
+          if s = prev || tries = 0 then s else settle (tries - 1) s
+        in
+        let v = settle 8 (collect fab) in
+        A.set fab.read_done (sweep, v);
+        A.set fab.read_owner 0;
+        v
+      end
+      else begin
+        A.relax ();
+        attempt ()
+      end
+    in
+    attempt ()
+
+  (* ---------------------------------------------------------------- *)
+  (* Fabric-wide drain and shutdown. *)
+
+  let merge_reports subject reports =
+    {
+      V.subject;
+      checks =
+        List.concat_map
+          (fun (sid, (r : V.report)) ->
+            List.map
+              (fun (c : V.check) ->
+                { c with V.name = Printf.sprintf "shard%d.%s" sid c.V.name })
+              r.V.checks)
+          reports;
+    }
+
+  let live_shards fab =
+    let acc = ref [] in
+    for sid = Array.length fab.slots - 1 downto 0 do
+      match A.get fab.states.(sid) with
+      | Retired -> ()
+      | Open | Resizing -> (
+          match A.get fab.slots.(sid) with
+          | Some sh -> acc := (sid, sh) :: !acc
+          | None -> ())
+    done;
+    !acc
+
+  let drain ?policy fab =
+    (* each shard's [S.drain] quiesces, validates and re-admits on its
+       own; operations racing the admission flip retry through [exec] *)
+    let policy = Option.value policy ~default:fab.validate in
+    merge_reports
+      (Printf.sprintf "fabric(%d shards)" (A.get fab.count_))
+      (List.map
+         (fun (sid, sh) -> (sid, S.drain ~policy sh.svc))
+         (live_shards fab))
+
+  let shutdown ?policy fab =
+    let policy = Option.value policy ~default:fab.validate in
+    A.set fab.closed_ true;
+    let reports =
+      List.filter_map
+        (fun (sid, _) ->
+          (* wait out any in-flight resize of this shard, then claim
+             it terminally; its parked cells are replayed into the
+             closed fabric and fail [Closed], exactly as if they had
+             arrived after the stop *)
+          let rec grab () =
+            if A.compare_and_set fab.states.(sid) Open Resizing then true
+            else
+              match A.get fab.states.(sid) with
+              | Retired -> false
+              | _ ->
+                  A.relax ();
+                  grab ()
+          in
+          if not (grab ()) then None
+          else
+            match A.get fab.slots.(sid) with
+            | None -> None
+            | Some sh ->
+                let report = S.shutdown ~policy sh.svc in
+                replay fab sid;
+                Some (sid, report))
+        (live_shards fab)
+    in
+    merge_reports
+      (Printf.sprintf "fabric(%d shards, stopped)" (A.get fab.count_))
+      reports
+end

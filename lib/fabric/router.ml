@@ -1,0 +1,68 @@
+(* Consistent-hash session routing for the shard fabric.
+
+   A classic ring with virtual nodes: every shard contributes [vnodes]
+   points, a key routes to the shard owning the first point clockwise
+   from the key's own hash.  Point positions depend only on (shard id,
+   replica index), never on the shard set, so adding or removing a
+   shard moves exactly the keys whose successor point belonged to the
+   ring segments that changed hands — the 1/(n+1) remap fraction the
+   property tests pin.
+
+   The ring is immutable; the fabric swaps whole routers through one
+   atomic reference when the shard set changes.  Routing itself is a
+   hash plus a binary search — no shared state, safe from any domain. *)
+
+(* splitmix-style finalizer over the tagged-int range.  The constants
+   must fit OCaml's 63-bit int, so these are the xorshift* and
+   Lehmer-style multipliers rather than the canonical 64-bit ones; all
+   we need is avalanche, not cross-language reproducibility. *)
+let mix x =
+  let x = x lxor (x lsr 33) in
+  let x = x * 0x2545F4914F6CDD1D in
+  let x = x lxor (x lsr 29) in
+  let x = x * 0x27BB2EE687B0B0FD in
+  let x = x lxor (x lsr 32) in
+  x land max_int
+
+type t = {
+  hashes : int array; (* point positions, sorted ascending *)
+  owners : int array; (* owners.(i) = shard owning hashes.(i) *)
+  shards : int array; (* the shard ids this ring was built from *)
+  vnodes : int;
+}
+
+let default_vnodes = 64
+
+let point shard replica = mix (((shard + 1) * 1_000_003) + (replica * 8191))
+
+let make ?(vnodes = default_vnodes) shards =
+  if vnodes <= 0 then invalid_arg "Router.make: vnodes must be positive";
+  if shards = [] then invalid_arg "Router.make: at least one shard";
+  let ids = Array.of_list shards in
+  let points =
+    Array.init
+      (Array.length ids * vnodes)
+      (fun i -> (point ids.(i / vnodes) (i mod vnodes), ids.(i / vnodes)))
+  in
+  Array.sort compare points;
+  {
+    hashes = Array.map fst points;
+    owners = Array.map snd points;
+    shards = ids;
+    vnodes;
+  }
+
+let shards t = Array.to_list t.shards
+let shard_count t = Array.length t.shards
+let vnodes t = t.vnodes
+
+let route t key =
+  let h = mix key in
+  let n = Array.length t.hashes in
+  (* first point with hash >= h, wrapping to 0 *)
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.hashes.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  t.owners.(if !lo = n then 0 else !lo)

@@ -10,6 +10,7 @@ type config = {
   max_batch : int option;
   metrics : bool;
   validate : V.policy;
+  shards : int option;
 }
 
 let default =
@@ -22,18 +23,31 @@ let default =
     max_batch = None;
     metrics = false;
     validate = V.Strict;
+    shards = None;
   }
 
 let serve cfg =
   let t = Option.value cfg.out_width ~default:cfg.width in
   let net = Cn_core.Counting.network ~w:cfg.width ~t in
-  let svc =
-    Svc.create ~metrics:cfg.metrics ?queue:cfg.queue ?max_batch:cfg.max_batch
-      ~validate:cfg.validate net
+  let server, shape =
+    match cfg.shards with
+    | None ->
+        let svc =
+          Svc.create ~metrics:cfg.metrics ?queue:cfg.queue
+            ?max_batch:cfg.max_batch ~validate:cfg.validate net
+        in
+        ( Server.start ~host:cfg.host ~port:cfg.port svc,
+          Printf.sprintf "C(%d,%d)" cfg.width t )
+    | Some n ->
+        let fab =
+          Cn_fabric.Fabric.create ~metrics:cfg.metrics ?queue:cfg.queue
+            ?max_batch:cfg.max_batch ~validate:cfg.validate ~shards:n net
+        in
+        ( Server.start_fabric ~host:cfg.host ~port:cfg.port fab,
+          Printf.sprintf "C(%d,%d) x%d shards" cfg.width t n )
   in
-  let server = Server.start ~host:cfg.host ~port:cfg.port svc in
-  Printf.printf "countnetd: listening on %s:%d (C(%d,%d), pid %d)\n%!" cfg.host
-    (Server.port server) cfg.width t (Unix.getpid ());
+  Printf.printf "countnetd: listening on %s:%d (%s, pid %d)\n%!" cfg.host
+    (Server.port server) shape (Unix.getpid ());
   let on_signal _ = Server.request_stop server in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
   Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);

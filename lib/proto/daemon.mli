@@ -1,6 +1,7 @@
 (** The countnetd process body, shared by the [countnetd] executable
     and [countnet serve]: build the paper's C(w,t), put a
-    {!Cn_service.Service} in front of it, serve it with {!Server}, and
+    {!Cn_service.Service} — or, with [shards], a sharded
+    {!Cn_fabric.Fabric} — in front of it, serve it with {!Server}, and
     on SIGTERM/SIGINT walk the graceful drain and report the
     validator's verdict.
 
@@ -8,8 +9,11 @@
 
     {v countnetd: listening on HOST:PORT (C(w,t), pid PID) v}
 
-    and the last line on a clean stop is [countnetd: drain ok — ...]
-    (exit 0) or [countnetd: drain FAILED — ...] (exit 1). *)
+    (with [shards = Some n], the parenthetical reads
+    [C(w,t) xN shards] — same [listening on HOST:PORT (] prefix, so
+    port scrapers keep working) and the last line on a clean stop is
+    [countnetd: drain ok — ...] (exit 0) or
+    [countnetd: drain FAILED — ...] (exit 1). *)
 
 type config = {
   host : string;
@@ -21,12 +25,15 @@ type config = {
   metrics : bool;
   validate : Cn_runtime.Validator.policy;
       (** policy applied at the SIGTERM drain *)
+  shards : int option;
+      (** [Some n]: serve an [n]-shard {!Cn_fabric.Fabric} instead of a
+          single service (every shard the same certified C(w,t)) *)
 }
 
 val default : config
 (** [{ host = "127.0.0.1"; port = 0; width = 16; out_width = None;
       queue = None; max_batch = None; metrics = false;
-      validate = Strict }] *)
+      validate = Strict; shards = None }] *)
 
 val serve : config -> int
 (** Run until SIGTERM/SIGINT, then drain and return the process exit

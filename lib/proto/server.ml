@@ -1,13 +1,76 @@
 module A = Cn_runtime.Atomics.Real
 module Svc = Cn_service.Service
+module Fab = Cn_fabric.Fabric
 module RT = Cn_runtime.Network_runtime
 module V = Cn_runtime.Validator
 
-(* One handler thread per connection, one service session per handler:
+(* One handler thread per connection, one backend session per handler:
    sessions are single-owner state, and a connection serves its frames
    in order, so the ownership rule holds by construction.  All
    cross-thread coordination below is either an atomic flag, the
    self-pipe, or the connection registry's growth-path mutex. *)
+
+(* What the wire protocol needs from whatever is behind it — a single
+   combining service or the sharded fabric.  A record of closures, not
+   a functor: the server is all slow-path (one record lookup per frame
+   next to a syscall), and the two instantiations differ only here. *)
+
+type op_error = Op_overloaded | Op_closed
+
+type backend_session = {
+  bs_inc : unit -> (int, op_error) result;
+  bs_dec : unit -> (int, op_error) result;
+}
+
+type backend = {
+  be_session : unit -> backend_session;
+  be_value : unit -> int;  (* quiescently-consistent counter read *)
+  be_drain : unit -> V.report;  (* policy Off: verdict rides the reply *)
+  be_shutdown : V.policy option -> V.report;
+  be_report_json : unit -> string;
+}
+
+let service_backend svc =
+  let op = function
+    | Ok v -> Ok v
+    | Error Svc.Overloaded -> Error Op_overloaded
+    | Error Svc.Closed -> Error Op_closed
+  in
+  {
+    be_session =
+      (fun () ->
+        let s = Svc.session svc in
+        {
+          bs_inc = (fun () -> op (Svc.increment s));
+          bs_dec = (fun () -> op (Svc.decrement s));
+        });
+    be_value =
+      (fun () ->
+        Cn_sequence.Sequence.sum (RT.exit_distribution (Svc.runtime svc)));
+    be_drain = (fun () -> Svc.drain ~policy:V.Off svc);
+    be_shutdown = (fun policy -> Svc.shutdown ?policy svc);
+    be_report_json = (fun () -> Svc.report_json svc);
+  }
+
+let fabric_backend fab =
+  let op = function
+    | Ok v -> Ok v
+    | Error Fab.Overloaded -> Error Op_overloaded
+    | Error Fab.Closed -> Error Op_closed
+  in
+  {
+    be_session =
+      (fun () ->
+        let s = Fab.session fab in
+        {
+          bs_inc = (fun () -> op (Fab.increment s));
+          bs_dec = (fun () -> op (Fab.decrement s));
+        });
+    be_value = (fun () -> Fab.read fab);
+    be_drain = (fun () -> Fab.drain ~policy:V.Off fab);
+    be_shutdown = (fun policy -> Fab.shutdown ?policy fab);
+    be_report_json = (fun () -> Fab.report_json fab);
+  }
 
 type conn = {
   id : int;
@@ -17,7 +80,7 @@ type conn = {
 }
 
 type t = {
-  svc : Svc.t;
+  be : backend;
   listen_fd : Unix.file_descr;
   port_ : int;
   max_payload : int;
@@ -71,36 +134,34 @@ let locked t f =
 (* ------------------------------------------------------------------ *)
 (* Per-connection protocol loop. *)
 
-let counter_value svc =
-  Cn_sequence.Sequence.sum (RT.exit_distribution (Svc.runtime svc))
-
 let stats_json t =
   Printf.sprintf
     "{\n\"server\": { \"connections\": %d, \"accepted\": %d, \"value\": %d },\n\
      \"report\": %s\n}"
-    (A.get t.live) (A.get t.accepted_) (counter_value t.svc)
-    (Svc.report_json t.svc)
+    (A.get t.live) (A.get t.accepted_)
+    (t.be.be_value ())
+    (t.be.be_report_json ())
 
 let reply_of_op = function
   | Ok v -> Frame.Response (Frame.Value v)
-  | Error Svc.Overloaded -> Frame.Response Frame.Overloaded
-  | Error Svc.Closed -> Frame.Response Frame.Closed
+  | Error Op_overloaded -> Frame.Response Frame.Overloaded
+  | Error Op_closed -> Frame.Response Frame.Closed
 
 let handle_request t session (req : Frame.request) =
   match req with
-  | Frame.Inc -> reply_of_op (Svc.increment session)
-  | Frame.Dec -> reply_of_op (Svc.decrement session)
-  | Frame.Read -> Frame.Response (Frame.Value (counter_value t.svc))
+  | Frame.Inc -> reply_of_op (session.bs_inc ())
+  | Frame.Dec -> reply_of_op (session.bs_dec ())
+  | Frame.Read -> Frame.Response (Frame.Value (t.be.be_value ()))
   | Frame.Drain ->
       (* Policy Off: the verdict rides in the reply instead of raising
          server-side; the service re-admits afterwards either way. *)
-      let report = Svc.drain ~policy:V.Off t.svc in
+      let report = t.be.be_drain () in
       Frame.Response
         (Frame.Drained { ok = V.passed report; summary = V.summary report })
   | Frame.Stats -> Frame.Response (Frame.Stats_reply (stats_json t))
 
 let handler t conn =
-  let session = Svc.session t.svc in
+  let session = t.be.be_session () in
   let dec = Frame.decoder ~max_payload:t.max_payload () in
   let buf = Bytes.create 4096 in
   let running = ref true in
@@ -173,8 +234,8 @@ let acceptor_loop t =
 
 (* ------------------------------------------------------------------ *)
 
-let start ?(host = "127.0.0.1") ?(port = 0) ?(backlog = 64)
-    ?(max_payload = Frame.default_max_payload) svc =
+let start_backend ?(host = "127.0.0.1") ?(port = 0) ?(backlog = 64)
+    ?(max_payload = Frame.default_max_payload) be =
   (* A peer that disappears mid-reply must cost the handler an EPIPE,
      not the process a SIGPIPE. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -197,7 +258,7 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(backlog = 64)
   Unix.set_nonblock stop_wr;
   let t =
     {
-      svc;
+      be;
       listen_fd;
       port_;
       max_payload;
@@ -219,6 +280,12 @@ let start ?(host = "127.0.0.1") ?(port = 0) ?(backlog = 64)
   in
   t.acceptor <- Some (Thread.create acceptor_loop t);
   t
+
+let start ?host ?port ?backlog ?max_payload svc =
+  start_backend ?host ?port ?backlog ?max_payload (service_backend svc)
+
+let start_fabric ?host ?port ?backlog ?max_payload fab =
+  start_backend ?host ?port ?backlog ?max_payload (fabric_backend fab)
 
 let port t = t.port_
 let connections t = A.get t.live
@@ -251,11 +318,12 @@ let stop ?policy t =
       Option.iter Thread.join t.acceptor;
       close_quietly t.listen_fd;
       (* The quiescence path every harness shares: sweep the lanes dry,
-         validate step property + token conservation, close the service.
+         validate step property + token conservation, close the backend.
          Racing handler operations complete before the validation point
-         or fail [Closed] — the Service_core protocol guarantees it. *)
+         or fail [Closed] — the Service_core protocol guarantees it
+         (per shard, when the backend is a fabric). *)
       let result =
-        match Svc.shutdown ?policy t.svc with
+        match t.be.be_shutdown policy with
         | report -> Ok report
         | exception e -> Error e
       in

@@ -1,7 +1,8 @@
-(** [countnetd]'s engine: a TCP front-end for a {!Cn_service.Service}.
+(** [countnetd]'s engine: a TCP front-end for a {!Cn_service.Service}
+    or a sharded {!Cn_fabric.Fabric}.
 
     Each accepted connection gets a dedicated handler thread and its
-    own service {e session} (sessions are single-owner, so the mapping
+    own backend {e session} (sessions are single-owner, so the mapping
     is exactly one-to-one); request frames are served in order on that
     session:
 
@@ -38,6 +39,36 @@
 
 type t
 
+type backend
+(** What the wire protocol serves: per-connection sessions, the counter
+    read, the drain/shutdown lifecycle and the stats document —
+    abstracted so a single combining service and the sharded fabric
+    plug into the same accept/handler/stop machinery. *)
+
+val service_backend : Cn_service.Service.t -> backend
+(** [Inc]/[Dec] run on a per-connection {!Cn_service.Service.session};
+    [Read] is the runtime's net exit count. *)
+
+val fabric_backend : Cn_fabric.Fabric.t -> backend
+(** [Inc]/[Dec] run on a per-connection {!Cn_fabric.Fabric.session}
+    (round-robin routing keys, so connections spread over the shards);
+    [Read] is the fabric's second-level combining {!Cn_fabric.Fabric.read};
+    [Drain]/stop walk every shard's validated quiescence path. *)
+
+val start_backend :
+  ?host:string ->
+  ?port:int ->
+  ?backlog:int ->
+  ?max_payload:int ->
+  backend ->
+  t
+(** [start_backend be] binds a listening socket ([?host] default
+    ["127.0.0.1"], [?port] default [0] = kernel-assigned; read it back
+    with {!port}) and spawns the accept thread.  [?backlog] (default
+    [64]) is the listen queue; [?max_payload] (default
+    {!Frame.default_max_payload}) caps accepted frame payloads.
+    @raise Unix.Unix_error when the socket cannot be bound. *)
+
 val start :
   ?host:string ->
   ?port:int ->
@@ -45,12 +76,16 @@ val start :
   ?max_payload:int ->
   Cn_service.Service.t ->
   t
-(** [start svc] binds a listening socket ([?host] default
-    ["127.0.0.1"], [?port] default [0] = kernel-assigned; read it back
-    with {!port}) and spawns the accept thread.  [?backlog] (default
-    [64]) is the listen queue; [?max_payload] (default
-    {!Frame.default_max_payload}) caps accepted frame payloads.
-    @raise Unix.Unix_error when the socket cannot be bound. *)
+(** [start svc] is [start_backend (service_backend svc)]. *)
+
+val start_fabric :
+  ?host:string ->
+  ?port:int ->
+  ?backlog:int ->
+  ?max_payload:int ->
+  Cn_fabric.Fabric.t ->
+  t
+(** [start_fabric fab] is [start_backend (fabric_backend fab)]. *)
 
 val port : t -> int
 (** The bound TCP port (useful with [~port:0]). *)
@@ -77,9 +112,9 @@ val wait_stop_request : t -> unit
 val stop :
   ?policy:Cn_runtime.Validator.policy -> t -> Cn_runtime.Validator.report
 (** [stop t] performs the graceful drain: stop accepting, shut the
-    service down through the Validator quiescence path, wake and join
+    backend down through the Validator quiescence path, wake and join
     every handler thread, close all sockets, and return the quiescent
-    report.  [?policy] defaults to the service's validate policy.
+    report.  [?policy] defaults to the backend's validate policy.
     Idempotent: later calls return the first report.
     @raise Validator.Invalid under [Strict] when a quiescence check
     fails (sockets are still torn down first). *)

@@ -275,6 +275,22 @@ let per_layer ~layers values =
   Array.iteri (fun b v -> acc.(layers.(b) - 1) <- acc.(layers.(b) - 1) + v) values;
   acc
 
+(* Typed per-layer stall profile straight off the sink banks: the
+   fabric's auto-tuner polls this between batches, so it must not pay
+   for the full snapshot (crossings, exits, latency reservoir merge) —
+   and it must never have to re-parse its own JSON. *)
+let layer_stalls (m : t) ~layers =
+  if Array.length layers <> m.balancers then
+    invalid_arg "Metrics.layer_stalls: layers length must equal balancer count";
+  let per_b = Array.make m.balancers 0 in
+  Array.iter
+    (fun (sk : sink) ->
+      for b = 0 to m.balancers - 1 do
+        per_b.(b) <- per_b.(b) + Padded_atomic.get sk.stalls b
+      done)
+    m.sinks;
+  per_layer ~layers per_b
+
 let to_json ?layers s =
   let b = Buffer.create 1024 in
   let field last fmt = Printf.ksprintf (fun str -> Buffer.add_string b ("  " ^ str ^ (if last then "\n" else ",\n"))) fmt in

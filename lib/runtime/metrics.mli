@@ -155,6 +155,15 @@ val per_layer : layers:int array -> int array -> int array
     [layers.(b)] is balancer [b]'s 1-based depth
     ([Topology.balancer_depth]). *)
 
+val layer_stalls : t -> layers:int array -> int array
+(** [layer_stalls m ~layers] is the live per-layer stall profile,
+    summed directly from the sharded counter banks — the typed
+    accessor the fabric auto-tuner consumes (no snapshot allocation,
+    no JSON round-trip).  Mid-run reads are a consistent-enough
+    progress view, like {!snapshot}'s.
+    @raise Invalid_argument unless [layers] has one entry per
+    balancer. *)
+
 val to_json : ?layers:int array -> snapshot -> string
 (** Schema-versioned JSON rendering.  With [?layers] (as in
     {!per_layer}) the profile additionally carries per-layer crossing

@@ -122,6 +122,12 @@ val runtime : t -> Cn_runtime.Network_runtime.t
 val input_width : t -> int
 (** Input width [w] of the wrapped network (= number of lanes). *)
 
+val layers : t -> int array
+(** Per-balancer 1-based depth of the compiled network
+    ([Topology.balancer_depth] captured at {!create}) — the layer map
+    {!Cn_runtime.Metrics.per_layer} and {!Cn_runtime.Metrics.layer_stalls}
+    consume. *)
+
 val session : ?wire:int -> t -> session
 (** [session t] registers a client, pinned round-robin over the input
     wires; [~wire] pins explicitly (useful to colocate inc/dec traffic

@@ -147,7 +147,7 @@ Service flags are validated before anything runs:
   [2]
 
   $ countnet throughput -f counting -w 4 --domains 2 --ops 10 --max-batch 8
-  countnet throughput: --max-batch requires --service
+  countnet throughput: --max-batch requires --service or --fabric
   [2]
 
   $ countnet throughput -f counting -w 4 --domains 2 --ops 10 --dec-ratio 0.5
@@ -175,11 +175,41 @@ Service flags are validated before anything runs:
   [2]
 
   $ countnet throughput -f counting -w 4 --service --domains 2 --ops 10 --batch 4
-  countnet throughput: --batch and --service are mutually exclusive (the service batches internally)
+  countnet throughput: --batch and --service/--fabric are mutually exclusive (they batch internally)
   [2]
 
   $ countnet throughput -f counting -w 4 --service --domains 2 --ops 10 --sessions 0
   countnet throughput: --sessions must be positive (got 0)
+  [2]
+
+The sharded fabric driver: N certified shards behind the consistent
+ring, a summary line plus the per-shard table, and the global value
+conserved (2 domains x 200 ops = 400):
+
+  $ countnet throughput -f counting -w 4 --fabric --shards 2 --domains 2 \
+  >   --ops 200 --validate strict | grep -c '^fabric: 2 shards, 2 domains x 200 ops = 400 completed\|^fabric value 400; shards: 0:C(4,4) gen 0'
+  2
+
+Fabric flags are validated before anything runs:
+
+  $ countnet throughput -f counting -w 4 --domains 2 --ops 10 --shards 2
+  countnet throughput: --shards requires --fabric
+  [2]
+
+  $ countnet throughput -f counting -w 4 --domains 2 --ops 10 --autotune
+  countnet throughput: --autotune requires --fabric
+  [2]
+
+  $ countnet throughput -f counting -w 4 --service --fabric --domains 2 --ops 10
+  countnet throughput: --service and --fabric are mutually exclusive (pick one front-end)
+  [2]
+
+  $ countnet throughput -f counting -w 4 --fabric --shards 0 --domains 2 --ops 10
+  countnet throughput: --shards must be positive (got 0)
+  [2]
+
+  $ countnet throughput -f counting -w 4 --fabric --domains 2 --ops 10 --dec-ratio 0.5
+  countnet throughput: --dec-ratio requires --service
   [2]
 
 The layer-pipelined batch driver: bare --pipeline picks the default
@@ -223,7 +253,7 @@ host-dependent; check the shape):
   1
 
   $ countnet throughput -f counting -w 4 --domains 2 --ops 10 --stall-factor 4
-  countnet throughput: --stall-factor requires --projected
+  countnet throughput: --stall-factor requires --projected or --autotune
   [2]
 
   $ countnet throughput -f counting -w 4 --domains 2 --ops 10 --projected --stall-factor 0

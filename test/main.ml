@@ -36,5 +36,6 @@ let () =
          Test_compose.suite;
          Test_check.suite;
          Test_lint.suite;
+         Test_fabric.suite;
          Test_proto.suite;
        ])

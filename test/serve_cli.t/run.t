@@ -95,3 +95,13 @@ The standalone daemon shares the same validation surface:
   $ countnetd --max-batch 0
   countnetd: --max-batch must be positive (got 0)
   [2]
+
+A sharded fabric daemon needs at least one shard, in both spellings:
+
+  $ countnet serve --shards 0
+  countnet serve: --shards must be positive (got 0)
+  [2]
+
+  $ countnetd --shards 0
+  countnetd: --shards must be positive (got 0)
+  [2]

@@ -6,6 +6,7 @@
 module E = Cn_check.Engine
 module Self = Cn_check.Selftest
 module Sc = Cn_check.Scenarios
+module Fsc = Cn_check.Fabric_scenarios
 
 let tc name f = Alcotest.test_case name `Quick f
 
@@ -86,6 +87,26 @@ let service_protocol =
             (out.E.stats.E.interleavings > 0)))
     Sc.all
 
+let fabric_protocol =
+  (* The real Fabric_core.Make body over instrumented model services:
+     hot-resize, elastic rescale and the combining read must survive
+     every interleaving within the preemption bound. *)
+  List.map
+    (fun (name, mk) ->
+      tc (Printf.sprintf "%s passes exhaustively at 2 preemptions" name)
+        (fun () ->
+          let out = E.explore ~preemptions:2 mk in
+          (match out.E.failure with
+          | None -> ()
+          | Some f ->
+              Alcotest.failf "%s: %s (schedule %s)" name f.E.reason
+                (E.schedule_to_string f.E.schedule));
+          Alcotest.(check bool) "complete" true out.E.stats.E.complete;
+          Alcotest.(check int) "no cutoffs" 0 out.E.stats.E.cutoffs;
+          Alcotest.(check bool) "explored something" true
+            (out.E.stats.E.interleavings > 0)))
+    Fsc.all
+
 let cooperative =
   [
     tc "empty schedule runs every scenario cooperatively clean" (fun () ->
@@ -94,7 +115,7 @@ let cooperative =
             match E.replay mk [] with
             | None -> ()
             | Some f -> Alcotest.failf "%s: %s" name f.E.reason)
-          Sc.all);
+          (Sc.all @ Fsc.all));
   ]
 
 let suite =
@@ -102,5 +123,6 @@ let suite =
     ("check.engine", engine);
     ("check.selftest", selftest);
     ("check.service", service_protocol);
+    ("check.fabric", fabric_protocol);
     ("check.cooperative", cooperative);
   ]

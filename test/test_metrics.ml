@@ -46,6 +46,30 @@ let recording =
         Alcotest.check Util.seq "tally agreement" (RT.exit_distribution rt) snap.M.exits);
     tc "compiling without metrics yields none" (fun () ->
         Alcotest.(check bool) "none" true (RT.metrics (RT.compile (net48 ())) = None));
+    tc "layer_stalls matches the snapshot folded by layer" (fun () ->
+        let net = net48 () in
+        let rt = RT.compile ~mode:RT.Cas ~metrics:true net in
+        let m = Option.get (RT.metrics rt) in
+        let layers = Array.init (T.size net) (T.balancer_depth net) in
+        DP.with_pool 4 (fun pool ->
+            ignore
+              (DP.run pool ~domains:4 (fun pid ->
+                   for _ = 1 to 500 do
+                     ignore (RT.traverse rt ~wire:(pid mod 4))
+                   done)));
+        let live = M.layer_stalls m ~layers in
+        let snap = M.snapshot m in
+        Alcotest.check Util.seq "per-layer sums agree" (M.per_layer ~layers snap.M.stalls)
+          live;
+        Alcotest.(check int) "layer count" (Array.fold_left max 0 layers)
+          (Array.length live));
+    tc "layer_stalls rejects a mis-sized layer map" (fun () ->
+        let rt = RT.compile ~metrics:true (net48 ()) in
+        let m = Option.get (RT.metrics rt) in
+        Alcotest.check_raises "invalid"
+          (Invalid_argument
+             "Metrics.layer_stalls: layers length must equal balancer count")
+          (fun () -> ignore (M.layer_stalls m ~layers:[| 1 |])));
     tc "reset clears the recorder" (fun () ->
         let rt = RT.compile ~metrics:true (net48 ()) in
         for _ = 1 to 8 do
