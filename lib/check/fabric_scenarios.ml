@@ -29,6 +29,7 @@ type run = {
   resizes : (unit, Fab.resize_error) result list ref;
   shutdowns : int ref;
   distinct_incs : bool; (* single-shard, elim off: values must be distinct *)
+  allow_busy : bool; (* concurrent rescalers may lose the claim race *)
 }
 
 let worker run sess op () =
@@ -42,8 +43,27 @@ let worker run sess op () =
 let resizer run ~shard topo () =
   run.resizes := Fab.resize run.fab ~shard topo :: !(run.resizes)
 
+(* A resizer that retries [Busy] until it owns the shard: two of these
+   on one shard force genuinely back-to-back resizes in every
+   interleaving — the second claims the slot while the first's park
+   list may still be unsealed, the window of the re-arm race. *)
+let stubborn_resizer run ~shard topo () =
+  let rec go () =
+    match Fab.resize run.fab ~shard topo with
+    | Error Fab.Busy ->
+        Instrumented.relax ();
+        go ()
+    | r -> run.resizes := r :: !(run.resizes)
+  in
+  go ()
+
 let scaler run n () =
   run.resizes := Fab.set_shard_count run.fab n :: !(run.resizes)
+
+let rescaler run steps () =
+  List.iter
+    (fun n -> run.resizes := Fab.set_shard_count run.fab n :: !(run.resizes))
+    steps
 
 let drainer run () = ignore (Fab.drain run.fab)
 
@@ -56,7 +76,7 @@ let stopper run () =
    would only slow exploration without adding schedule points. *)
 let certify_ok _ = Ok ()
 
-let make_run ?(distinct_incs = false) ~shards () =
+let make_run ?(distinct_incs = false) ?(allow_busy = false) ~shards () =
   let rts = ref [] in
   let topo = Counting.network ~w:2 ~t:2 in
   let spawn t =
@@ -69,7 +89,7 @@ let make_run ?(distinct_incs = false) ~shards () =
       (List.init shards (fun _ -> topo))
   in
   { rts; fab; results = ref []; resizes = ref []; shutdowns = ref 0;
-    distinct_incs }
+    distinct_incs; allow_busy }
 
 let resize_error_string = function
   | Fab.Cert_rejected m -> "certificate rejected: " ^ m
@@ -99,7 +119,10 @@ let check run () =
   in
   let failed_resize =
     List.find_map
-      (function Error e -> Some e | Ok () -> None)
+      (function
+        | Error Fab.Busy when run.allow_busy -> None
+        | Error e -> Some e
+        | Ok () -> None)
       !(run.resizes)
   in
   if !(run.shutdowns) > 0 && not (Fab.closed run.fab) then
@@ -205,11 +228,67 @@ let shutdown_vs_submit () =
     finish = check run;
   }
 
+let resize_vs_resize () =
+  (* Two stubborn resizers guarantee two back-to-back swaps of the same
+     shard in every interleaving: the second can claim the slot between
+     the first's reopen and its seal of the park list, so a parked
+     worker's cell survives only if the re-arm refuses to overwrite an
+     unsealed list (a dropped cell deadlocks its worker, which the
+     engine reports). *)
+  let run = make_run ~distinct_incs:true ~shards:1 () in
+  let s = Fab.session ~key:0 run.fab in
+  let topo = Counting.network ~w:2 ~t:2 in
+  {
+    Engine.name = "fabric-resize-vs-resize";
+    fibers =
+      [|
+        worker run s Fab.Inc;
+        stubborn_resizer run ~shard:0 topo;
+        stubborn_resizer run ~shard:0 topo;
+      |];
+    finish = check run;
+  }
+
+let resize_vs_shrink () =
+  (* A hot-resize and a shrink contend for the same doomed shard; the
+     loser of the claim race reports [Busy] (allowed here), and the
+     pinned worker must still be parked/replayed exactly once. *)
+  let run = make_run ~allow_busy:true ~shards:2 () in
+  let s = Fab.session ~key:(key_for run 1) run.fab in
+  {
+    Engine.name = "fabric-resize-vs-shrink";
+    fibers =
+      [|
+        worker run s Fab.Inc;
+        resizer run ~shard:1 (Counting.network ~w:2 ~t:2);
+        scaler run 1;
+      |];
+    finish = check run;
+  }
+
+let shrink_grow_vs_session () =
+  (* A session with a warm per-shard cache (from the setup increment)
+     submits while its shard is retired and then re-created.  The
+     re-created slot must carry a fresh generation: if it restarted at
+     the cached one, the stale session would target the shut-down
+     service and retry [Closed] forever (a step-bound cutoff). *)
+  let run = make_run ~shards:2 () in
+  let s = Fab.session ~key:(key_for run 1) run.fab in
+  worker run s Fab.Inc ();
+  {
+    Engine.name = "fabric-shrink-grow-vs-session";
+    fibers = [| worker run s Fab.Inc; rescaler run [ 1; 2 ] |];
+    finish = check run;
+  }
+
 let all =
   [
     ("fabric-resize-vs-submit", resize_vs_submit);
+    ("fabric-resize-vs-resize", resize_vs_resize);
+    ("fabric-resize-vs-shrink", resize_vs_shrink);
     ("fabric-drain-vs-route", drain_vs_route);
     ("fabric-shrink-vs-submit", shrink_vs_submit);
     ("fabric-grow-vs-submit", grow_vs_submit);
+    ("fabric-shrink-grow-vs-session", shrink_grow_vs_session);
     ("fabric-shutdown-vs-submit", shutdown_vs_submit);
   ]

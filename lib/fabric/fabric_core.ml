@@ -22,7 +22,11 @@
    - accounting: a shard's logical value is [base + net(svc)].  The
      fold at the swap point keeps the sum invariant, so values handed
      out after a resize continue the shard's stream with no duplicates
-     and the global read never observes a discontinuity. *)
+     and the global read never observes a discontinuity.  A shrink
+     publishes retirement the same way: a single atomic store replaces
+     the live shard with an equal-valued tombstone carrying its frozen
+     net (and its generation, which a later grow continues), so the
+     global read is conserved through every rescale. *)
 
 module V = Cn_runtime.Validator
 module Topology = Cn_network.Topology
@@ -108,6 +112,16 @@ module Make (A : Cn_runtime.Atomics.S) (S : SERVICE) :
 
   type shard = { svc : S.t; topo : Topology.t; base : int; gen : int }
 
+  (* A slot's whole accounting state is one atomic word, so shrink can
+     publish (service removed + net count preserved) in a single store:
+     [Live] carries the serving shard, [Tomb] carries the retired
+     shard's folded net count — and its last generation, so a later
+     grow re-creates the slot at [gen + 1] and a session's cached
+     [(shard, gen)] key can never alias across a retire/respawn (the
+     ABA that would otherwise pin a stale session to a dead service).
+     [Empty] is a slot that never served. *)
+  type slot = Live of shard | Tomb of { net : int; gen : int } | Empty
+
   (* A parked operation: routed to a shard mid-resize, waiting for the
      resizer to replay it on the swapped-in service.  [value]/[failed]
      are plain mutable fields published through the [done_] atomic
@@ -123,18 +137,18 @@ module Make (A : Cn_runtime.Atomics.S) (S : SERVICE) :
 
   type park = Accepting of pending list | Sealed
 
-  (* [Retired] is terminal (shard removed by a shrink, or never
-     spawned); the router never targets a retired shard, so an
-     operation that observes one re-reads the router. *)
+  (* [Retired] means the slot is not serving (removed by a shrink, or
+     never spawned); the router never targets a retired shard, so an
+     operation that observes one re-reads the router.  A later grow may
+     reopen the slot, continuing its tombstoned count and generation. *)
   type shard_state = Open | Resizing | Retired
 
   type t = {
-    slots : shard option A.t array;
+    slots : slot A.t array;
     states : shard_state A.t array;
     parked : park A.t array;
     router : Router.t A.t;
     count_ : int A.t;
-    retired_ : int A.t; (* folded net of removed shards *)
     closed_ : bool A.t;
     scaling : bool A.t; (* set_shard_count mutual exclusion *)
     session_ctr : int A.t;
@@ -168,14 +182,12 @@ module Make (A : Cn_runtime.Atomics.S) (S : SERVICE) :
         | Ok () -> ()
         | Error msg -> raise (Rejected msg))
       topos;
-    let slots =
-      Array.init max_shards (fun _ -> A.make (None : shard option))
-    in
+    let slots = Array.init max_shards (fun _ -> A.make Empty) in
     let states = Array.init max_shards (fun _ -> A.make Retired) in
     let parked = Array.init max_shards (fun _ -> A.make Sealed) in
     List.iteri
       (fun sid topo ->
-        A.set slots.(sid) (Some { svc = spawn topo; topo; base = 0; gen = 0 });
+        A.set slots.(sid) (Live { svc = spawn topo; topo; base = 0; gen = 0 });
         A.set states.(sid) Open)
       topos;
     {
@@ -184,7 +196,6 @@ module Make (A : Cn_runtime.Atomics.S) (S : SERVICE) :
       parked;
       router = A.make (Router.make ~vnodes (List.init n Fun.id));
       count_ = A.make n;
-      retired_ = A.make 0;
       closed_ = A.make false;
       scaling = A.make false;
       session_ctr = A.make 0;
@@ -214,8 +225,8 @@ module Make (A : Cn_runtime.Atomics.S) (S : SERVICE) :
     if sid < 0 || sid >= Array.length t.slots then
       invalid_arg "Fabric_core: shard out of range";
     match A.get t.slots.(sid) with
-    | Some sh -> sh
-    | None -> invalid_arg "Fabric_core: shard not live"
+    | Live sh -> sh
+    | Tomb _ | Empty -> invalid_arg "Fabric_core: shard not live"
 
   let shard_value t sid =
     let sh = shard_slot t sid in
@@ -243,11 +254,12 @@ module Make (A : Cn_runtime.Atomics.S) (S : SERVICE) :
       | Resizing -> park sess sid op
       | Open -> (
           match A.get fab.slots.(sid) with
-          | None ->
-              (* shrink window: slot cleared before the state flips *)
+          | Tomb _ | Empty ->
+              (* shrink window: the slot tombstones before the state
+                 flips to Retired — the state we read above is stale *)
               A.relax ();
               exec sess op
-          | Some sh ->
+          | Live sh ->
               let ss =
                 match sess.cache with
                 | Some (i, g, ss) when i = sid && g = sh.gen -> ss
@@ -323,7 +335,7 @@ module Make (A : Cn_runtime.Atomics.S) (S : SERVICE) :
         cell.failed <- true;
         A.set cell.done_ 1
 
-  let replay fab sid =
+  let seal_parked fab sid =
     let rec seal () =
       match A.get fab.parked.(sid) with
       | Sealed -> []
@@ -331,17 +343,46 @@ module Make (A : Cn_runtime.Atomics.S) (S : SERVICE) :
           if A.compare_and_set fab.parked.(sid) cur Sealed then List.rev l
           else seal ()
     in
-    List.iter (replay_cell fab) (seal ())
+    seal ()
+
+  let replay fab sid = List.iter (replay_cell fab) (seal_parked fab sid)
+
+  (* Fail-stop path: seal the park list and refuse every parked caller
+     with [Closed] — a parked cell's owner spins on [done_] with no
+     escape hatch, so an exception that skips the replay must not leave
+     the list armed. *)
+  let abort_parked fab sid =
+    List.iter
+      (fun (cell : pending) ->
+        cell.failed <- true;
+        A.set cell.done_ 1)
+      (seal_parked fab sid)
+
+  (* Arm the park buffer for a freshly claimed shard.  Strictly a CAS
+     from [Sealed]: the previous resize of this slot reopens the shard
+     {e before} sealing and replaying its park list, so a back-to-back
+     claimant can get here while that list is still [Accepting] — a
+     blind store would overwrite it and silently drop the parked
+     operations (their owners would spin on [done_] forever).  Waiting
+     out the seal is live: every prior owner seals, either in [replay]
+     on success or in [abort_parked] on the fail-stop path. *)
+  let rec arm_parked fab sid =
+    if not (A.compare_and_set fab.parked.(sid) Sealed (Accepting [])) then begin
+      A.relax ();
+      arm_parked fab sid
+    end
 
   (* Shut one shard's service down at [policy] and fold its net count.
      A Strict validation failure is an integrity loss, not a recoverable
      condition: the fabric fail-stops (every later operation refuses
-     with [Closed]) and the exception propagates to the resizer. *)
-  let retire_service fab (sh : shard) policy =
+     with [Closed]), the shard's parked callers are refused rather than
+     left spinning, and the exception propagates to the resizer. *)
+  let retire_service fab sid (sh : shard) policy =
     match S.shutdown ~policy sh.svc with
     | report -> (report, sh.base + S.net_count sh.svc)
     | exception e ->
         A.set fab.closed_ true;
+        abort_parked fab sid;
         raise e
 
   let resize ?policy fab ~shard topo =
@@ -355,16 +396,16 @@ module Make (A : Cn_runtime.Atomics.S) (S : SERVICE) :
             Error Busy
           else begin
             (* latecomers observing [Resizing] park from here on *)
-            A.set fab.parked.(shard) (Accepting []);
+            arm_parked fab shard;
             let old =
               match A.get fab.slots.(shard) with
-              | Some sh -> sh
-              | None -> assert false
+              | Live sh -> sh
+              | Tomb _ | Empty -> assert false
             in
             let policy = Option.value policy ~default:fab.validate in
-            let _report, base = retire_service fab old policy in
+            let _report, base = retire_service fab shard old policy in
             let svc = fab.spawn topo in
-            A.set fab.slots.(shard) (Some { svc; topo; base; gen = old.gen + 1 });
+            A.set fab.slots.(shard) (Live { svc; topo; base; gen = old.gen + 1 });
             A.set fab.states.(shard) Open;
             replay fab shard;
             Ok ()
@@ -398,15 +439,26 @@ module Make (A : Cn_runtime.Atomics.S) (S : SERVICE) :
           | Some t -> t
           | None -> (
               match A.get fab.slots.(0) with
-              | Some sh -> sh.topo
-              | None -> assert false)
+              | Live sh -> sh.topo
+              | Tomb _ | Empty -> assert false)
         in
         match fab.certify topo with
         | Error msg -> finish (Error (Cert_rejected msg))
         | Ok () ->
             for sid = cur to n - 1 do
+              (* a re-created slot continues the retired shard's stream:
+                 its tombstoned net becomes the new [base] (one atomic
+                 publish keeps [read] conserved) and its generation
+                 stays monotonic, so no session cache keyed on the
+                 pre-shrink (shard, gen) can alias the new service *)
+              let base, gen =
+                match A.get fab.slots.(sid) with
+                | Tomb { net; gen } -> (net, gen + 1)
+                | Empty -> (0, 0)
+                | Live _ -> assert false
+              in
               A.set fab.slots.(sid)
-                (Some { svc = fab.spawn topo; topo; base = 0; gen = 0 });
+                (Live { svc = fab.spawn topo; topo; base; gen });
               A.set fab.parked.(sid) Sealed;
               A.set fab.states.(sid) Open
             done;
@@ -423,18 +475,19 @@ module Make (A : Cn_runtime.Atomics.S) (S : SERVICE) :
         let policy = Option.value policy ~default:fab.validate in
         for sid = n to cur - 1 do
           if claim fab sid then begin
-            A.set fab.parked.(sid) (Accepting []);
+            arm_parked fab sid;
             let sh =
               match A.get fab.slots.(sid) with
-              | Some sh -> sh
-              | None -> assert false
+              | Live sh -> sh
+              | Tomb _ | Empty -> assert false
             in
-            let _report, net = retire_service fab sh policy in
-            (* clear the slot before crediting [retired_] so a global
-               read never counts a shard twice; the transient
-               undercount resolves within one double-collect retry *)
-            A.set fab.slots.(sid) None;
-            ignore (A.fetch_and_add fab.retired_ net);
+            let _report, net = retire_service fab sid sh policy in
+            (* one atomic store retires the service and preserves its
+               net count: a collect sweep sees either [Live] (whose net
+               is frozen — the service is already shut down) or the
+               equal-valued [Tomb], never an intermediate that counts
+               the shard zero or twice *)
+            A.set fab.slots.(sid) (Tomb { net; gen = sh.gen });
             A.set fab.states.(sid) Retired;
             replay fab sid
           end
@@ -455,15 +508,17 @@ module Make (A : Cn_runtime.Atomics.S) (S : SERVICE) :
      skew to in-flight resizes. *)
 
   let collect fab =
-    let sum = ref (A.get fab.retired_) in
-    Array.iteri
-      (fun sid slot ->
-        match A.get fab.states.(sid) with
-        | Retired -> ()
-        | Open | Resizing -> (
-            match A.get slot with
-            | Some sh -> sum := !sum + sh.base + S.net_count sh.svc
-            | None -> ()))
+    (* one atomic read per slot: [Live] contributes [base + net] and a
+       [Tomb] the retired shard's frozen net — the shrink publishes the
+       transition as a single equal-valued store, so a sweep can never
+       drop or double-count a shard mid-retirement *)
+    let sum = ref 0 in
+    Array.iter
+      (fun slot ->
+        match A.get slot with
+        | Live sh -> sum := !sum + sh.base + S.net_count sh.svc
+        | Tomb { net; _ } -> sum := !sum + net
+        | Empty -> ())
       fab.slots;
     !sum
 
@@ -509,12 +564,9 @@ module Make (A : Cn_runtime.Atomics.S) (S : SERVICE) :
   let live_shards fab =
     let acc = ref [] in
     for sid = Array.length fab.slots - 1 downto 0 do
-      match A.get fab.states.(sid) with
-      | Retired -> ()
-      | Open | Resizing -> (
-          match A.get fab.slots.(sid) with
-          | Some sh -> acc := (sid, sh) :: !acc
-          | None -> ())
+      match A.get fab.slots.(sid) with
+      | Live sh -> acc := (sid, sh) :: !acc
+      | Tomb _ | Empty -> ()
     done;
     !acc
 
@@ -550,9 +602,16 @@ module Make (A : Cn_runtime.Atomics.S) (S : SERVICE) :
           if not (grab ()) then None
           else
             match A.get fab.slots.(sid) with
-            | None -> None
-            | Some sh ->
-                let report = S.shutdown ~policy sh.svc in
+            | Tomb _ | Empty -> None
+            | Live sh ->
+                let report =
+                  try S.shutdown ~policy sh.svc
+                  with e ->
+                    (* same contract as [retire_service]: never leave a
+                       parked caller spinning behind an exception *)
+                    abort_parked fab sid;
+                    raise e
+                in
                 replay fab sid;
                 Some (sid, report))
         (live_shards fab)

@@ -119,8 +119,10 @@ module type S = sig
 
   val read : t -> int
   (** Linearizable-at-quiescence global read: one reader CASes itself
-      collector, double-collects [base + net] across shards (plus the
-      retired fold) until two sweeps agree, and publishes the sweep;
+      collector, double-collects [base + net] across shards (a retired
+      slot contributes its tombstoned net, published atomically at the
+      retirement, so a sweep never under- or double-counts a shard
+      mid-shrink) until two sweeps agree, and publishes the sweep;
       concurrent readers adopt any sweep that started after they
       arrived — a second-level combining pass, so [n] concurrent reads
       cost one sweep, not [n].  Under in-flight traffic the value is
@@ -140,7 +142,10 @@ module type S = sig
       @raise Invalid_argument if [sid] is retired or out of range. *)
 
   val shard_gen : t -> int -> int
-  (** Resize generation of the shard (0 at spawn, +1 per swap). *)
+  (** Resize generation of the shard: 0 at first spawn, +1 per swap —
+      and monotonic across retirement, so a slot re-created by a grow
+      continues (not restarts) the sequence and a session's cached
+      [(shard, gen)] pair can never alias a retired service. *)
 
   val shard_topology : t -> int -> topo_key
   val shard_service : t -> int -> svc
@@ -164,8 +169,10 @@ module type S = sig
       0's current topology) before publishing the wider router; shrink
       publishes the narrower router first, then drains each removed
       shard through the same seal/validate/replay path as {!resize},
-      folding its count into the retired accumulator so {!read} stays
-      conserved.  Serialized against itself ([Error Busy]). *)
+      atomically replacing it with a tombstone that preserves its net
+      count (and generation) so {!read} stays conserved and a later
+      grow continues the slot's stream.  Serialized against itself
+      ([Error Busy]). *)
 
   val drain : ?policy:V.policy -> t -> V.report
   (** Quiesce and validate every shard in turn (each re-admits when
