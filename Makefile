@@ -2,8 +2,9 @@
 
 .PHONY: all build test bench micro bench-runtime bench-smoke bench-service \
         bench-service-smoke bench-serve bench-serve-smoke bench-fabric \
-        bench-fabric-smoke bench-projected bench-projected-smoke serve-smoke \
-        check-metrics check-races lint examples clean doc
+        bench-fabric-smoke bench-sketch bench-sketch-smoke bench-projected \
+        bench-projected-smoke serve-smoke check-metrics check-races lint \
+        examples clean doc
 
 all: build
 
@@ -53,6 +54,18 @@ bench-fabric:
 
 bench-fabric-smoke:
 	dune exec bench/main.exe -- fabric --smoke
+
+# Approximate counting tier: the accuracy/throughput/memory frontier of
+# the HLL and sparse-graph backends against the exact network-backed
+# counter.  Gated on the HLL 95% error bound and the >= 10x sparse
+# memory win at 100k keys; the smoke variant shrinks the streams but
+# keeps both correctness gates.  Appends a "sketch" section to
+# BENCH_runtime.json.
+bench-sketch:
+	dune exec bench/main.exe -- sketch
+
+bench-sketch-smoke:
+	dune exec bench/main.exe -- sketch --smoke
 
 # Out-of-process loopback smoke test: real countnetd daemon + two
 # concurrent `countnet load` clients + SIGTERM under load, asserting a

@@ -1303,6 +1303,164 @@ let fabric ?(smoke = false) () =
   line "appended fabric section to BENCH_runtime.json (%d rows)" (List.length !rows)
 
 (* ------------------------------------------------------------------ *)
+(* Approximate counting tier: the accuracy / throughput / memory
+   frontier of the Cn_sketch backends against the exact network-backed
+   counter.  Three row families:
+
+   - hll accuracy: relative error vs the 1.04/sqrt(m) theory across
+     precisions, with resident sketch bytes (gated: every row within
+     its 95% bound, 2 sigma — the streams are deterministic, so these
+     are fixed draws, not flaky samples);
+   - throughput: Harness.throughput over the exact C(8,8) counter and
+     the hll/sparse Shared_counter.Custom adapters;
+   - memory: resident bytes of exact per-key counting (a Hashtbl of
+     100k keys) vs the sparse-graph bank, gated on the >= 10x win,
+     plus the sparse decode regimes (exact below the peeling
+     threshold, bounded-error above).
+
+   Appends a "sketch" section to BENCH_runtime.json.                    *)
+
+let sketch ?(smoke = false) () =
+  header "sketch  approximate tier: accuracy/throughput/memory frontier (appends to BENCH_runtime.json)";
+  line "(host note: single-core container -> domains timeshare; relative shapes only)";
+  let module Hll = Cn_sketch.Hll in
+  let module Sparse = Cn_sketch.Sparse in
+  let module Backend = Cn_sketch.Backend in
+  let module H = Cn_runtime.Harness in
+  let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("sketch bench: " ^ m); exit 1) fmt in
+  (* --- HLL accuracy rows --------------------------------------------- *)
+  let n_distinct = if smoke then 100_000 else 1_000_000 in
+  line "hll accuracy at %d distinct keys:" n_distinct;
+  let hll_rows =
+    List.map
+      (fun precision ->
+        let t = Hll.create ~precision () in
+        for i = 0 to n_distinct - 1 do
+          Hll.add t i
+        done;
+        let est = Hll.cardinality t in
+        let err = Float.abs (est -. float_of_int n_distinct) /. float_of_int n_distinct in
+        let sigma = Hll.std_error t in
+        let bytes = Hll.memory_bytes t in
+        line "  p=%2d (m=%5d): estimate %9.0f  rel error %.4f  (sigma %.4f)  %7d bytes"
+          precision (Hll.registers t) est err sigma bytes;
+        if err > 2. *. sigma then
+          fail "hll p=%d error %.4f exceeds the 95%% bound %.4f" precision err (2. *. sigma);
+        (precision, Hll.registers t, est, err, sigma, bytes))
+      [ 10; 12; 14 ]
+  in
+  (* --- throughput rows ----------------------------------------------- *)
+  let domains = if smoke then 2 else 4 in
+  let ops = if smoke then 20_000 else 100_000 in
+  let net = C.network ~w:8 ~t:8 in
+  let throughput_of name make =
+    let r = H.throughput ~make ~domains ~ops_per_domain:ops () in
+    line "  %-8s %11.0f ops/s  (%d domains, %d total ops)" name r.H.ops_per_sec domains
+      r.H.total_ops;
+    (name, r.H.ops_per_sec)
+  in
+  line "throughput (%d domains x %d ops):" domains ops;
+  let tp_exact = throughput_of "exact" (fun () -> Cn_runtime.Shared_counter.of_topology net) in
+  let tp_hll = throughput_of "hll" (fun () -> (Backend.hll ~precision:14 ()).Backend.counter) in
+  let tp_sparse =
+    throughput_of "sparse" (fun () ->
+        (Backend.sparse ~counters:4096 ~degree:3 ()).Backend.counter)
+  in
+  let tp_rows = [ tp_exact; tp_hll; tp_sparse ] in
+  (* --- memory rows ---------------------------------------------------- *)
+  let n_keys = 100_000 in
+  let exact_tbl = Hashtbl.create 1024 in
+  for k = 0 to n_keys - 1 do
+    Hashtbl.replace exact_tbl k (1 + (k mod 7))
+  done;
+  let exact_bytes = Obj.reachable_words (Obj.repr exact_tbl) * (Sys.word_size / 8) in
+  let sp = Sparse.create ~degree:3 ~counters:8192 () in
+  for k = 0 to n_keys - 1 do
+    Sparse.add sp k (1 + (k mod 7))
+  done;
+  let sparse_bytes = Sparse.memory_bytes sp in
+  let ratio = float_of_int exact_bytes /. float_of_int sparse_bytes in
+  line "memory at %d keys: exact hashtbl %d bytes, sparse bank %d bytes (%.1fx smaller)"
+    n_keys exact_bytes sparse_bytes ratio;
+  if ratio < 10. then
+    fail "sparse bank is only %.1fx smaller than exact per-key storage (gate: 10x)" ratio;
+  (* Sparse decode regimes: exact recovery below the peeling threshold,
+     bounded overestimates above it. *)
+  let below = Sparse.create ~degree:3 ~counters:2048 () in
+  for k = 0 to 999 do
+    Sparse.add below k (1 + (k mod 100))
+  done;
+  let decoded = Sparse.decode below (List.init 1000 (fun k -> k)) in
+  let all_exact =
+    List.for_all
+      (fun (k, { Sparse.value; exact }) -> exact && value = 1 + (k mod 100))
+      decoded
+  in
+  if not all_exact then fail "sparse decode failed below the peeling threshold";
+  line "sparse decode: 1000 keys / 2048 counters -> all exact (peeling threshold holds)";
+  let over_err =
+    (* Mean relative error of min-estimates in the overloaded regime the
+       memory row runs at (100k keys / 8192 counters). *)
+    let sample = 1000 in
+    let total = ref 0. in
+    for k = 0 to sample - 1 do
+      let truth = 1 + (k mod 7) in
+      let e = Sparse.estimate sp k in
+      total := !total +. (float_of_int (e - truth) /. float_of_int truth)
+    done;
+    !total /. float_of_int sample
+  in
+  line "sparse overload (%d keys / %d counters): mean estimate overshoot %.1fx" n_keys 8192
+    over_err;
+  (* --- JSON ----------------------------------------------------------- *)
+  let hll_entries =
+    List.map
+      (fun (p, m, est, err, sigma, bytes) ->
+        Printf.sprintf
+          "      { \"precision\": %d, \"registers\": %d, \"distinct\": %d, \"estimate\": \
+           %.1f, \"rel_error\": %.6f, \"std_error\": %.6f, \"bytes\": %d }"
+          p m n_distinct est err sigma bytes)
+      hll_rows
+  in
+  let tp_entries =
+    List.map
+      (fun (name, rate) ->
+        Printf.sprintf "      { \"backend\": %S, \"domains\": %d, \"ops_per_sec\": %.1f }"
+          name domains rate)
+      tp_rows
+  in
+  let section =
+    Printf.sprintf
+      "{\n    \"hll_accuracy\": [\n%s\n    ],\n    \"throughput\": [\n%s\n    ],\n    \
+       \"memory\": { \"keys\": %d, \"exact_bytes\": %d, \"sparse_bytes\": %d, \"ratio\": \
+       %.2f, \"sparse_mean_overshoot\": %.3f }\n  }"
+      (String.concat ",\n" hll_entries)
+      (String.concat ",\n" tp_entries)
+      n_keys exact_bytes sparse_bytes ratio over_err
+  in
+  let path = "BENCH_runtime.json" in
+  let fresh () =
+    let oc = open_out path in
+    Printf.fprintf oc "{\n  \"suite\": \"sketch\",\n  \"sketch\": %s\n}\n" section;
+    close_out oc
+  in
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let content = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match String.rindex_opt content '}' with
+    | Some i ->
+        let oc = open_out path in
+        output_string oc (String.sub content 0 i);
+        Printf.fprintf oc ",\n  \"sketch\": %s\n}\n" section;
+        close_out oc
+    | None -> fresh ()
+  end
+  else fresh ();
+  line "appended sketch section to BENCH_runtime.json (%d hll rows, %d throughput rows)"
+    (List.length hll_rows) (List.length tp_rows)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment family.      *)
 
 let micro () =
@@ -1436,8 +1594,10 @@ let () =
   | [| _; "serve"; "--smoke" |] -> serve ~smoke:true ()
   | [| _; "fabric" |] -> fabric ()
   | [| _; "fabric"; "--smoke" |] -> fabric ~smoke:true ()
+  | [| _; "sketch" |] -> sketch ()
+  | [| _; "sketch"; "--smoke" |] -> sketch ~smoke:true ()
   | _ ->
       prerr_endline
         "usage: main.exe [e1|...|e14|micro|runtime [--smoke] [--projected]|service [--smoke] \
-         [--projected]|serve [--smoke]|fabric [--smoke]]";
+         [--projected]|serve [--smoke]|fabric [--smoke]|sketch [--smoke]]";
       exit 2

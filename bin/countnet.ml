@@ -450,6 +450,18 @@ let autotune_flag =
               every shard to the contention model's predicted-best C(w,t) at $(b,--domains) \
               concurrency ($(b,Cn_analysis.Projection.tune)). Requires $(b,--fabric).")
 
+let backend_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "backend" ] ~docv:"TIER"
+        ~doc:"Counter tier to drive: $(b,exact) (the network-backed counter; default), \
+              $(b,hll) (HyperLogLog distinct-count sketch, 2^14 registers) or $(b,sparse) \
+              (sparse-graph per-flow counters, 4096 cells, degree 3). The sketch tiers \
+              measure the approximate backends behind Shared_counter.Custom and report the \
+              estimate against the true op count, the theoretical error bound, and resident \
+              sketch bytes. Mutually exclusive with $(b,--service) and $(b,--fabric).")
+
 let dec_ratio_arg =
   Arg.(
     value
@@ -571,7 +583,8 @@ let throughput_cmd =
   let parse_skew = parse_skew ~fail:fail_usage in
   let parse_arrival = parse_arrival ~fail:fail_usage in
   let run net domains ops mode layout batch pipeline metrics policy service elim max_batch
-      sessions dec_ratio skew arrival projected stall_factor fabric fabric_shards autotune =
+      sessions dec_ratio skew arrival projected stall_factor fabric fabric_shards autotune
+      backend =
     if domains <= 0 then fail_usage (Printf.sprintf "--domains must be positive (got %d)" domains);
     if ops <= 0 then fail_usage (Printf.sprintf "--ops must be positive (got %d)" ops);
     (match batch with
@@ -631,6 +644,86 @@ let throughput_cmd =
     | _ -> ());
     let skew = Option.map parse_skew skew in
     let arrival = Option.map parse_arrival arrival in
+    let backend =
+      match backend with
+      | None -> Svc.Exact
+      | Some s -> (
+          match Svc.backend_of_string s with
+          | Ok b -> b
+          | Error msg -> fail_usage msg)
+    in
+    (match backend with
+    | Svc.Exact -> ()
+    | _ ->
+        if service || fabric then
+          fail_usage
+            "--backend hll/sparse and --service/--fabric are mutually exclusive (the sketch \
+             tiers bypass the combining front-ends)";
+        if metrics then
+          fail_usage "--metrics requires the exact backend (sketches have no network runtime)";
+        if batch <> None || pipeline <> None then
+          fail_usage "--batch/--pipeline require the exact backend";
+        if projected then
+          fail_usage "--projected requires the exact backend (no network to project)");
+    (match backend with
+    | Svc.Exact -> ()
+    | Svc.Hll { precision } ->
+        let module B = Cn_sketch.Backend in
+        let module Hll = Cn_sketch.Hll in
+        (* The harness builds a fresh sketch per calibration attempt;
+           only the last one was actually measured, so truth is the
+           final attempt's total op count. *)
+        let last = ref None in
+        let make () =
+          let b = B.hll ~precision () in
+          last := Some b;
+          b.B.counter
+        in
+        let r = Cn_runtime.Harness.throughput ~make ~domains ~ops_per_domain:ops () in
+        let b = Option.get !last in
+        let truth = r.Cn_runtime.Harness.total_ops in
+        let est = Hll.cardinality b.B.incs in
+        let err = Float.abs (est -. float_of_int truth) /. float_of_int truth in
+        Printf.printf "%s: %d domains x %d ops = %d ops in %.3fs -> %.0f ops/s\n"
+          r.Cn_runtime.Harness.counter domains ops r.Cn_runtime.Harness.total_ops
+          r.Cn_runtime.Harness.seconds r.Cn_runtime.Harness.ops_per_sec;
+        Printf.printf
+          "hll: estimate %.0f of %d true ops (rel error %.4f, std error 1.04/sqrt(m) = \
+           %.4f), %d sketch bytes\n"
+          est truth err
+          (Hll.std_error b.B.incs)
+          (Hll.memory_bytes b.B.incs + Hll.memory_bytes b.B.decs);
+        exit 0
+    | Svc.Sparse { counters; degree } ->
+        let module B = Cn_sketch.Backend in
+        let module Sp = Cn_sketch.Sparse in
+        let last = ref None in
+        let make () =
+          let b = B.sparse ~counters ~degree () in
+          last := Some b;
+          b.B.counter
+        in
+        let r = Cn_runtime.Harness.throughput ~make ~domains ~ops_per_domain:ops () in
+        let b = Option.get !last in
+        let total_true = r.Cn_runtime.Harness.total_ops in
+        let per_flow_true = total_true / domains in
+        let max_err = ref 0. in
+        for pid = 0 to domains - 1 do
+          let e = Sp.estimate b.B.sketch pid in
+          let err =
+            Float.abs (float_of_int (e - per_flow_true)) /. float_of_int per_flow_true
+          in
+          if err > !max_err then max_err := err
+        done;
+        Printf.printf "%s: %d domains x %d ops = %d ops in %.3fs -> %.0f ops/s\n"
+          r.Cn_runtime.Harness.counter domains ops r.Cn_runtime.Harness.total_ops
+          r.Cn_runtime.Harness.seconds r.Cn_runtime.Harness.ops_per_sec;
+        Printf.printf
+          "sparse: global tally %d of %d true ops, per-flow max rel error %.4f over %d \
+           flows, %d sketch bytes\n"
+          (Sp.total b.B.sketch) total_true !max_err domains
+          (Sp.memory_bytes b.B.sketch);
+        exit 0);
     if fabric then begin
       let module Fab = Cn_fabric.Fabric in
       let module P = Cn_analysis.Projection in
@@ -804,7 +897,7 @@ let throughput_cmd =
       const run $ network_term $ domains_arg $ ops_arg $ mode_arg $ layout_arg $ batch_arg
       $ pipeline_arg $ metrics_flag $ validate_arg $ service_flag $ elim_arg $ max_batch_arg
       $ sessions_arg $ dec_ratio_arg $ skew_arg $ arrival_arg $ projected_flag
-      $ stall_factor_arg $ fabric_flag $ fabric_shards_arg $ autotune_flag)
+      $ stall_factor_arg $ fabric_flag $ fabric_shards_arg $ autotune_flag $ backend_arg)
 
 (* ---------------------------------------------------------------- *)
 (* sort *)

@@ -72,12 +72,21 @@ val certify_topology :
 
 (** {2 Auto-tuning} *)
 
+val min_profile_tokens : int
+(** [1024] — the fewest crossings a shard must have recorded before
+    {!live_stall_scale} trusts its live profile.  Below this the
+    stalls/token ratio is sampling noise (a cold shard's first few
+    crossings used to pin the scale at a clamp edge and let {!retune}
+    pick a degenerate [(w, t)]); the tuner uses the pure analytic
+    model instead. *)
+
 val live_stall_scale : t -> shard:int -> domains:int -> float
 (** Ratio of the shard's measured stalls/token (typed
     {!Cn_runtime.Metrics.layer_stalls} counters — no JSON re-parsing)
     to the analytic prediction at the shard's current dimensions,
     clamped to [[0.25, 4]].  [1.] when the shard records no stalls
-    (Faa mode, metrics off, or an idle shard). *)
+    (Faa mode, metrics off, or an idle shard) or fewer than
+    {!min_profile_tokens} crossings (the cold-start floor). *)
 
 val plan :
   ?widths:int list ->
@@ -100,6 +109,54 @@ val retune :
 (** [retune t cal ~shard ~domains] plans and, when the prediction
     differs from the shard's current dimensions, hot-resizes the shard
     to the planned [C(w,t)] (certified first, like every resize). *)
+
+(** {2 Backend profiles}
+
+    Per-key-class accuracy tiers over one counter surface: billing-grade
+    keys must land on the exact, certified, conservation-checked fabric;
+    high-cardinality telemetry keys trade bounded error for bounded
+    memory on {!Cn_sketch} lanes.  The caller classifies; the profile
+    routes. *)
+
+type key_class = Billing | Telemetry
+
+type profiled = {
+  counter : Cn_runtime.Shared_counter.t;
+      (** The routed front: [next]/[prev ~pid] dispatch on
+          [classify pid] — billing keys run one exact fabric operation
+          on a per-pid session (pinned to its shard by key, retried
+          through [Overloaded], [Failure] on a closed fabric);
+          telemetry keys hit the sketch lane their hash owns. *)
+  billing_value : unit -> int;
+      (** The fabric's global {!read} — exact at quiescence. *)
+  telemetry_estimate : unit -> float;
+      (** The telemetry tier's global estimate: for HLL lanes the
+          union-merged distinct count (increments minus decrements);
+          for sparse lanes the exact global net tally
+          ({!Cn_sketch.Sparse.total} summed across lanes). *)
+  telemetry_memory_bytes : unit -> int;
+      (** Resident bytes across every telemetry lane's sketch state. *)
+  telemetry_lanes : int;
+}
+
+val profiled_counter :
+  ?backend:Cn_service.Service.backend ->
+  ?lanes:int ->
+  ?vnodes:int ->
+  classify:(int -> key_class) ->
+  t ->
+  profiled
+(** [profiled_counter ~classify t] builds the two-tier counter over
+    fabric [t].  [?backend] (default [Hll { precision = 12 }]) picks
+    the telemetry sketch; [?lanes] (default [4]) independent sketches
+    sit behind their own consistent-hash {!Router} ring ([?vnodes]),
+    so hot telemetry keys spread instead of serializing on one sketch
+    and a future lane-count change would remap only [1/(n+1)] of the
+    key space.  Billing sessions are pooled per pid (lock-free fast
+    path, double-read growth path — the {!Cn_service.Service.shared_counter}
+    discipline).
+    @raise Invalid_argument if [lanes < 1] or [?backend] is [Exact]
+    (the exact tier is what [classify = Billing] already selects). *)
 
 (** {2 Reporting} *)
 

@@ -12,17 +12,10 @@
    atomic reference when the shard set changes.  Routing itself is a
    hash plus a binary search — no shared state, safe from any domain. *)
 
-(* splitmix-style finalizer over the tagged-int range.  The constants
-   must fit OCaml's 63-bit int, so these are the xorshift* and
-   Lehmer-style multipliers rather than the canonical 64-bit ones; all
-   we need is avalanche, not cross-language reproducibility. *)
-let mix x =
-  let x = x lxor (x lsr 33) in
-  let x = x * 0x2545F4914F6CDD1D in
-  let x = x lxor (x lsr 29) in
-  let x = x * 0x27BB2EE687B0B0FD in
-  let x = x lxor (x lsr 32) in
-  x land max_int
+(* The finalizer lives in the runtime ({!Cn_runtime.Splitmix}) so the
+   sketch backends can hash keys the same way without a dependency on
+   the fabric; the ring only needs avalanche, which it provides. *)
+let mix = Cn_runtime.Splitmix.mix
 
 type t = {
   hashes : int array; (* point positions, sorted ascending *)

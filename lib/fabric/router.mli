@@ -38,4 +38,6 @@ val vnodes : t -> int
 
 val mix : int -> int
 (** The ring's avalanche hash over non-negative tagged ints — exposed
-    so tests can reason about point placement. *)
+    so tests can reason about point placement.  An alias for
+    {!Cn_runtime.Splitmix.mix}, the system-wide finalizer the sketch
+    backends share. *)

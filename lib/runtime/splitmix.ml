@@ -1,0 +1,7 @@
+let mix x =
+  let x = x lxor (x lsr 33) in
+  let x = x * 0x2545F4914F6CDD1D in
+  let x = x lxor (x lsr 29) in
+  let x = x * 0x27BB2EE687B0B0FD in
+  let x = x lxor (x lsr 32) in
+  x land max_int

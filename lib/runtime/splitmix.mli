@@ -1,0 +1,17 @@
+(** SplitMix64-style avalanche hashing over OCaml's tagged ints — the
+    one mixing finalizer the whole system shares.
+
+    Consumers: the fabric's consistent-hash {!Router} (ring point
+    placement and key routing) and the [Cn_sketch] approximate
+    backends (HyperLogLog register selection, sparse-graph edge
+    choice).  Keeping a single finalizer here means a key hashes the
+    same way on both sides of the exact/approximate split, and the
+    sketch library does not need a dependency on the fabric. *)
+
+val mix : int -> int
+(** [mix x] is a SplitMix64-style finalizer over the tagged-int range:
+    two xorshift-multiply rounds plus a final shift, result masked
+    into [[0, max_int]].  The multipliers are 62-bit-safe variants of
+    the canonical 64-bit constants — all we need is avalanche (every
+    input bit flips ~half the output bits), not cross-language
+    reproducibility.  Deterministic and allocation-free. *)

@@ -60,22 +60,33 @@ let shared_counter ?(sessions = 64) t =
        the operation fast path, which reads the atomic pool snapshot"])
       ()
   in
-  let rec session_for pid =
+  (* The lock is confined to the miss path: a covered pid costs one
+     atomic snapshot read and an array index, never the mutex.  On a
+     miss the pool length is re-read under the lock (double-read) so
+     racing growers serialize and only the first one actually grows;
+     the session is then returned straight from the post-grow
+     snapshot — no retry loop, so a grower can never be starved by a
+     stream of concurrent misses. *)
+  let session_for pid =
     let p = A.get pool in
     if pid < Array.length p then p.(pid)
     else begin
       (Mutex.lock [@atomlint.allow "growth path, see create above"]) lock;
       let p = A.get pool in
-      if pid >= Array.length p then begin
-        let n = max (pid + 1) (2 * Array.length p) in
-        let q =
-          Array.init n (fun i ->
-              if i < Array.length p then p.(i) else session t)
-        in
-        A.set pool q
-      end;
+      let q =
+        if pid < Array.length p then p
+        else begin
+          let n = max (pid + 1) (2 * Array.length p) in
+          let q =
+            Array.init n (fun i ->
+                if i < Array.length p then p.(i) else session t)
+          in
+          A.set pool q;
+          q
+        end
+      in
       (Mutex.unlock [@atomlint.allow "growth path, see create above"]) lock;
-      session_for pid
+      q.(pid)
     end
   in
   let rec op f ~pid =
@@ -90,3 +101,29 @@ let shared_counter ?(sessions = 64) t =
     ~next:(fun ~pid -> op increment ~pid)
     ~prev:(fun ~pid -> op decrement ~pid)
     ()
+
+(* ------------------------------------------------------------------ *)
+(* Backend profiles: exact network-backed counting vs the Cn_sketch
+   approximate tiers, behind one Shared_counter surface. *)
+
+type backend =
+  | Exact
+  | Hll of { precision : int }
+  | Sparse of { counters : int; degree : int }
+
+let backend_of_string = function
+  | "exact" -> Ok Exact
+  | "hll" -> Ok (Hll { precision = 14 })
+  | "sparse" -> Ok (Sparse { counters = 4096; degree = 3 })
+  | s -> Error (Printf.sprintf "unknown backend %S (expected exact|hll|sparse)" s)
+
+let backend_name = function
+  | Exact -> "exact"
+  | Hll _ -> "hll"
+  | Sparse _ -> "sparse"
+
+let backend_counter ?sessions t = function
+  | Exact -> shared_counter ?sessions t
+  | Hll { precision } -> (Cn_sketch.Backend.hll ~precision ()).Cn_sketch.Backend.counter
+  | Sparse { counters; degree } ->
+      (Cn_sketch.Backend.sparse ~counters ~degree ()).Cn_sketch.Backend.counter

@@ -29,6 +29,7 @@ type stats = {
   increments : int;
   decrements : int;
   rejected : int;
+  achieved_dec_ratio : float;
   seconds : float;
   ops_per_sec : float;
   busy_seconds : float;
@@ -135,6 +136,7 @@ let run ?pool svc spec =
     let cdf = session_cdf spec.skew spd in
     let mine = sessions.(pid) in
     let balance = ref 0 in
+    let owed = ref 0 in
     (* Injected idle time is measured (not just the requested amount:
        sleepf oversleeps) so busy-time throughput can back it out. *)
     let sleep d =
@@ -148,28 +150,42 @@ let run ?pool svc spec =
       | Bursty { burst; pause } ->
           if k > 0 && k mod burst = 0 then sleep pause);
       let s = mine.(pick rng cdf) in
-      (* Prefix non-negativity: a client never hands back more than it
-         has taken, keeping the global token count legal. *)
-      let dec =
-        !balance > 0 && Random.State.float rng 1.0 < spec.dec_ratio
-      in
+      (* Draw first, pay later: a drawn decrement that lands while the
+         client's balance is zero cannot be emitted (prefix
+         non-negativity — a client never hands back more than it has
+         taken), so it is banked in [owed] and emitted as soon as the
+         balance allows.  Every draw is eventually paid with exactly
+         one decrement, so the achieved dec fraction converges on
+         [spec.dec_ratio] instead of undershooting it on every
+         zero-balance conversion (the old behaviour silently emitted
+         an increment and forgot the draw). *)
+      if Random.State.float rng 1.0 < spec.dec_ratio then incr owed;
+      let dec = !owed > 0 && !balance > 0 in
       match (if dec then Service.decrement s else Service.increment s) with
       | Ok _ ->
           completed.(pid) <- completed.(pid) + 1;
           if dec then begin
             decrements.(pid) <- decrements.(pid) + 1;
+            decr owed;
             decr balance
           end
           else begin
             increments.(pid) <- increments.(pid) + 1;
             incr balance
           end
-      | Error _ -> rejected.(pid) <- rejected.(pid) + 1
+      | Error _ ->
+          (* A rejected decrement leaves both the balance and the debt
+             untouched; the draw is retried on a later operation. *)
+          rejected.(pid) <- rejected.(pid) + 1
     done
   in
   let seconds = timed_round ?pool ~domains:spec.domains body in
   let sum a = Array.fold_left ( + ) 0 a in
   let completed = sum completed in
+  let decrements = sum decrements in
+  let achieved_dec_ratio =
+    if completed = 0 then 0. else float_of_int decrements /. float_of_int completed
+  in
   (* The domains sleep concurrently, so wall-clock idle per run is the
      mean injected idle across domains, not the sum. *)
   let mean_slept = Array.fold_left ( +. ) 0. slept /. float_of_int spec.domains in
@@ -178,8 +194,9 @@ let run ?pool svc spec =
   {
     completed;
     increments = sum increments;
-    decrements = sum decrements;
+    decrements;
     rejected = sum rejected;
+    achieved_dec_ratio;
     seconds;
     ops_per_sec = rate seconds;
     busy_seconds;

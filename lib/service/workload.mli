@@ -50,6 +50,15 @@ type stats = {
   increments : int;
   decrements : int;
   rejected : int;  (** operations shed on [Overloaded]/[Closed] *)
+  achieved_dec_ratio : float;
+      (** [decrements /. completed] ([0.] when nothing completed) —
+          the decrement fraction actually emitted.  A drawn decrement
+          that lands on a zero balance is banked and paid as soon as
+          the balance allows (never dropped), so on long runs this
+          converges on [spec.dec_ratio] for ratios below [0.5]; above
+          [0.5] prefix non-negativity caps it near [0.5] (each
+          decrement needs a preceding increment), which is inherent,
+          not drift. *)
   seconds : float;  (** wall-clock time of the concurrent phase *)
   ops_per_sec : float;
       (** [completed /. seconds] — the {e offered}-load rate, including

@@ -1,0 +1,77 @@
+module PA = Cn_runtime.Padded_atomic
+
+type t = { p : int; m : int; regs : PA.t }
+
+(* mix yields 62 usable bits (the sign bit is masked off); the low [p]
+   pick the register, the remaining [hash_bits - p] feed rho. *)
+let hash_bits = 62
+
+let create ?(precision = 12) () =
+  if precision < 4 || precision > 16 then
+    invalid_arg "Hll.create: precision must be in [4, 16]";
+  let m = 1 lsl precision in
+  (* Unpadded: registers are write-rare (CAS only when a new maximum
+     appears, which is O(m log n) times over a whole stream), so false
+     sharing costs nothing measurable and padding would multiply the
+     footprint of a structure whose whole point is to be small. *)
+  { p = precision; m; regs = PA.make ~padded:false m ~init:(fun _ -> 0) }
+
+let precision t = t.p
+let registers t = t.m
+
+(* rho w = 1 + leading zeros of w within a [bits]-wide field; the
+   all-zero field saturates at bits + 1. *)
+let rho w ~bits =
+  if w = 0 then bits + 1
+  else begin
+    let r = ref 1 in
+    let top = 1 lsl (bits - 1) in
+    let w = ref w in
+    while !w land top = 0 do
+      incr r;
+      w := !w lsl 1
+    done;
+    !r
+  end
+
+let rec cas_max regs i v =
+  let cur = PA.get regs i in
+  if v > cur && not (PA.compare_and_set regs i cur v) then cas_max regs i v
+
+let add t key =
+  let h = Cn_runtime.Splitmix.mix key in
+  let idx = h land (t.m - 1) in
+  let w = h lsr t.p in
+  cas_max t.regs idx (rho w ~bits:(hash_bits - t.p))
+
+let alpha m =
+  if m <= 16 then 0.673
+  else if m <= 32 then 0.697
+  else if m <= 64 then 0.709
+  else 0.7213 /. (1. +. (1.079 /. float_of_int m))
+
+let cardinality t =
+  let m = float_of_int t.m in
+  let sum = ref 0. and zeros = ref 0 in
+  for i = 0 to t.m - 1 do
+    let r = PA.get t.regs i in
+    if r = 0 then incr zeros;
+    sum := !sum +. (1. /. float_of_int (1 lsl r))
+  done;
+  let raw = alpha t.m *. m *. m /. !sum in
+  (* Small-range (linear counting) correction.  The 2^62 hash space
+     makes the large-range collision correction irrelevant at any
+     cardinality this system can physically observe. *)
+  if raw <= 2.5 *. m && !zeros > 0 then m *. log (m /. float_of_int !zeros)
+  else raw
+
+let union a b =
+  if a.p <> b.p then invalid_arg "Hll.union: precision mismatch";
+  let u = create ~precision:a.p () in
+  for i = 0 to a.m - 1 do
+    PA.set u.regs i (max (PA.get a.regs i) (PA.get b.regs i))
+  done;
+  u
+
+let std_error t = 1.04 /. sqrt (float_of_int t.m)
+let memory_bytes t = Obj.reachable_words (Obj.repr t) * (Sys.word_size / 8)

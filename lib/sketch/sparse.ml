@@ -1,0 +1,121 @@
+module PA = Cn_runtime.Padded_atomic
+
+type t = {
+  k : int;
+  m : int;
+  bank : PA.t;
+  salts : int array; (* per-edge hash salts, fixed at creation *)
+}
+
+let create ?(degree = 3) ?(padded = false) ~counters () =
+  if degree < 1 then invalid_arg "Sparse.create: degree must be >= 1";
+  if counters < degree then
+    invalid_arg "Sparse.create: need at least [degree] counters";
+  {
+    k = degree;
+    m = counters;
+    bank = PA.make ~padded counters ~init:(fun _ -> 0);
+    salts = Array.init degree (fun j -> Cn_runtime.Splitmix.mix (j + 1));
+  }
+
+let degree t = t.k
+let counters t = t.m
+
+(* The j-th edge of [key] starts at mix (key lxor salt_j) mod m and
+   probes forward past any index already used by an earlier edge of
+   the same key, so the k neighbours are always distinct (k-regular on
+   the left, as the peeling argument needs). *)
+let edges t key =
+  let out = Array.make t.k 0 in
+  for j = 0 to t.k - 1 do
+    let idx = ref (Cn_runtime.Splitmix.mix (key lxor t.salts.(j)) mod t.m) in
+    let rec clashes i = i < j && (out.(i) = !idx || clashes (i + 1)) in
+    while clashes 0 do
+      idx := (!idx + 1) mod t.m
+    done;
+    out.(j) <- !idx
+  done;
+  out
+
+let add t key delta =
+  let es = edges t key in
+  for j = 0 to t.k - 1 do
+    ignore (PA.fetch_and_add t.bank es.(j) delta)
+  done
+
+let estimate t key =
+  let es = edges t key in
+  let best = ref (PA.get t.bank es.(0)) in
+  for j = 1 to t.k - 1 do
+    let v = PA.get t.bank es.(j) in
+    if v < !best then best := v
+  done;
+  !best
+
+type value = { value : int; exact : bool }
+
+let decode t keys =
+  let keys = Array.of_list keys in
+  let n = Array.length keys in
+  let key_edges = Array.map (edges t) keys in
+  (* Counter snapshot; decode is a quiescent read-side pass. *)
+  let residual = Array.init t.m (PA.get t.bank) in
+  let deg = Array.make t.m 0 in
+  let incident = Array.make t.m [] in
+  Array.iteri
+    (fun ki es ->
+      Array.iter
+        (fun c ->
+          deg.(c) <- deg.(c) + 1;
+          incident.(c) <- ki :: incident.(c))
+        es)
+    key_edges;
+  let resolved = Array.make n None in
+  let stack = ref [] in
+  Array.iteri (fun c d -> if d = 1 then stack := c :: !stack) deg;
+  let peel ki v =
+    resolved.(ki) <- Some v;
+    Array.iter
+      (fun c ->
+        residual.(c) <- residual.(c) - v;
+        deg.(c) <- deg.(c) - 1;
+        if deg.(c) = 1 then stack := c :: !stack)
+      key_edges.(ki)
+  in
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | c :: rest ->
+        stack := rest;
+        (* Degree may have dropped since the push — recheck. *)
+        if deg.(c) = 1 then begin
+          match List.find_opt (fun ki -> resolved.(ki) = None) incident.(c) with
+          | Some ki -> peel ki residual.(c)
+          | None -> ()
+        end;
+        drain ()
+  in
+  drain ();
+  (* Survivors of the 2-core: min over *residual* counters — tighter
+     than the raw estimate because every peeled key's contribution has
+     already been subtracted, and still an upper bound for
+     non-negative tallies. *)
+  List.init n (fun ki ->
+      match resolved.(ki) with
+      | Some v -> (keys.(ki), { value = v; exact = true })
+      | None ->
+          let es = key_edges.(ki) in
+          let best = ref residual.(es.(0)) in
+          for j = 1 to t.k - 1 do
+            if residual.(es.(j)) < !best then best := residual.(es.(j))
+          done;
+          (keys.(ki), { value = !best; exact = false }))
+
+let total t =
+  let sum = ref 0 in
+  for i = 0 to t.m - 1 do
+    sum := !sum + PA.get t.bank i
+  done;
+  !sum / t.k
+
+let memory_bytes t = Obj.reachable_words (Obj.repr t) * (Sys.word_size / 8)

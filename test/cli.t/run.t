@@ -212,6 +212,41 @@ Fabric flags are validated before anything runs:
   countnet throughput: --dec-ratio requires --service
   [2]
 
+The approximate backend tiers behind Shared_counter.Custom: --backend
+hll reports the distinct-count estimate against the true op count,
+--backend sparse the exact global tally plus per-flow error, and
+--backend exact is the default network driver spelled out:
+
+  $ countnet throughput -f counting -w 4 --backend hll --domains 2 --ops 200 \
+  >   | grep -c '^hll: estimate'
+  1
+
+  $ countnet throughput -f counting -w 4 --backend sparse --domains 2 --ops 200 \
+  >   | grep -c '^sparse: global tally'
+  1
+
+  $ countnet throughput -f counting -w 4 --backend exact --domains 2 --ops 200 \
+  >   | grep -c '^network: 2 domains x 200 ops'
+  1
+
+Backend flags are validated before anything runs:
+
+  $ countnet throughput -f counting -w 4 --backend bogus --domains 2 --ops 10
+  countnet throughput: unknown backend "bogus" (expected exact|hll|sparse)
+  [2]
+
+  $ countnet throughput -f counting -w 4 --backend hll --service --domains 2 --ops 10
+  countnet throughput: --backend hll/sparse and --service/--fabric are mutually exclusive (the sketch tiers bypass the combining front-ends)
+  [2]
+
+  $ countnet throughput -f counting -w 4 --backend hll --metrics --domains 2 --ops 10
+  countnet throughput: --metrics requires the exact backend (sketches have no network runtime)
+  [2]
+
+  $ countnet throughput -f counting -w 4 --backend sparse --projected --domains 2 --ops 10
+  countnet throughput: --projected requires the exact backend (no network to project)
+  [2]
+
 The layer-pipelined batch driver: bare --pipeline picks the default
 wavefront capacity, an explicit capacity is accepted, and the measured
 line is the same shape as the plain drivers':

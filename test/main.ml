@@ -38,4 +38,5 @@ let () =
          Test_lint.suite;
          Test_fabric.suite;
          Test_proto.suite;
+         Test_sketch.suite;
        ])

@@ -397,6 +397,150 @@ let tuning =
         match Fab.retune fab cal ~shard:0 ~domains:2 with
         | Ok `Unchanged -> ()
         | _ -> Alcotest.fail "expected Unchanged on the second pass");
+    tc "zero-traffic retune with metrics on is not degenerate" (fun () ->
+        (* Regression: an idle metrics-on shard has stalls = 0 and
+           tokens = 0; the stall profile must fall back to the analytic
+           model (scale 1), not divide into a clamp edge and plan a
+           degenerate geometry. *)
+        let fab =
+          Fab.create ~shards:1 ~metrics:true (Counting.network ~w:4 ~t:4)
+        in
+        let cal = P.calibrate ~crossing_ns:20. () in
+        Alcotest.(check bool) "unit scale on idle shard" true
+          (Fab.live_stall_scale fab ~shard:0 ~domains:8 = 1.);
+        let w, t = Fab.plan fab cal ~shard:0 ~domains:8 in
+        let w', t' = P.tune cal ~domains:8 in
+        Alcotest.(check int) "plan w matches pure tune" w' w;
+        Alcotest.(check int) "plan t matches pure tune" t' t);
+    tc "sub-threshold traffic keeps the cold-start floor" (fun () ->
+        (* A handful of crossings is sampling noise, not a stall
+           profile: below [min_profile_tokens] the scale must stay 1
+           even though stalls and tokens are both nonzero. *)
+        let fab =
+          Fab.create ~shards:1 ~metrics:true (Counting.network ~w:4 ~t:4)
+        in
+        let ops = Fab.min_profile_tokens / 4 in
+        let s = Fab.session ~key:0 fab in
+        for _ = 1 to ops do
+          ignore (Fab.increment s)
+        done;
+        Alcotest.(check bool) "unit scale below the sample floor" true
+          (Fab.live_stall_scale fab ~shard:0 ~domains:4 = 1.);
+        let cal = P.calibrate ~crossing_ns:20. () in
+        let w, t = Fab.plan fab cal ~shard:0 ~domains:4 in
+        let w', t' = P.tune cal ~domains:4 in
+        Alcotest.(check int) "plan unaffected by the noise sample w" w' w;
+        Alcotest.(check int) "plan unaffected by the noise sample t" t' t;
+        Alcotest.(check int) "count preserved" ops (Fab.read fab));
+  ]
+
+let profiled =
+  (* The two-tier backend profile: billing keys on the exact fabric,
+     telemetry keys on Cn_sketch lanes behind the router ring. *)
+  let module SC = Cn_runtime.Shared_counter in
+  let module Svc = Cn_service.Service in
+  let classify pid = if pid land 1 = 0 then Fab.Billing else Fab.Telemetry in
+  [
+    tc "billing tier is exact, telemetry hll tier is within 2 sigma" (fun () ->
+        let fab = Fab.create ~shards:2 (Counting.network ~w:4 ~t:4) in
+        let p =
+          Fab.profiled_counter ~backend:(Svc.Hll { precision = 12 }) ~classify
+            fab
+        in
+        let billing_ops = 500 and telemetry_ops = 20_000 in
+        for i = 1 to billing_ops do
+          ignore (SC.next p.Fab.counter ~pid:(2 * (i mod 8)))
+        done;
+        for i = 1 to telemetry_ops do
+          ignore (SC.next p.Fab.counter ~pid:((2 * (i mod 8)) + 1))
+        done;
+        Alcotest.(check int) "billing tier counts exactly" billing_ops
+          (p.Fab.billing_value ());
+        let est = p.Fab.telemetry_estimate () in
+        let err =
+          Float.abs (est -. float_of_int telemetry_ops)
+          /. float_of_int telemetry_ops
+        in
+        (* What this pins is the routing (billing ops never leak into
+           the sketch tier and vice versa), not estimator variance:
+           this fixed stream draws 2.1 sigma at p = 12, and a routing
+           bug would show up as a gross shortfall.  5% rejects that
+           while tolerating the draw. *)
+        Alcotest.(check bool)
+          (Printf.sprintf "telemetry estimate %.0f tracks %d (err %.4f)" est
+             telemetry_ops err)
+          true (err <= 0.05);
+        Alcotest.(check bool) "telemetry tier reports resident bytes" true
+          (p.Fab.telemetry_memory_bytes () > 0);
+        ignore (Fab.shutdown fab));
+    tc "slot-sharing pids across lanes do not collapse the union" (fun () ->
+        (* Regression: telemetry lanes mint from zero-based slot banks;
+           pids that share [pid mod slots] but route to different lanes
+           used to mint identical keys, and the union-merged estimate
+           undercounted.  512 odd pids over 64 slots force heavy
+           cross-lane slot sharing. *)
+        let fab = Fab.create ~shards:1 (Counting.network ~w:4 ~t:4) in
+        let p =
+          Fab.profiled_counter ~backend:(Svc.Hll { precision = 12 }) ~lanes:4
+            ~classify fab
+        in
+        let pids = 512 and per = 40 in
+        for i = 0 to pids - 1 do
+          for _ = 1 to per do
+            ignore (SC.next p.Fab.counter ~pid:((2 * i) + 1))
+          done
+        done;
+        let truth = float_of_int (pids * per) in
+        let est = p.Fab.telemetry_estimate () in
+        let err = Float.abs (est -. truth) /. truth in
+        let sigma = 1.04 /. sqrt (float_of_int (1 lsl 12)) in
+        Alcotest.(check bool)
+          (Printf.sprintf "estimate %.0f of %.0f (err %.4f)" est truth err)
+          true
+          (err <= 2. *. sigma);
+        ignore (Fab.shutdown fab));
+    tc "sparse telemetry tier nets out exactly at quiescence" (fun () ->
+        let fab = Fab.create ~shards:1 (Counting.network ~w:4 ~t:4) in
+        let p =
+          Fab.profiled_counter
+            ~backend:(Svc.Sparse { counters = 1024; degree = 3 })
+            ~lanes:2 ~classify fab
+        in
+        for i = 1 to 900 do
+          ignore (SC.next p.Fab.counter ~pid:((2 * (i mod 16)) + 1))
+        done;
+        for _ = 1 to 300 do
+          ignore (SC.prev p.Fab.counter ~pid:1)
+        done;
+        (* Sparse.total is exact whatever the collision structure. *)
+        Alcotest.(check (float 0.)) "global net tally is exact" 600.
+          (p.Fab.telemetry_estimate ());
+        Alcotest.(check int) "billing tier untouched" 0 (p.Fab.billing_value ());
+        ignore (Fab.shutdown fab));
+    tc "billing conservation holds across 4 mixed domains" (fun () ->
+        let fab = Fab.create ~shards:2 (Counting.network ~w:4 ~t:4) in
+        let p = Fab.profiled_counter ~classify fab in
+        let per = 500 in
+        let doms =
+          Array.init 4 (fun d ->
+              Domain.spawn (fun () ->
+                  (* Even pids bill, odd pids stream telemetry. *)
+                  for k = 1 to per do
+                    ignore (SC.next p.Fab.counter ~pid:((2 * d) + (k land 1)))
+                  done))
+        in
+        Array.iter Domain.join doms;
+        Alcotest.(check int) "every billing op counted exactly once"
+          (4 * per / 2)
+          (p.Fab.billing_value ());
+        ignore (Fab.shutdown fab));
+    Util.raises_invalid "profiled_counter rejects the Exact telemetry backend"
+      (fun () ->
+        let fab = Fab.create ~shards:1 (Counting.network ~w:4 ~t:4) in
+        ignore (Fab.profiled_counter ~backend:Svc.Exact ~classify fab));
+    Util.raises_invalid "profiled_counter rejects lanes < 1" (fun () ->
+        let fab = Fab.create ~shards:1 (Counting.network ~w:4 ~t:4) in
+        ignore (Fab.profiled_counter ~lanes:0 ~classify fab));
   ]
 
 let suite =
@@ -406,4 +550,5 @@ let suite =
     ("fabric.ops", ops);
     ("fabric.resize", resize_under_load);
     ("fabric.tuning", tuning);
+    ("fabric.profiled", profiled);
   ]

@@ -396,6 +396,20 @@ let races =
         Alcotest.(check bool) "range, no aliasing" true
           (H.values_are_a_range values);
         Alcotest.(check bool) "strict drain" true (V.passed (Svc.drain svc)));
+    tc "pool growth races 8 domains from a 1-session pool" (fun () ->
+        (* Regression for the growth lock: 8 domains all miss the
+           1-session pool at once and race the double-read miss path;
+           any lost or aliased session breaks the range contract. *)
+        let svc = Svc.create (net816 ()) in
+        let counter = Svc.shared_counter ~sessions:1 svc in
+        let values =
+          H.run_collect ~validate:V.Strict
+            ~make:(fun () -> counter)
+            ~domains:8 ~ops_per_domain:100 ()
+        in
+        Alcotest.(check bool) "range, no aliasing under racing growth" true
+          (H.values_are_a_range values);
+        Alcotest.(check bool) "strict drain" true (V.passed (Svc.drain svc)));
   ]
 
 let workload_spec =
@@ -418,6 +432,53 @@ let workload_spec =
           (W.run
              (Svc.create (net48 ()))
              { W.default with W.arrival = W.Closed (-1.) }));
+    tc "achieved dec ratio converges on the spec ratio" (fun () ->
+        (* Regression for the dec-ratio drift: a drawn decrement that
+           landed on a zero balance used to be silently replaced by an
+           increment, biasing the emitted mix well below the spec on
+           bursty-balance runs.  Banked-decrement accounting pays every
+           draw, so long runs converge. *)
+        let svc = Svc.create (net48 ()) in
+        let spec =
+          { W.default with W.domains = 2; ops_per_domain = 10_000; dec_ratio = 0.3 }
+        in
+        let st = W.run svc spec in
+        Alcotest.(check bool)
+          (Printf.sprintf "achieved %.4f within 0.02 of 0.3"
+             st.W.achieved_dec_ratio)
+          true
+          (Float.abs (st.W.achieved_dec_ratio -. 0.3) <= 0.02);
+        ignore (Svc.drain svc));
+    tc "dec ratios above one half cap near one half" (fun () ->
+        (* Prefix non-negativity makes every decrement consume a prior
+           increment, so 0.5 is the inherent ceiling, not drift. *)
+        let svc = Svc.create (net48 ()) in
+        let spec =
+          { W.default with W.domains = 2; ops_per_domain = 10_000; dec_ratio = 0.9 }
+        in
+        let st = W.run svc spec in
+        Alcotest.(check bool)
+          (Printf.sprintf "achieved %.4f in [0.45, 0.5]" st.W.achieved_dec_ratio)
+          true
+          (st.W.achieved_dec_ratio >= 0.45 && st.W.achieved_dec_ratio <= 0.5);
+        ignore (Svc.drain svc));
+    Util.qtest ~count:20 "achieved dec ratio tracks any spec ratio below 0.45"
+      QCheck2.Gen.(float_range 0. 0.45)
+      (fun ratio ->
+        let svc = Svc.create (net48 ()) in
+        let spec =
+          {
+            W.default with
+            W.domains = 1;
+            ops_per_domain = 4_000;
+            dec_ratio = ratio;
+          }
+        in
+        let st = W.run svc spec in
+        ignore (Svc.drain svc);
+        (* Binomial noise at n = 4000 is sigma ~0.008; 0.05 is ~6
+           sigma plus the bounded end-of-run banked remainder. *)
+        Float.abs (st.W.achieved_dec_ratio -. ratio) <= 0.05);
   ]
 
 let suite =
