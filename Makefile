@@ -2,9 +2,9 @@
 
 .PHONY: all build test bench micro bench-runtime bench-smoke bench-service \
         bench-service-smoke bench-serve bench-serve-smoke bench-fabric \
-        bench-fabric-smoke bench-sketch bench-sketch-smoke bench-projected \
-        bench-projected-smoke serve-smoke check-metrics check-races lint \
-        examples clean doc
+        bench-fabric-smoke bench-sketch bench-sketch-smoke bench-hybrid \
+        bench-hybrid-smoke bench-projected bench-projected-smoke serve-smoke \
+        check-metrics check-races lint lint-hybrids examples clean doc
 
 all: build
 
@@ -67,6 +67,16 @@ bench-sketch:
 bench-sketch-smoke:
 	dune exec bench/main.exe -- sketch --smoke
 
+# Merger-strategy comparison at C(16,16): depth, size and throughput of
+# the classic difference merger vs the periodic3 and pk hybrids, each
+# row tagged with its two-token step-battery verdict.  Appends a
+# "hybrid" section to BENCH_runtime.json.
+bench-hybrid:
+	dune exec bench/main.exe -- hybrid
+
+bench-hybrid-smoke:
+	dune exec bench/main.exe -- hybrid --smoke
+
 # Out-of-process loopback smoke test: real countnetd daemon + two
 # concurrent `countnet load` clients + SIGTERM under load, asserting a
 # clean quiescent drain.  See doc/protocol.md for the wire format.
@@ -93,12 +103,22 @@ check-races:
 	dune exec bin/countnet.exe -- check -p 3 --selftest
 
 # Static certification: every portfolio family in both compiled layouts,
-# the seeded mutant battery (all must be rejected with their pinned
-# diagnostics), and the source-level atomics lint over lib/ and bin/.
-# Writes the certificate summary to LINT_certificates.json.
+# the merger-substituted hybrid campaign (certified or refuted with
+# pinned counterexamples), the seeded mutant battery (all must be
+# rejected with their pinned diagnostics), and the source-level atomics
+# lint over lib/ and bin/.  Writes the schema_version-2 certificate
+# payload to LINT_certificates.json and fails if any classic row is not
+# ok or if a hybrid row is unadjudicated.
 lint:
-	dune exec bin/countnet.exe -- lint --all --mutate --json LINT_certificates.json
+	dune exec bin/countnet.exe -- lint --all --hybrids --mutate --json LINT_certificates.json
 	dune exec bin/atomlint.exe -- lib bin
+	sh scripts/check_certificates.sh LINT_certificates.json
+
+# Just the hybrid campaign (< 30 s): every (family x merger x scope x
+# width <= 64) combination, certified bounded-exhaustively or refuted
+# with a replayable counterexample.
+lint-hybrids:
+	dune exec bin/countnet.exe -- lint --hybrids
 
 # Quick end-to-end check of the observability layer: metrics JSON out,
 # quiescence validator strict.

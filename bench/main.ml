@@ -1461,6 +1461,98 @@ let sketch ?(smoke = false) () =
     (List.length hll_rows) (List.length tp_rows)
 
 (* ------------------------------------------------------------------ *)
+(* hybrid: merger-strategy comparison at C(16,16).  Depth/size of each
+   substituted topology plus shared-counter throughput, with the lint's
+   two-token step battery replayed inline so every row carries its own
+   correctness verdict (periodic3 passes it at this width; the pk
+   strategies are refuted — the row records that honestly rather than
+   benchmarking a broken network as if it counted).                     *)
+
+let hybrid ?(smoke = false) () =
+  header "hybrid  merger strategies at C(16,16): depth/size/throughput (appends to BENCH_runtime.json)";
+  line "(host note: single-core container -> domains timeshare; relative shapes only)";
+  let module M = Cn_core.Merger in
+  let module H = Cn_runtime.Harness in
+  let w = 16 in
+  let domains = if smoke then 2 else 4 in
+  let ops = if smoke then 10_000 else 100_000 in
+  let battery = Cn_lint.Cert.escalation_loads w in
+  let strategies =
+    [
+      ("difference", M.Difference, M.All_levels);
+      ("periodic3/top", M.Periodic3, M.Top_only);
+      ("periodic3/all", M.Periodic3, M.All_levels);
+      ("pk2/top", M.Periodic_k 2, M.Top_only);
+      ("pk6/top", M.Periodic_k 6, M.Top_only);
+    ]
+  in
+  line "%-15s %6s %6s %8s %12s" "merger" "depth" "size" "battery" "ops/s";
+  let rows =
+    List.map
+      (fun (name, merger, scope) ->
+        let net = C.network_with ~merger ~scope ~w ~t:w in
+        let depth = T.depth net in
+        let size = T.size net in
+        let battery_ok =
+          List.for_all (fun load -> S.is_step (E.quiescent net load)) battery
+        in
+        let r =
+          H.throughput
+            ~make:(fun () -> Cn_runtime.Shared_counter.of_topology net)
+            ~domains ~ops_per_domain:ops ()
+        in
+        line "%-15s %6d %6d %8s %12.0f" name depth size
+          (if battery_ok then "ok" else "REFUTED")
+          r.H.ops_per_sec;
+        (name, depth, size, battery_ok, r.H.ops_per_sec))
+      strategies
+  in
+  (* The classic difference merger must pass its own battery; a failure
+     here is a harness bug, not a finding. *)
+  (match rows with
+  | ("difference", _, _, ok, _) :: _ when not ok ->
+      prerr_endline "hybrid bench: difference merger failed the step battery";
+      exit 1
+  | _ -> ());
+  let entries =
+    List.map
+      (fun (name, depth, size, battery_ok, rate) ->
+        Printf.sprintf
+          "      { \"merger\": %S, \"depth\": %d, \"size\": %d, \"step_battery_ok\": %b, \
+           \"ops_per_sec\": %.1f }"
+          name depth size battery_ok rate)
+      rows
+  in
+  let section =
+    Printf.sprintf
+      "{\n    \"network\": \"C(%d,%d)\",\n    \"domains\": %d,\n    \"ops_per_domain\": %d,\n    \
+       \"battery_loads\": %d,\n    \"rows\": [\n%s\n    ]\n  }"
+      w w domains ops (List.length battery)
+      (String.concat ",\n" entries)
+  in
+  let path = "BENCH_runtime.json" in
+  let fresh () =
+    let oc = open_out path in
+    Printf.fprintf oc "{\n  \"suite\": \"hybrid\",\n  \"hybrid\": %s\n}\n" section;
+    close_out oc
+  in
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let content = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match String.rindex_opt content '}' with
+    | Some i ->
+        let oc = open_out path in
+        output_string oc (String.sub content 0 i);
+        Printf.fprintf oc ",\n  \"hybrid\": %s\n}\n" section;
+        close_out oc
+    | None -> fresh ()
+  end
+  else fresh ();
+  line "appended hybrid section to BENCH_runtime.json (%d merger rows, %d battery loads)"
+    (List.length rows) (List.length battery)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment family.      *)
 
 let micro () =
@@ -1596,8 +1688,10 @@ let () =
   | [| _; "fabric"; "--smoke" |] -> fabric ~smoke:true ()
   | [| _; "sketch" |] -> sketch ()
   | [| _; "sketch"; "--smoke" |] -> sketch ~smoke:true ()
+  | [| _; "hybrid" |] -> hybrid ()
+  | [| _; "hybrid"; "--smoke" |] -> hybrid ~smoke:true ()
   | _ ->
       prerr_endline
         "usage: main.exe [e1|...|e14|micro|runtime [--smoke] [--projected]|service [--smoke] \
-         [--projected]|serve [--smoke]|fabric [--smoke]|sketch [--smoke]]";
+         [--projected]|serve [--smoke]|fabric [--smoke]|sketch [--smoke]|hybrid [--smoke]]";
       exit 2

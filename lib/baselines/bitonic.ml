@@ -6,9 +6,13 @@ let odd a = Array.init (Array.length a / 2) (fun i -> a.((2 * i) + 1))
 
 let rec merger_wires b (x, y) =
   let half = Array.length x in
-  if Array.length y <> half then invalid_arg "Bitonic.merger_wires: halves differ in length";
+  if Array.length y <> half then
+    invalid_arg
+      (Printf.sprintf "Bitonic.merger_wires: halves differ in length (%d and %d)" half
+         (Array.length y));
   if not (Params.is_power_of_two half) then
-    invalid_arg "Bitonic.merger_wires: width must be a power of two";
+    invalid_arg
+      (Printf.sprintf "Bitonic.merger_wires: width must be a power of two (got %d)" (2 * half));
   if half = 1 then begin
     let top, bottom = Builder.balancer2 b x.(0) y.(0) in
     [| top; bottom |]
@@ -28,7 +32,8 @@ let rec merger_wires b (x, y) =
 
 let merger t =
   if not (Params.is_power_of_two t) || t < 2 then
-    invalid_arg "Bitonic.merger: width must be a power of two >= 2";
+    invalid_arg
+      (Printf.sprintf "Bitonic.merger: width must be a power of two >= 2 (got t=%d)" t);
   Builder.build ~input_width:t (fun b ins ->
       let half = t / 2 in
       merger_wires b (Array.sub ins 0 half, Array.sub ins half half))
@@ -36,7 +41,8 @@ let merger t =
 let rec wires b ins =
   let w = Array.length ins in
   if not (Params.is_power_of_two w) || w < 2 then
-    invalid_arg "Bitonic.wires: width must be a power of two >= 2";
+    invalid_arg
+      (Printf.sprintf "Bitonic.wires: width must be a power of two >= 2 (got w=%d)" w);
   if w = 2 then begin
     let top, bottom = Builder.balancer2 b ins.(0) ins.(1) in
     [| top; bottom |]
@@ -50,7 +56,8 @@ let rec wires b ins =
 
 let network w =
   if not (Params.is_power_of_two w) || w < 2 then
-    invalid_arg "Bitonic.network: width must be a power of two >= 2";
+    invalid_arg
+      (Printf.sprintf "Bitonic.network: width must be a power of two >= 2 (got w=%d)" w);
   Builder.build ~input_width:w (fun b ins -> wires b ins)
 
 let depth_formula ~w =

@@ -16,7 +16,8 @@ let rec tree b ~w in_wire =
 
 let network w =
   if not (Params.is_power_of_two w) || w < 2 then
-    invalid_arg "Diffracting.network: width must be a power of two >= 2";
+    invalid_arg
+      (Printf.sprintf "Diffracting.network: width must be a power of two >= 2 (got w=%d)" w);
   Builder.build ~input_width:1 (fun b ins -> tree b ~w ins.(0))
 
 let depth_formula ~w = Params.ilog2 w

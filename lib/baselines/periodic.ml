@@ -16,7 +16,8 @@ let cochains ins =
 let rec block_wires b ins =
   let w = Array.length ins in
   if not (Params.is_power_of_two w) || w < 2 then
-    invalid_arg "Periodic.block_wires: width must be a power of two >= 2";
+    invalid_arg
+      (Printf.sprintf "Periodic.block_wires: width must be a power of two >= 2 (got w=%d)" w);
   if w = 2 then begin
     let top, bottom = Builder.balancer2 b ins.(0) ins.(1) in
     [| top; bottom |]
@@ -45,7 +46,8 @@ let wires b ins =
 
 let network w =
   if not (Params.is_power_of_two w) || w < 2 then
-    invalid_arg "Periodic.network: width must be a power of two >= 2";
+    invalid_arg
+      (Printf.sprintf "Periodic.network: width must be a power of two >= 2 (got w=%d)" w);
   Builder.build ~input_width:w (fun b ins -> wires b ins)
 
 let depth_formula ~w =

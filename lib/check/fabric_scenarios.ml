@@ -72,7 +72,7 @@ let stopper run () =
   incr run.shutdowns
 
 (* Certification is pure, deterministic and checked by its own test
-   suite; running the seven-pass pipeline inside every interleaving
+   suite; running the eight-pass pipeline inside every interleaving
    would only slow exploration without adding schedule points. *)
 let certify_ok _ = Ok ()
 

@@ -27,7 +27,7 @@
     - {b liveness} (via the engine): parked operations are replayed —
       a cell never completed shows up as a deadlock.
 
-    Certification is stubbed to [Ok]: the seven-pass pipeline is pure
+    Certification is stubbed to [Ok]: the eight-pass pipeline is pure
     and deterministic (no schedule points), and has its own suite. *)
 
 module Fab :

@@ -20,7 +20,8 @@ let c_prime ~w ~t =
 
 let c_second w =
   if not (Params.is_power_of_two w) || w < 2 then
-    invalid_arg "Blocks.c_second: width must be a power of two >= 2";
+    invalid_arg
+      (Printf.sprintf "Blocks.c_second: width must be a power of two >= 2 (got w=%d)" w);
   Builder.build ~input_width:w (fun b ins -> c_prime_wires b ~p:1 ins)
 
 (* N_c: the stack of mergers, mirroring the recursive split of C(w, t):

@@ -2,7 +2,7 @@ open Cn_network
 
 let check_width name w =
   if not (Params.is_power_of_two w) || w < 2 then
-    invalid_arg (name ^ ": width must be a power of two >= 2")
+    invalid_arg (Printf.sprintf "%s: width must be a power of two >= 2 (got w=%d)" name w)
 
 let rec forward_wires b ins =
   let w = Array.length ins in

@@ -2,7 +2,8 @@ open Cn_network
 
 let wires b ins =
   let w = Array.length ins in
-  if w < 2 || w mod 2 <> 0 then invalid_arg "Ladder.wires: width must be even and >= 2";
+  if w < 2 || w mod 2 <> 0 then
+    invalid_arg (Printf.sprintf "Ladder.wires: width must be even and >= 2 (got w=%d)" w);
   let half = w / 2 in
   let outs = Array.copy ins in
   for i = 0 to half - 1 do

@@ -1,0 +1,131 @@
+open Cn_network
+
+type strategy = Difference | Periodic3 | Periodic_k of int
+type scope = All_levels | Top_only
+
+let strategy_name = function
+  | Difference -> "difference"
+  | Periodic3 -> "periodic3"
+  | Periodic_k k -> Printf.sprintf "pk%d" k
+
+let strategy_of_string s =
+  match String.lowercase_ascii s with
+  | "difference" | "m" -> Some Difference
+  | "periodic3" | "p3" -> Some Periodic3
+  | s when String.length s > 2 && String.sub s 0 2 = "pk" -> (
+      match int_of_string_opt (String.sub s 2 (String.length s - 2)) with
+      | Some k when k >= 1 -> Some (Periodic_k k)
+      | _ -> None)
+  | _ -> None
+
+let scope_name = function All_levels -> "all" | Top_only -> "top"
+
+let scope_of_string s =
+  match String.lowercase_ascii s with
+  | "all" | "all-levels" -> Some All_levels
+  | "top" | "top-only" -> Some Top_only
+  | _ -> None
+
+let valid ~strategy ~t ~delta =
+  match strategy with
+  | Difference -> Params.valid_merging ~t ~delta
+  | Periodic3 -> Params.is_power_of_two t && t >= 4 && delta >= 1 && delta <= t / 2
+  | Periodic_k k -> Params.is_power_of_two t && t >= 4 && delta >= 1 && delta <= t / 2 && k >= 1
+
+(* A layer is a matching over the t wires; wires left out of the
+   matching fall through to the next layer untouched. *)
+let apply_matching b z pairs =
+  let z' = Array.copy z in
+  List.iter
+    (fun (i, j) ->
+      let top, bottom = Builder.balancer2 b z.(i) z.(j) in
+      z'.(i) <- top;
+      z'.(j) <- bottom)
+    pairs;
+  z'
+
+(* The three matchings the periodic candidates are assembled from. *)
+
+let mirror t = List.init (t / 2) (fun i -> (i, t - 1 - i))
+
+let brick_even t = List.init (t / 2) (fun i -> (2 * i, (2 * i) + 1))
+
+let brick_odd t = List.init ((t / 2) - 1) (fun i -> ((2 * i) + 1, (2 * i) + 2))
+
+(* Balanced layer l (1-based) of the Dowd-Perl-Rudolph-Saks block:
+   wire i meets the wire whose low (lg t - l + 1) bits are complemented.
+   Layer 1 is the full mirror; layer lg t pairs adjacent wires. *)
+let balanced t l =
+  let mask = (1 lsl (Params.ilog2 t - l + 1)) - 1 in
+  List.filter_map
+    (fun i -> if i < i lxor mask then Some (i, i lxor mask) else None)
+    (List.init t Fun.id)
+
+let period ~strategy ~t =
+  match strategy with
+  | Difference -> invalid_arg "Merger.period: the difference merger is not periodic"
+  | Periodic3 -> [ mirror t; brick_even t; brick_odd t ]
+  | Periodic_k k ->
+      (* The period is the first k balanced layers, clamped at lg t so
+         the same strategy stays valid at every recursion level. *)
+      List.init (min k (Params.ilog2 t)) (fun i -> balanced t (i + 1))
+
+let rounds ~strategy ~t =
+  let lgt = Params.ilog2 t in
+  match strategy with
+  | Difference -> invalid_arg "Merger.rounds: the difference merger is not periodic"
+  | Periodic3 -> lgt
+  | Periodic_k k ->
+      let k = min k lgt in
+      (lgt + k - 1) / k
+
+let check_valid ~who ~strategy ~t ~delta =
+  if not (valid ~strategy ~t ~delta) then
+    invalid_arg
+      (Printf.sprintf "%s: invalid parameters strategy=%s t=%d delta=%d" who
+         (strategy_name strategy) t delta)
+
+let wires strategy b ~delta (x, y) =
+  match strategy with
+  | Difference -> Merging.wires b ~delta (x, y)
+  | Periodic3 | Periodic_k _ ->
+      let half = Array.length x in
+      if Array.length y <> half then
+        invalid_arg
+          (Printf.sprintf "Merger.wires: halves have different lengths (%d and %d)" half
+             (Array.length y));
+      let t = 2 * half in
+      check_valid ~who:"Merger.wires" ~strategy ~t ~delta;
+      let layers = period ~strategy ~t in
+      let r = rounds ~strategy ~t in
+      let z = ref (Array.append x y) in
+      for _ = 1 to r do
+        List.iter (fun pairs -> z := apply_matching b !z pairs) layers
+      done;
+      !z
+
+let network ~strategy ~t ~delta =
+  check_valid ~who:"Merger.network" ~strategy ~t ~delta;
+  match strategy with
+  | Difference -> Merging.network ~t ~delta
+  | Periodic3 | Periodic_k _ ->
+      Builder.build ~input_width:t (fun b ins ->
+          let half = t / 2 in
+          let x = Array.sub ins 0 half and y = Array.sub ins half half in
+          wires strategy b ~delta (x, y))
+
+let depth_formula ~strategy ~t ~delta =
+  match strategy with
+  | Difference -> Merging.depth_formula ~delta
+  | Periodic3 | Periodic_k _ ->
+      let layers = List.length (period ~strategy ~t) in
+      layers * rounds ~strategy ~t
+
+let size_formula ~strategy ~t ~delta =
+  match strategy with
+  | Difference -> t / 2 * Merging.depth_formula ~delta
+  | Periodic3 | Periodic_k _ ->
+      let per_period =
+        List.fold_left (fun acc pairs -> acc + List.length pairs) 0 (period ~strategy ~t)
+      in
+      per_period * rounds ~strategy ~t

@@ -1,0 +1,98 @@
+(** Merger strategies for the [C(w, t)] recursion.
+
+    The paper's difference merger [M(t, δ)] (Section 3, {!Merging}) is
+    the depth bottleneck of [C(w, t)].  Piotrów's periodic merging
+    networks ("Faster 3-Periodic Merging Networks", "Faster
+    Small-Constant-Periodic Merging Networks") suggest drop-in
+    replacement stages built from a small fixed {e period} of layers
+    applied repeatedly.  This module implements two such candidate
+    stages for balancing networks and exposes them — together with the
+    classic difference merger — behind one {!strategy} type that
+    {!Counting.network} threads through its recursion.
+
+    {b Correctness is not assumed.}  The periodic constructions are
+    comparator-network ideas transplanted to balancers; nothing
+    guarantees a substituted merger preserves the step property.  Every
+    hybrid is adjudicated by the {!Cn_lint} certification pipeline,
+    which either certifies it (bounded-exhaustively) or refutes it with
+    a concrete counterexample token profile.  Refutations are
+    first-class results and ship in the certificate portfolio.
+
+    The candidate periods:
+
+    - [Periodic3] — a 3-layer period in the style of the
+      Kutyłowski–Loryś–Oesterdiekhoff / Piotrów 3-periodic mergers:
+      a full mirror matching ([i ↔ t−1−i]) followed by the two brick
+      (odd-even transposition) matchings, repeated [lg t] times.
+    - [Periodic_k k] — a period made of the first [min k (lg t)]
+      balanced layers of the Dowd–Perl–Rudolph–Saks block (layer [l]
+      complements the low [lg t − l + 1] index bits), repeated
+      [⌈lg t / k⌉] times.  With [k >= lg t] the network is exactly one
+      balanced block — the DPRS periodic-merge stage, and the balancer
+      analogue of the block AHS cascade in their periodic counting
+      network.  [k] is clamped per width so one strategy value stays
+      valid at every recursion level of [C(w, t)]. *)
+
+open Cn_network
+
+type strategy =
+  | Difference  (** the paper's [M(t, δ)] — {!Merging} *)
+  | Periodic3  (** 3-layer mirror+brick period, [lg t] rounds *)
+  | Periodic_k of int
+      (** [min k (lg t)]-layer balanced-block prefix period,
+          [⌈lg t / k⌉] rounds *)
+
+type scope =
+  | All_levels  (** substitute the merger at every recursion level *)
+  | Top_only  (** substitute only the outermost merger *)
+
+val strategy_name : strategy -> string
+(** ["difference"], ["periodic3"] or ["pk<k>"] — the token used in
+    certificate rows, CLI flags and portfolio entry names. *)
+
+val strategy_of_string : string -> strategy option
+(** Inverse of {!strategy_name}; also accepts ["m"] and ["p3"]. *)
+
+val scope_name : scope -> string
+(** ["all"] or ["top"]. *)
+
+val scope_of_string : string -> scope option
+
+val valid : strategy:strategy -> t:int -> delta:int -> bool
+(** Parameter validity.  [Difference] defers to
+    {!Params.valid_merging}; the periodic strategies require [t] a
+    power of two [>= 4], [1 <= delta <= t/2], and for [Periodic_k k]
+    additionally [k >= 1]. *)
+
+val period : strategy:strategy -> t:int -> (int * int) list list
+(** The fixed layer period at width [t]: one matching per layer.
+    @raise Invalid_argument on [Difference]. *)
+
+val rounds : strategy:strategy -> t:int -> int
+(** How many times the period is applied.
+    @raise Invalid_argument on [Difference]. *)
+
+val wires :
+  strategy ->
+  Builder.t ->
+  delta:int ->
+  Builder.wire array * Builder.wire array ->
+  Builder.wire array
+(** [wires strategy b ~delta (x, y)] appends the chosen merger stage to
+    builder [b].  For [Difference] this is exactly {!Merging.wires}.
+    @raise Invalid_argument on invalid parameters or halves of
+    different lengths. *)
+
+val network : strategy:strategy -> t:int -> delta:int -> Topology.t
+(** Standalone topology of the merger stage; the first [t/2] inputs
+    carry [x], the rest [y].  [delta] records the merging contract the
+    stage is certified against (the difference bound [0 <= Σx − Σy <=
+    δ]); the periodic constructions do not read it structurally. *)
+
+val depth_formula : strategy:strategy -> t:int -> delta:int -> int
+(** Closed-form depth: [lg δ] for [Difference], [3·lg t] for
+    [Periodic3], [k'·⌈lg t / k'⌉] with [k' = min k (lg t)] for
+    [Periodic_k k]. *)
+
+val size_formula : strategy:strategy -> t:int -> delta:int -> int
+(** Number of balancers of the stage. *)

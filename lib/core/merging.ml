@@ -24,7 +24,10 @@ let odd a = Array.init (Array.length a / 2) (fun i -> a.((2 * i) + 1))
 
 let rec wires b ~delta (x, y) =
   let half = Array.length x in
-  if Array.length y <> half then invalid_arg "Merging.wires: halves have different lengths";
+  if Array.length y <> half then
+    invalid_arg
+      (Printf.sprintf "Merging.wires: halves have different lengths (%d and %d)" half
+         (Array.length y));
   let t = 2 * half in
   if not (valid ~t ~delta) then
     invalid_arg (Printf.sprintf "Merging.wires: invalid parameters t=%d delta=%d" t delta);

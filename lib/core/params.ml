@@ -1,7 +1,8 @@
 let is_power_of_two v = v > 0 && v land (v - 1) = 0
 
 let ilog2 v =
-  if not (is_power_of_two v) then invalid_arg "Params.ilog2: not a positive power of two";
+  if not (is_power_of_two v) then
+    invalid_arg (Printf.sprintf "Params.ilog2: not a positive power of two (got %d)" v);
   let rec go acc v = if v <= 1 then acc else go (acc + 1) (v / 2) in
   go 0 v
 

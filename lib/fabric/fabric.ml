@@ -3,7 +3,7 @@
    keeps abstract filled in concretely:
 
    - certification: every topology — initial shards, hot-resize
-     candidates, grow targets — runs the Cn_lint seven-pass pipeline
+     candidates, grow targets — runs the Cn_lint eight-pass pipeline
      with expectation [Counting] before it may serve traffic; a
      certificate that is not ok, or whose evidence is a refutation, is
      a hard abort (the resize returns [Cert_rejected] and nothing

@@ -15,7 +15,7 @@
 
     Every topology the fabric ever serves — initial shards, resize
     candidates, grow targets — is first certified by the {!Cn_lint}
-    seven-pass pipeline with expectation [Counting]; a rejected
+    eight-pass pipeline with expectation [Counting]; a rejected
     certificate aborts the operation before any state changes.
 
     The per-shard [(w, t)] choice can be auto-tuned:

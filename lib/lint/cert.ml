@@ -25,6 +25,7 @@ type pass_report = {
 type t = {
   subject : string;
   expectation : expectation;
+  merger : string option;
   passes : pass_report list;
   evidence : evidence;
 }
@@ -124,7 +125,29 @@ let exhaustive_plan expectation w budget =
       in
       pick [ 4; 3; 2; 1 ]
 
-let certify ?reference ?iso_hint ?expected_depth ?(exhaustive_budget = 20_000)
+(* The escalation battery: every load placing at most two tokens on at
+   most two input wires.  Sparse low-weight loads are exactly where a
+   wrong merger stage first leaves the step regime (a single balancer
+   pair sends both tokens the same way), and the battery stays tiny —
+   1 + 2w + w(w−1)/2 loads — even at w = 64. *)
+let escalation_loads w =
+  let load pairs =
+    let a = Array.make w 0 in
+    List.iter (fun (i, n) -> a.(i) <- n) pairs;
+    a
+  in
+  (load []
+  :: List.concat_map
+       (fun i -> [ load [ (i, 1) ]; load [ (i, 2) ] ])
+       (List.init w Fun.id))
+  @ List.concat_map
+      (fun i ->
+        List.filter_map
+          (fun j -> if j > i then Some (load [ (i, 1); (j, 1) ]) else None)
+          (List.init w Fun.id))
+      (List.init w Fun.id)
+
+let certify ?reference ?iso_hint ?expected_depth ?merger ?(exhaustive_budget = 20_000)
     ?(layouts = [ Rt.Padded_csr; Rt.Unpadded_nested ]) ~subject ~expectation net =
   let w = Topology.input_width net in
   let t_out = Topology.output_width net in
@@ -282,7 +305,54 @@ let certify ?reference ?iso_hint ?expected_depth ?(exhaustive_budget = 20_000)
                 ];
             })
   in
-  (* 6. Structural certification against the reference construction. *)
+  (* 6. Escalation.  The interval domain is inconclusive for
+     order-sensitive properties — for a counting expectation absint
+     proves uniform 1/t mixing at best, never the step property — so
+     when the bounded-exhaustive pass was skipped over budget the
+     certificate would otherwise rest on structural evidence alone.
+     A hybrid with a substituted merger has no trusted reference, so
+     escalate to the directed two-token battery; a violation is a
+     concrete replayable counterexample (STEP003). *)
+  let escalate =
+    let skipped reason =
+      { pass = "escalate"; facts = [ ("skipped", reason) ]; diagnostics = [] }
+    in
+    match expectation with
+    | Merging _ -> skipped "merging loads are enumerable within budget"
+    | Counting | Smoothing _ | Half_split ->
+        if !refuted <> None then skipped "already refuted"
+        else if !exhaustive_evidence <> None then skipped "bounded-exhaustive check was conclusive"
+        else begin
+          let loads = escalation_loads w in
+          let diags = ref [] in
+          let checked = ref 0 in
+          (try
+             List.iter
+               (fun load ->
+                 incr checked;
+                 let out = Eval.quiescent net load in
+                 if not (property_holds expectation out) then begin
+                   refute load;
+                   diags :=
+                     [
+                       diag "escalate" "STEP003"
+                         "two-token load %s produces %s, violating the %s property"
+                         (Sequence.to_string load) (Sequence.to_string out)
+                         (expectation_string expectation);
+                     ];
+                   raise Exit
+                 end)
+               loads
+           with Exit -> ());
+          {
+            pass = "escalate";
+            facts =
+              [ ("battery", "<= 2 tokens on <= 2 wires"); ("loads", string_of_int !checked) ];
+            diagnostics = !diags;
+          }
+        end
+  in
+  (* 7. Structural certification against the reference construction. *)
   let structural_evidence = ref None in
   let structural =
     match reference with
@@ -351,7 +421,7 @@ let certify ?reference ?iso_hint ?expected_depth ?(exhaustive_budget = 20_000)
                     })
         end
   in
-  (* 7. Compiled-runtime faithfulness, per layout. *)
+  (* 8. Compiled-runtime faithfulness, per layout. *)
   let csr =
     let diags =
       List.concat_map
@@ -365,7 +435,7 @@ let certify ?reference ?iso_hint ?expected_depth ?(exhaustive_budget = 20_000)
     in
     { pass = "csr"; facts = [ ("layouts", String.concat ", " names) ]; diagnostics = diags }
   in
-  let passes = [ wellformed; shape; absint; probe; exhaustive; structural; csr ] in
+  let passes = [ wellformed; shape; absint; probe; exhaustive; escalate; structural; csr ] in
   let evidence =
     match !refuted with
     | Some cex -> Refuted cex
@@ -374,7 +444,7 @@ let certify ?reference ?iso_hint ?expected_depth ?(exhaustive_budget = 20_000)
         | Some e -> e
         | None -> ( match !structural_evidence with Some e -> e | None -> Unverified))
   in
-  { subject; expectation; passes; evidence }
+  { subject; expectation; merger; passes; evidence }
 
 let diagnostics c = List.concat_map (fun p -> p.diagnostics) c.passes
 
@@ -403,6 +473,9 @@ let to_json c =
   let buf = Buffer.create 512 in
   Buffer.add_string buf "{";
   Buffer.add_string buf (Printf.sprintf "\"subject\":%s," (Diagnostic.json_string c.subject));
+  Buffer.add_string buf
+    (Printf.sprintf "\"merger\":%s,"
+       (match c.merger with Some m -> Diagnostic.json_string m | None -> "null"));
   Buffer.add_string buf
     (Printf.sprintf "\"expectation\":%s," (Diagnostic.json_string (expectation_string c.expectation)));
   Buffer.add_string buf (Printf.sprintf "\"ok\":%b," (ok c));

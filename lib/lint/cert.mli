@@ -21,6 +21,18 @@
     + {b exhaustive} — bounded-exhaustive model check
       ({!Cn_core.Verify}) whenever the input space fits the budget;
       refutation is [STEP002] with the counterexample profile.
+    + {b escalate} — the explicit "absint inconclusive" path.  The
+      interval domain cannot decide an order-sensitive property (for a
+      counting expectation it proves uniform [1/t] mixing at best), so
+      when the bounded-exhaustive pass was skipped over budget the
+      certifier escalates to a directed battery: every load placing at
+      most two tokens on at most two input wires
+      ([1 + 2w + w(w−1)/2] loads).  Empirically this refutes every
+      broken merger hybrid in the portfolio at widths the exhaustive
+      pass cannot reach; a violation is [STEP003] with the concrete
+      replayable profile.  Skipped (with the reason on record) when
+      the exhaustive pass was conclusive or a refutation already
+      exists.
     + {b structural} — against a [reference] construction: structural
       equality certifies by construction; otherwise an isomorphism
       ({!Cn_network.Iso}, Lemma 2.7) certifies order-insensitive
@@ -67,14 +79,25 @@ type pass_report = {
 type t = {
   subject : string;
   expectation : expectation;
+  merger : string option;
+      (** merger strategy/scope token for hybrid subjects
+          (e.g. ["periodic3/top"]); [None] for the classic families *)
   passes : pass_report list;
   evidence : evidence;
 }
+
+val escalation_loads : int -> Cn_sequence.Sequence.t list
+(** The directed two-token battery for width [w]: every quiescent load
+    of at most two tokens spread over at most two wires ([1 + 2w +
+    w(w-1)/2] loads).  This is the input set the escalate pass runs when
+    the bounded-exhaustive check is over budget; exposed so benches and
+    tests can replay the exact battery. *)
 
 val certify :
   ?reference:Cn_network.Topology.t * string ->
   ?iso_hint:int array ->
   ?expected_depth:int ->
+  ?merger:string ->
   ?exhaustive_budget:int ->
   ?layouts:Cn_runtime.Network_runtime.layout list ->
   subject:string ->
@@ -89,6 +112,9 @@ val certify :
     [Iso.check] before [Iso.find]'s search is attempted, which keeps the
     structural pass cheap where the generic search would blow up
     (backward butterflies at [w >= 32]).
+    [merger] tags the certificate with the merger strategy/scope token
+    of a hybrid subject; it flows into the JSON row as the top-level
+    ["merger"] field ([null] for classic families).
     [exhaustive_budget] (default [20_000]) caps the bounded-exhaustive
     input space.  [layouts] (default both) selects the compiled
     representations to certify. *)

@@ -9,9 +9,10 @@
       ({!Absint}, {!Cert}): broken flow conservation, smoothness bound
       exceeded, depth-formula mismatch, concrete counterexample load,
       non-uniform output mixing, half-split violation.
-    - [STEP001], [STEP002]: step-certification findings ({!Cert}):
-      structural mismatch against the reference construction, and
-      refutation by bounded-exhaustive model check.
+    - [STEP001]–[STEP003]: step-certification findings ({!Cert}):
+      structural mismatch against the reference construction,
+      refutation by bounded-exhaustive model check, and refutation by
+      the two-token escalation battery (the over-budget path).
     - [CSR001]–[CSR009]: compiled-runtime faithfulness ({!Csr_lint}).
     - [ATOM001]–[ATOM003]: source-level atomics discipline ([atomlint]).
 

@@ -309,6 +309,7 @@ Static certification: one family, full pass/fact report.
     absint/abstract_smoothness: 2
     probe/loads: 9
     exhaustive/loads: 625
+    escalate/skipped: bounded-exhaustive check was conclusive
     structural/equal: reference construction
     csr/layouts: padded-csr, unpadded-nested
 
@@ -328,8 +329,82 @@ budget here).
     absint/abstract_smoothness: 6
     probe/loads: 9
     exhaustive/skipped: input space exceeds budget
+    escalate/battery: <= 2 tokens on <= 2 wires
+    escalate/loads: 2145
     structural/isomorphic: reference construction (Lemma 2.7)
     csr/layouts: padded-csr, unpadded-nested
+
+Merger-substituted hybrids: a periodic3 merger inside C(8,8) is
+certified bounded-exhaustively, referee-less (no theorem covers a
+substituted merger, so structural evidence is unavailable by design).
+
+  $ countnet lint -f counting -w 8 --merger periodic3
+  C(8,8)[periodic3/all] ok   counting           exhaustive (max_tokens 2, 6561 loads)
+    shape/width: 8 -> 8
+    shape/size: 65
+    shape/depth: 18
+    shape/regular: true
+    shape/expected_depth: 18
+    absint/conserves: true
+    absint/uniform: true
+    absint/abstract_smoothness: 9
+    probe/loads: 9
+    exhaustive/loads: 6561
+    escalate/skipped: bounded-exhaustive check was conclusive
+    structural/skipped: no reference construction
+    csr/layouts: padded-csr, unpadded-nested
+
+A pk2 merging stage is refuted with a concrete, replayable load.  The
+nonzero exit is the single-network verdict; inside the campaign a
+refutation is an adjudicated result, not a failure.
+
+  $ countnet lint -f merging -w 8 --delta 4 --merger pk2
+  M(8,4)[pk2]        FAIL merging(delta=4)   refuted by load [3; 2; 2; 2; 2; 1; 1; 1]
+    shape/width: 8 -> 8
+    shape/size: 16
+    shape/depth: 4
+    shape/regular: true
+    shape/expected_depth: 4
+    absint/conserves: true
+    absint/uniform: false
+    probe/loads: 4
+    ABS004 error [probe] M(8,4)[pk2]: load [3; 2; 2; 2; 2; 1; 1; 1] produces [2; 2; 2; 2; 2; 1; 1; 2], violating the merging(delta=4) property
+    STEP002 error [exhaustive] M(8,4)[pk2]: refuted on load [1; 0; 0; 0; 1; 0; 0; 0] (checked up to 10 tokens per wire)
+    escalate/skipped: merging loads are enumerable within budget
+    structural/skipped: no reference construction
+    csr/layouts: padded-csr, unpadded-nested
+  [1]
+
+Past the exhaustive budget the certificate cannot rest on the
+inconclusive interval domain: the escalate pass runs the directed
+two-token battery and refutes with a STEP003 counterexample.
+
+  $ countnet lint -f counting -w 32 --merger periodic3 --merger-scope top 2>&1 | grep -c STEP003
+  1
+
+The whole campaign — every strategy x scope x size combination —
+adjudicates in seconds: refuted hybrids carry pinned counterexamples.
+
+  $ countnet lint --hybrids | tail -n 1
+  57 hybrid certificates: 17 certified, 40 refuted with pinned counterexamples
+
+Construction errors name the actual offending parameter values.
+
+  $ countnet draw -f ladder -w 3
+  countnet: Ladder.wires: width must be even and >= 2 (got w=3)
+  [124]
+
+  $ countnet draw -f bitonic -w 6
+  countnet: Bitonic.network: width must be a power of two >= 2 (got w=6)
+  [124]
+
+  $ countnet draw -f periodic -w 12
+  countnet: Periodic.network: width must be a power of two >= 2 (got w=12)
+  [124]
+
+  $ countnet draw -f bitonic -w 8 --merger periodic3
+  countnet: --merger applies to the counting and merging families only
+  [124]
 
 The seeded mutant battery: every mutant must be rejected, with pinned
 diagnostics (this output is the certification of the lint itself).
@@ -346,6 +421,10 @@ diagnostics (this output is the certification of the lint itself).
   wire-flip          expect STEP002, got [ABS004; STEP002; STEP001] — rejected
   init-corrupt       expect ABS004, got [ABS004; STEP002; STEP001] — rejected
   pad-layer          expect ABS003, got [ABS003; STEP001] — rejected
+  periodic-wire-flip expect ABS004, got [ABS004; STEP002] — rejected
+  periodic-init-corrupt expect STEP002, got [STEP002] — rejected
+  periodic-dropped-round expect ABS003, got [ABS003] — rejected
+  periodic-strategy-swap expect ABS003, got [ABS003; ABS004; STEP002] — rejected
   csr-truncate-row   expect CSR001, got [CSR001] — rejected
   csr-mask-corrupt   expect CSR002, got [CSR002] — rejected
   csr-dangling       expect CSR003, got [CSR003; CSR005] — rejected
@@ -358,7 +437,7 @@ diagnostics (this output is the certification of the lint itself).
   csr-route-shift    expect CSR010, got [CSR010] — rejected
   csr-strategy-diverge expect CSR010, got [CSR010] — rejected
   csr-drop-output    expect CSR004, got [CSR009; CSR004] — rejected
-  23 mutants, all rejected
+  27 mutants, all rejected
 
 Serialized networks get the full well-formedness diagnosis, every
 violation reported with its pinned code.
